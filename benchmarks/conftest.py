@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+full-scale deployment (960 images, 40 cycles) and saves the rendered artifact
+under ``benchmarks/results/``.  Set ``REPRO_FAST=1`` to smoke-run the whole
+harness on the miniature deployment instead (useful in CI).
+
+The expensive shared world — dataset, trained committee, pilot study — is
+built once per session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.runner import prepare
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Root seed for all recorded benchmark numbers (EXPERIMENTS.md uses it too).
+BENCH_SEED = 1
+
+
+def is_fast() -> bool:
+    """Whether the harness runs in smoke mode."""
+    return os.environ.get("REPRO_FAST", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def setup_full():
+    """The shared full-scale evaluation world (or fast world in smoke mode)."""
+    return prepare(seed=BENCH_SEED, fast=is_fast())
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """True when paper-shape assertions should be enforced.
+
+    In ``REPRO_FAST=1`` smoke mode the miniature models are too noisy to
+    rank, so benchmarks only check structure, not shapes.
+    """
+    return not is_fast()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

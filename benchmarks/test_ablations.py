@@ -1,0 +1,223 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- **QSS**: committee-entropy + ε-greedy selection vs pure-greedy (ε=0) vs
+  pure-random (ε=1) query selection.
+- **CQC**: gradient boosting with vs without the questionnaire evidence.
+- **MIC**: the full calibrator vs disabling each of its three strategies.
+- **IPD**: the contextual UCB-ALP bandit vs a context-free ε-greedy bandit.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bandit.budget import BudgetLedger
+from repro.bandit.epsilon import EpsilonGreedyBandit
+from repro.core.cqc import CrowdQualityControl
+from repro.core.ipd import IncentivePolicyDesigner
+from repro.eval.reporting import format_table
+from repro.eval.runner import build_crowdlearn, scheme_result_from_run
+from repro.metrics.classification import macro_f1
+from repro.utils.clock import TemporalContext
+
+
+def crowdlearn_f1(setup, tag, **config_overrides):
+    config = dataclasses.replace(setup.config, **config_overrides)
+    system = build_crowdlearn(setup, config=config)
+    outcome = system.run(setup.make_stream(f"ablation-{tag}"))
+    result = scheme_result_from_run("CrowdLearn", outcome)
+    return macro_f1(result.y_true, result.y_pred), result
+
+
+class TestQssAblation:
+    def test_ablation_qss(self, benchmark, setup_full, save_artifact, full_scale):
+        def run():
+            rows = []
+            for name, epsilon in [
+                ("epsilon-greedy (paper, eps=0.2)", 0.2),
+                ("pure greedy (eps=0)", 0.0),
+                ("pure random (eps=1)", 1.0),
+            ]:
+                f1, _ = crowdlearn_f1(
+                    setup_full, f"qss-{epsilon}", qss_epsilon=epsilon
+                )
+                rows.append([name, f1])
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        save_artifact(
+            "ablation_qss",
+            format_table(["QSS strategy", "F1"], rows, title="Ablation: QSS"),
+        )
+        if not full_scale:
+            return
+        values = {name: f1 for name, f1 in rows}
+        # Every strategy still produces a working system.
+        assert all(v > 0.5 for v in values.values())
+        # The paper's mix is competitive with the best pure strategy.
+        assert values["epsilon-greedy (paper, eps=0.2)"] >= (
+            max(values.values()) - 0.05
+        )
+
+
+class TestCqcAblation:
+    def test_ablation_cqc(self, benchmark, setup_full, save_artifact, full_scale):
+        pilot_results, pilot_labels = setup_full.pilot.all_labeled_results()
+        pilot_labels = np.array(pilot_labels)
+        platform = setup_full.make_platform("ablation-cqc")
+        rng = setup_full.seeds.get("ablation-cqc")
+
+        # Build an archetype-rich evaluation batch: the committee's most
+        # uncertain images plus every deceptive image (which ε-exploration
+        # surfaces in deployment) — the questionnaire channel's entire value
+        # lies in recovering the deceptive ones.
+        entropy = setup_full.base_committee.committee_entropy(setup_full.test_set)
+        hard = np.argsort(-entropy)[:40]
+        deceptive = np.array(
+            [
+                i
+                for i, meta in enumerate(setup_full.test_set.metadata())
+                if meta.is_deceptive
+            ],
+            dtype=np.int64,
+        )
+        random_share = rng.choice(len(setup_full.test_set), 20, replace=False)
+        chosen = np.concatenate([hard, deceptive, random_share])
+        results, truths = [], []
+        for index in chosen:
+            image = setup_full.test_set[int(index)]
+            results.append(
+                platform.post_query(image.metadata, 6.0, TemporalContext.EVENING)
+            )
+            truths.append(int(image.true_label))
+        truths = np.array(truths)
+
+        def run():
+            rows = []
+            for name, use_questionnaire in [
+                ("labels + questionnaire (paper)", True),
+                ("labels only", False),
+            ]:
+                cqc = CrowdQualityControl(use_questionnaire=use_questionnaire)
+                cqc.fit(pilot_results, pilot_labels, rng=np.random.default_rng(0))
+                acc = float(np.mean(cqc.truthful_labels(results) == truths))
+                rows.append([name, acc])
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        save_artifact(
+            "ablation_cqc",
+            format_table(
+                ["CQC features", "accuracy"], rows, title="Ablation: CQC"
+            ),
+        )
+        if not full_scale:
+            return
+        values = {name: acc for name, acc in rows}
+        assert values["labels + questionnaire (paper)"] >= (
+            values["labels only"]
+        )
+
+
+class TestMicAblation:
+    def test_ablation_mic(self, benchmark, setup_full, save_artifact, full_scale):
+        def run():
+            rows = []
+            for name, overrides in [
+                ("full MIC (paper)", {}),
+                ("no crowd offloading", {"mic_offload": False}),
+                ("no expert reweighting", {"mic_reweight": False}),
+                ("no model retraining", {"mic_retrain": False}),
+            ]:
+                f1, _ = crowdlearn_f1(setup_full, f"mic-{name}", **overrides)
+                rows.append([name, f1])
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        save_artifact(
+            "ablation_mic",
+            format_table(["MIC variant", "F1"], rows, title="Ablation: MIC"),
+        )
+        if not full_scale:
+            return
+        values = {name: f1 for name, f1 in rows}
+        full = values["full MIC (paper)"]
+        # Offloading is the load-bearing strategy: removing it must hurt.
+        assert full > values["no crowd offloading"]
+        # The full calibrator is at least as good as any single ablation.
+        assert full >= max(values.values()) - 0.03
+
+
+class TestIpdAblation:
+    def test_ablation_ipd(self, benchmark, setup_full, save_artifact, full_scale):
+        config = setup_full.config
+
+        def run_policy(name, policy):
+            ledger = BudgetLedger(config.budget_cents)
+            ipd = IncentivePolicyDesigner(
+                arms=config.incentive_levels,
+                ledger=ledger,
+                total_queries=max(config.total_queries, 1),
+                policy=policy,
+                queries_per_context=config.queries_per_context(),
+            )
+            ipd.warm_start(setup_full.pilot)
+            platform = setup_full.make_platform(f"ablation-ipd-{name}")
+            stream = setup_full.make_stream(f"ablation-ipd-{name}")
+            rng = setup_full.seeds.get(f"ablation-ipd-{name}")
+            delays = []
+            for cycle in stream:
+                dataset = cycle.dataset()
+                n = min(config.queries_per_cycle, len(dataset))
+                for index in rng.choice(len(dataset), n, replace=False):
+                    arm, incentive = ipd.price_query(cycle.context)
+                    if not ledger.can_afford(incentive):
+                        break
+                    result = platform.post_query(
+                        dataset[int(index)].metadata,
+                        incentive,
+                        cycle.context,
+                        ledger=ledger,
+                    )
+                    ipd.observe(cycle.context, arm, result.mean_delay)
+                    delays.append(result.mean_delay)
+            return float(np.mean(delays))
+
+        def run():
+            from repro.bandit.ccmb import UCBALPBandit
+
+            n_contexts = len(TemporalContext.ordered())
+            arms = config.incentive_levels
+            contextual = UCBALPBandit(
+                n_contexts, arms, rng=setup_full.seeds.get("abl-ipd-ctx")
+            )
+            context_free = EpsilonGreedyBandit(
+                n_contexts,
+                arms,
+                setup_full.seeds.get("abl-ipd-free"),
+                epsilon=0.1,
+                contextual=False,
+            )
+            return [
+                ["contextual UCB-ALP (paper)", run_policy("ctx", contextual)],
+                ["context-free bandit", run_policy("free", context_free)],
+            ]
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        save_artifact(
+            "ablation_ipd",
+            format_table(
+                ["IPD policy", "mean crowd delay (s)"],
+                rows,
+                title="Ablation: IPD",
+                float_format="{:.1f}",
+            ),
+        )
+        if not full_scale:
+            return
+        values = {name: delay for name, delay in rows}
+        # Context awareness must pay: the contextual bandit is faster.
+        assert values["contextual UCB-ALP (paper)"] < (
+            values["context-free bandit"]
+        )

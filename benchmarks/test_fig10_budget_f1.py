@@ -1,0 +1,55 @@
+"""Figures 10 & 11: impact of the crowdsourcing budget.
+
+Paper shape: classification performance is poor at the lowest budget
+(1c/task depresses crowd quality), then saturates once the budget passes a
+few cents per task; crowd delay likewise improves with budget and then
+flattens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_budget_sweep
+
+_cache = {}
+
+
+@pytest.fixture(scope="module")
+def sweep(setup_full):
+    if "sweep" not in _cache:
+        _cache["sweep"] = run_budget_sweep(setup_full)
+    return _cache["sweep"]
+
+
+def test_fig10_budget_f1(benchmark, setup_full, save_artifact, sweep, full_scale):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    save_artifact("fig10_budget_f1", sweep.render_fig10())
+    if not full_scale:
+        return
+
+    f1 = np.array(sweep.f1)
+    # The cheapest budget is the weakest configuration.
+    assert f1[0] <= min(f1[2:]) + 0.02
+    # Performance saturates: the top half of the sweep moves very little
+    # (paper: +0.018 F1 from 8 to 40 USD).
+    saturated = f1[len(f1) // 2 :]
+    assert saturated.max() - saturated.min() < 0.05
+
+
+def test_fig11_budget_delay(benchmark, save_artifact, sweep, full_scale):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    save_artifact("fig11_budget_delay", sweep.render_fig11())
+    if not full_scale:
+        return
+
+    delay = np.array(sweep.crowd_delay)
+    assert np.isfinite(delay).all()
+    # The cheapest budget is clearly the slowest configuration (paper: the
+    # 2 USD point sits far above the rest)...
+    assert delay[0] > 1.5 * delay[-1]
+    # ...delay improves monotonically-ish with budget (each point no worse
+    # than 15% above its predecessor)...
+    assert all(b < 1.15 * a for a, b in zip(delay, delay[1:]))
+    # ...and the top of the sweep saturates.
+    saturated = delay[-3:]
+    assert saturated.max() < 1.5 * saturated.min()

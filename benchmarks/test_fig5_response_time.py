@@ -1,0 +1,34 @@
+"""Figure 5: crowd response time vs incentive across temporal contexts.
+
+Paper shape: delay falls steadily with incentive in the morning/afternoon;
+in the evening/midnight all mid-range incentives perform alike, with only
+the lowest (slower) and highest (slightly faster) levels standing out.
+"""
+
+from repro.eval.experiments import run_fig5
+from repro.utils.clock import TemporalContext
+
+
+def test_fig5_response_time(benchmark, setup_full, save_artifact, full_scale):
+    data = benchmark.pedantic(run_fig5, args=(setup_full,), rounds=1, iterations=1)
+    save_artifact("fig5_response_time", data.render())
+    if not full_scale:
+        return
+
+    morning = data.delays[TemporalContext.MORNING]
+    afternoon = data.delays[TemporalContext.AFTERNOON]
+    evening = data.delays[TemporalContext.EVENING]
+    midnight = data.delays[TemporalContext.MIDNIGHT]
+
+    # Daytime: monotone-ish decrease; endpoints must differ by > 2x.
+    assert morning[0] > 2 * morning[-1]
+    assert afternoon[0] > 2 * afternoon[-1]
+
+    # Night: mid-range levels flat (within 25%), lowest level clearly slower.
+    for series in (evening, midnight):
+        mid = series[1:-1]
+        assert max(mid) < 1.25 * min(mid)
+        assert series[0] > 1.5 * min(mid)
+
+    # Daytime mid-range is slower than night mid-range (worker scarcity).
+    assert morning[3] > evening[3]

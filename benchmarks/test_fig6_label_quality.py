@@ -1,0 +1,56 @@
+"""Figure 6: crowd label quality vs incentive.
+
+Paper shape: very low incentives (1-2c) depress quality; above ~2c quality
+plateaus around the workers' intrinsic ~80% accuracy (Wilcoxon tests between
+adjacent mid-range levels are non-significant).
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.eval.experiments import run_fig6
+
+
+def test_fig6_label_quality(benchmark, setup_full, save_artifact, full_scale):
+    data = benchmark.pedantic(run_fig6, args=(setup_full,), rounds=1, iterations=1)
+    save_artifact("fig6_label_quality", data.render())
+    if not full_scale:
+        return
+
+    quality = data.quality
+    # 1 cent is the clear low point.
+    assert quality[0] < min(quality[2:]) - 0.02
+    # The plateau: mid-range levels within a few points of each other.
+    plateau = quality[2:]
+    assert max(plateau) - min(plateau) < 0.08
+    # Paying 20c buys almost nothing over 4c.
+    assert quality[-1] - quality[2] < 0.08
+
+
+def test_fig6_wilcoxon_nonsignificance(benchmark, setup_full, save_artifact, full_scale):
+    """The paper's statistical claim: adjacent mid-range levels do not
+    differ significantly in per-query label accuracy."""
+    pilot = benchmark.pedantic(lambda: setup_full.pilot, rounds=1, iterations=1)
+    levels = pilot.incentive_levels
+
+    def per_query_accuracy(level):
+        values = []
+        for context_level, cell in pilot.cells.items():
+            if context_level[1] != level:
+                continue
+            for result, truth in zip(cell.results, cell.true_labels):
+                labels = result.labels()
+                values.append(float(np.mean(labels == truth)))
+        return np.array(values)
+
+    lines = ["Wilcoxon rank-sum p-values between adjacent incentive levels:"]
+    mid_pairs = [(4.0, 6.0), (6.0, 8.0), (8.0, 10.0)]
+    for low, high in mid_pairs:
+        if low not in levels or high not in levels:
+            continue
+        a, b = per_query_accuracy(low), per_query_accuracy(high)
+        p_value = stats.ranksums(a, b).pvalue
+        lines.append(f"  {low:.0f}c vs {high:.0f}c: p = {p_value:.3f}")
+        if full_scale:
+            assert p_value > 0.05, f"{low}c vs {high}c unexpectedly significant"
+    save_artifact("fig6_wilcoxon", "\n".join(lines))

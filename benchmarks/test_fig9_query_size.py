@@ -1,0 +1,35 @@
+"""Figure 9: size of the query set vs classification performance.
+
+Paper shape: CrowdLearn's F1 grows with the query fraction (human
+intelligence pays off), while Hybrid-AL and Hybrid-Para stay roughly flat
+because they never fix the AI's innate failures; at 0% CrowdLearn degrades
+to the AI-only committee; at 100% it still beats the other hybrids thanks
+to CQC's aggregation.
+"""
+
+from repro.eval.experiments import run_fig9
+
+
+def test_fig9_query_size(benchmark, setup_full, save_artifact, full_scale):
+    data = benchmark.pedantic(run_fig9, args=(setup_full,), rounds=1, iterations=1)
+    save_artifact("fig9_query_size", data.render())
+    if not full_scale:
+        return
+
+    crowdlearn = data.f1["CrowdLearn"]
+    al = data.f1["Hybrid-AL"]
+    para = data.f1["Hybrid-Para"]
+
+    # CrowdLearn improves substantially from 0% to 100% queries.
+    cl_gain = crowdlearn[-1] - crowdlearn[0]
+    assert cl_gain > 0.05
+    # The other hybrids gain far less across the sweep (near-flat curves).
+    assert cl_gain > 1.4 * (al[-1] - al[0])
+    assert cl_gain > 1.4 * (para[-1] - para[0])
+    # At full query size, CrowdLearn beats both hybrids (CQC > voting).
+    assert crowdlearn[-1] > al[-1]
+    assert crowdlearn[-1] > para[-1]
+    # The gain over the hybrids widens as the query set grows.
+    start_gap = crowdlearn[0] - max(al[0], para[0])
+    end_gap = crowdlearn[-1] - max(al[-1], para[-1])
+    assert end_gap > start_gap

@@ -1,0 +1,107 @@
+"""Custom committee: plug your own expert model into CrowdLearn.
+
+CrowdLearn treats its experts as black boxes behind the
+:class:`repro.models.DDAModel` interface, so swapping in a new classifier is
+a ~30-line exercise.  This example implements a gradient-boosted-trees
+expert on raw color-histogram features (no deep learning at all), registers
+it, forms a committee of {VGG16, GBT} and runs the closed loop — showing
+that the QSS/MIC machinery is model-agnostic.
+
+Run:
+    python examples/custom_committee.py [--seed N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.boosting import GradientBoostedClassifier
+from repro.core.committee import Committee
+from repro.eval.runner import build_crowdlearn, prepare
+from repro.metrics import classification_report
+from repro.models import DDAModel, register_model, create_model
+from repro.vision import color_histogram, joint_color_histogram
+
+
+class HistogramGBTModel(DDAModel):
+    """A DDA expert: gradient-boosted trees over global color statistics."""
+
+    name = "HistGBT"
+
+    def __init__(self, n_estimators: int = 40, max_depth: int = 3) -> None:
+        self._classifier = GradientBoostedClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, subsample=0.8
+        )
+        self._fitted = False
+
+    @staticmethod
+    def _features(dataset) -> np.ndarray:
+        rows = []
+        for image in dataset:
+            rows.append(
+                np.concatenate(
+                    [
+                        color_histogram(image.pixels, n_bins=8),
+                        joint_color_histogram(image.pixels, bins_per_channel=3),
+                    ]
+                )
+            )
+        return np.stack(rows)
+
+    def fit(self, dataset, rng):
+        self._classifier.fit(self._features(dataset), dataset.labels(), rng=rng)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, dataset):
+        self._check_fitted(self._fitted)
+        return self._classifier.predict_proba(self._features(dataset))
+
+    def retrain(self, dataset, labels, rng):
+        """GBTs don't fine-tune; refit on the crowd-labeled batch alone.
+
+        MIC always mixes a replay sample of golden training data into the
+        retraining batch, so a full refit stays on-distribution.
+        """
+        self._check_fitted(self._fitted)
+        labels = self._check_labels(dataset, labels)
+        self._classifier.fit(self._features(dataset), labels, rng=rng)
+        return self
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--full", action="store_true", help="paper-scale run")
+    args = parser.parse_args()
+
+    register_model("HistGBT", HistogramGBTModel)
+
+    setup = prepare(seed=args.seed, fast=not args.full)
+
+    print("Training a custom committee: {VGG16, HistGBT}...")
+    vgg = setup.clone_committee().experts[0]
+    hist_gbt = create_model("HistGBT")
+    hist_gbt.fit(setup.train_set, setup.seeds.get("hist-gbt"))
+    committee = Committee([vgg, hist_gbt])
+
+    print("Expert accuracy on the test set:")
+    for expert in committee.experts:
+        report = classification_report(
+            setup.test_set.labels(), expert.predict(setup.test_set)
+        )
+        print(f"  {expert.name:8s} {report}")
+
+    system = build_crowdlearn(setup)
+    system.committee = committee  # swap the committee into the closed loop
+    outcome = system.run(setup.make_stream("custom-committee"))
+
+    report = classification_report(outcome.y_true(), outcome.y_pred())
+    print(f"\nCrowdLearn with the custom committee: {report}")
+    print("Final expert weights:",
+          ", ".join(f"{e.name}={w:.2f}"
+                    for e, w in zip(committee.experts, committee.weights)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Incentive tuning: watch the IPD bandit learn the crowd's price of speed.
+
+Reproduces the mechanics behind Figures 5 and 8 interactively: first probes
+the black-box platform the way the pilot study does (delay vs incentive per
+time of day), then lets three incentive policies — the constrained
+contextual bandit (UCB-ALP), a fixed policy, and a random policy — price the
+same stream of queries under the same budget, and prints what each policy
+learned and paid.
+
+Run:
+    python examples/incentive_tuning.py [--budget-usd B] [--seed N]
+"""
+
+import argparse
+from collections import Counter
+
+import numpy as np
+
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
+from repro.bandit.ccmb import UCBALPBandit
+from repro.bandit.policies import FixedIncentivePolicy, RandomIncentivePolicy
+from repro.core.ipd import IncentivePolicyDesigner
+from repro.crowd.delay import INCENTIVE_LEVELS
+from repro.eval.reporting import format_series
+from repro.eval.runner import prepare
+from repro.utils.clock import TemporalContext
+
+
+def probe_platform(setup) -> None:
+    """Print the pilot study's Figure 5 delay surface."""
+    table = setup.pilot.delay_table()
+    series = {c.value: table[c] for c in TemporalContext.ordered()}
+    print(
+        format_series(
+            "incentive_cents",
+            list(setup.pilot.incentive_levels),
+            series,
+            title="Pilot study: mean crowd delay (s) per incentive and context",
+            float_format="{:.0f}",
+        )
+    )
+
+
+def run_policy(setup, name, policy, budget_cents, warm_start):
+    config = setup.config
+    ledger = BudgetLedger(budget_cents)
+    ipd = IncentivePolicyDesigner(
+        arms=config.incentive_levels,
+        ledger=ledger,
+        total_queries=max(config.total_queries, 1),
+        policy=policy,
+        queries_per_context=config.queries_per_context(),
+    )
+    if warm_start:
+        ipd.warm_start(setup.pilot)
+    platform = setup.make_platform(f"tuning-{name}")
+    stream = setup.make_stream(f"tuning-{name}")
+    rng = setup.seeds.get(f"tuning-{name}")
+    delays = []
+    spends = Counter()
+    for cycle in stream:
+        dataset = cycle.dataset()
+        n = min(config.queries_per_cycle, len(dataset))
+        for index in rng.choice(len(dataset), size=n, replace=False):
+            arm, incentive = ipd.price_query(cycle.context)
+            try:
+                result = platform.post_query(
+                    dataset[int(index)].metadata, incentive, cycle.context,
+                    ledger=ledger,
+                )
+            except BudgetExhausted:
+                break
+            ipd.observe(cycle.context, arm, result.mean_delay)
+            delays.append(result.mean_delay)
+            spends[(cycle.context.value, incentive)] += 1
+    return float(np.mean(delays)), ledger.spent, spends, ipd
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget-usd", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--full", action="store_true", help="paper-scale run")
+    args = parser.parse_args()
+
+    setup = prepare(seed=args.seed, fast=not args.full)
+    budget_cents = (
+        args.budget_usd * 100.0
+        if args.budget_usd is not None
+        else setup.config.budget_cents
+    )
+    probe_platform(setup)
+
+    n_contexts = len(TemporalContext.ordered())
+    fixed_level = budget_cents / max(setup.config.total_queries, 1)
+    fixed_arm = int(np.argmin([abs(a - fixed_level) for a in INCENTIVE_LEVELS]))
+    policies = {
+        "UCB-ALP (IPD)": (
+            UCBALPBandit(
+                n_contexts, INCENTIVE_LEVELS, rng=setup.seeds.get("tuning-ucb")
+            ),
+            True,
+        ),
+        "Fixed": (
+            FixedIncentivePolicy(n_contexts, INCENTIVE_LEVELS, arm=fixed_arm),
+            False,
+        ),
+        "Random": (
+            RandomIncentivePolicy(
+                n_contexts, INCENTIVE_LEVELS, setup.seeds.get("tuning-rand")
+            ),
+            False,
+        ),
+    }
+
+    print(f"\nPricing {setup.config.total_queries} queries under a "
+          f"{budget_cents / 100:.2f} USD budget:\n")
+    for name, (policy, warm) in policies.items():
+        mean_delay, spent, spends, ipd = run_policy(
+            setup, name, policy, budget_cents, warm
+        )
+        print(f"{name}: mean delay {mean_delay:.1f}s, "
+              f"spent {spent / 100:.2f} USD")
+        by_context: dict[str, Counter] = {}
+        for (context, incentive), count in spends.items():
+            by_context.setdefault(context, Counter())[incentive] = count
+        for context in TemporalContext.ordered():
+            picks = by_context.get(context.value)
+            if picks:
+                summary = ", ".join(
+                    f"{int(level)}c x{count}"
+                    for level, count in sorted(picks.items())
+                )
+                print(f"    {context.value:9s} {summary}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in environments whose
+setuptools/pip cannot build PEP 660 editable wheels (e.g. offline boxes
+without the ``wheel`` package): ``python setup.py develop`` works there.
+"""
+
+from setuptools import setup
+
+setup()

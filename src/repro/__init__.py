@@ -1,0 +1,24 @@
+"""CrowdLearn reproduction: a crowd-AI hybrid system for deep learning-based
+disaster damage assessment (Zhang et al., ICDCS 2019).
+
+Public entry points:
+
+- :class:`repro.core.CrowdLearnSystem` — the assembled closed-loop system;
+- :func:`repro.data.build_dataset` / :func:`repro.data.train_test_split` —
+  the synthetic Ecuador-earthquake stand-in dataset;
+- :class:`repro.crowd.CrowdsourcingPlatform` — the simulated MTurk;
+- :mod:`repro.eval` — baselines and the per-table/figure experiment drivers.
+"""
+
+from repro.core import CrowdLearnConfig, CrowdLearnSystem
+from repro.data import build_dataset, train_test_split
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrowdLearnConfig",
+    "CrowdLearnSystem",
+    "build_dataset",
+    "train_test_split",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Bandit substrate: constrained contextual MAB and baseline policies."""
+
+from repro.bandit.base import ArmStats, ContextualPolicy
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
+from repro.bandit.ccmb import UCBALPBandit
+from repro.bandit.epsilon import EpsilonGreedyBandit
+from repro.bandit.policies import FixedIncentivePolicy, RandomIncentivePolicy
+from repro.bandit.regret import PullRecord, RegretTracker
+
+__all__ = [
+    "PullRecord",
+    "RegretTracker",
+    "ArmStats",
+    "ContextualPolicy",
+    "BudgetExhausted",
+    "BudgetLedger",
+    "UCBALPBandit",
+    "EpsilonGreedyBandit",
+    "FixedIncentivePolicy",
+    "RandomIncentivePolicy",
+]

@@ -1,0 +1,108 @@
+"""Common interface for incentive policies.
+
+A policy observes a context (temporal context index), selects an arm (an
+incentive level), and later receives the realized payoff (negative response
+delay) plus the incurred cost.  All the paper's compared policies — the CCMB
+(UCB-ALP), fixed incentives, random incentives, and a context-free bandit
+ablation — implement this interface, so the IPD module and the Figure 8
+benchmark can swap them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ArmStats", "ContextualPolicy"]
+
+
+@dataclass
+class ArmStats:
+    """Running payoff statistics for one (context, arm) cell."""
+
+    pulls: int = 0
+    total_payoff: float = 0.0
+    payoffs: list[float] = field(default_factory=list)
+
+    @property
+    def mean_payoff(self) -> float:
+        """Empirical mean payoff (0 before any pull)."""
+        if self.pulls == 0:
+            return 0.0
+        return self.total_payoff / self.pulls
+
+    def record(self, payoff: float) -> None:
+        """Record one observed payoff."""
+        self.pulls += 1
+        self.total_payoff += float(payoff)
+        self.payoffs.append(float(payoff))
+
+
+class ContextualPolicy:
+    """Base class for contextual incentive policies.
+
+    Parameters
+    ----------
+    n_contexts:
+        Number of discrete contexts (4 temporal contexts in the paper).
+    arms:
+        The incentive levels in cents, e.g. ``(1, 2, 4, 6, 8, 10, 20)``.
+    """
+
+    def __init__(self, n_contexts: int, arms: tuple[float, ...]) -> None:
+        if n_contexts <= 0:
+            raise ValueError(f"n_contexts must be positive, got {n_contexts}")
+        if not arms:
+            raise ValueError("at least one arm (incentive level) is required")
+        if any(a <= 0 for a in arms):
+            raise ValueError(f"incentive levels must be positive, got {arms}")
+        self.n_contexts = n_contexts
+        self.arms = tuple(float(a) for a in arms)
+        self.stats = [
+            [ArmStats() for _ in self.arms] for _ in range(n_contexts)
+        ]
+        self.t = 0  # total decisions taken
+
+    def select(
+        self,
+        context: int,
+        budget_per_round: float | None = None,
+        context_distribution: np.ndarray | None = None,
+    ) -> int:
+        """Choose an arm index for ``context``.
+
+        ``budget_per_round`` is the average budget available per remaining
+        round; ``context_distribution`` is the expected occupancy of each
+        context over the *remaining* rounds.  Constrained policies use them,
+        unconstrained ones ignore them.
+        """
+        raise NotImplementedError
+
+    def update(self, context: int, arm: int, payoff: float) -> None:
+        """Feed back the realized payoff of pulling ``arm`` in ``context``."""
+        self._check_indices(context, arm)
+        self.stats[context][arm].record(payoff)
+        self.t += 1
+
+    def arm_cost(self, arm: int) -> float:
+        """Cost (incentive in cents) of pulling ``arm``."""
+        return self.arms[arm]
+
+    def mean_payoffs(self, context: int) -> np.ndarray:
+        """Empirical mean payoff of every arm in ``context``."""
+        self._check_indices(context, 0)
+        return np.array([s.mean_payoff for s in self.stats[context]])
+
+    def pull_counts(self, context: int) -> np.ndarray:
+        """Pull counts of every arm in ``context``."""
+        self._check_indices(context, 0)
+        return np.array([s.pulls for s in self.stats[context]], dtype=np.int64)
+
+    def _check_indices(self, context: int, arm: int) -> None:
+        if not 0 <= context < self.n_contexts:
+            raise IndexError(
+                f"context {context} out of range [0, {self.n_contexts})"
+            )
+        if not 0 <= arm < len(self.arms):
+            raise IndexError(f"arm {arm} out of range [0, {len(self.arms)})")

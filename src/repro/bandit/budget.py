@@ -1,0 +1,82 @@
+"""Budget accounting for the crowdsourcing platform.
+
+The paper gives the application a total budget ``B`` for crowd queries
+(Eq. 1/Eq. 4).  The ledger enforces the constraint and exposes the
+remaining-budget signal the constrained bandit plans against.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BudgetExhausted", "BudgetLedger"]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a charge would push spending past the total budget."""
+
+
+class BudgetLedger:
+    """Tracks spending against a fixed total budget (in cents).
+
+    Parameters
+    ----------
+    total:
+        Total budget in cents; must be positive.
+    """
+
+    def __init__(self, total: float) -> None:
+        if total <= 0:
+            raise ValueError(f"total budget must be positive, got {total}")
+        self._total = float(total)
+        self._spent = 0.0
+        self._charges: list[float] = []
+
+    @property
+    def total(self) -> float:
+        """The total budget in cents."""
+        return self._total
+
+    @property
+    def spent(self) -> float:
+        """Total amount charged so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self._total - self._spent
+
+    @property
+    def n_charges(self) -> int:
+        """Number of individual charges recorded."""
+        return len(self._charges)
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether ``amount`` fits in the remaining budget."""
+        return 0 <= amount <= self.remaining + 1e-9
+
+    def charge(self, amount: float) -> float:
+        """Record a charge of ``amount`` cents; returns the new remaining budget.
+
+        Raises
+        ------
+        BudgetExhausted
+            If the charge exceeds the remaining budget.
+        ValueError
+            If the amount is negative.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot charge a negative amount: {amount}")
+        if not self.can_afford(amount):
+            raise BudgetExhausted(
+                f"charge of {amount:.2f} exceeds remaining budget "
+                f"{self.remaining:.2f} (total {self._total:.2f})"
+            )
+        self._spent += float(amount)
+        self._charges.append(float(amount))
+        return self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BudgetLedger(total={self._total:.2f}, spent={self._spent:.2f}, "
+            f"remaining={self.remaining:.2f})"
+        )

@@ -1,0 +1,87 @@
+"""Non-learning incentive policies: the paper's comparison points for IPD.
+
+Hybrid-Para and Hybrid-AL use a *fixed* incentive (the maximum per-query
+incentive the budget allows); Figure 8 also compares against *random*
+incentive assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandit.base import ContextualPolicy
+
+__all__ = ["FixedIncentivePolicy", "RandomIncentivePolicy"]
+
+
+class FixedIncentivePolicy(ContextualPolicy):
+    """Always pays the same incentive level.
+
+    Parameters
+    ----------
+    arm:
+        Index into ``arms`` of the level to pay.  Defaults to the most
+        expensive arm, matching the paper's fixed baseline ("the total budget
+        divided by the number of queries", i.e. the maximum affordable).
+    """
+
+    def __init__(
+        self,
+        n_contexts: int,
+        arms: tuple[float, ...],
+        arm: int | None = None,
+    ) -> None:
+        super().__init__(n_contexts, arms)
+        if arm is None:
+            arm = int(np.argmax(self.arms))
+        self._check_indices(0, arm)
+        self.fixed_arm = arm
+
+    def select(
+        self,
+        context: int,
+        budget_per_round: float | None = None,
+        context_distribution: object = None,
+    ) -> int:
+        del context_distribution  # fixed policy is context-blind
+        self._check_indices(context, 0)
+        if budget_per_round is not None:
+            # Fall back to the most expensive arm that still fits the budget.
+            costs = np.array(self.arms)
+            if costs[self.fixed_arm] > budget_per_round + 1e-9:
+                affordable = np.flatnonzero(costs <= budget_per_round + 1e-9)
+                if affordable.size == 0:
+                    return int(np.argmin(costs))
+                return int(affordable[np.argmax(costs[affordable])])
+        return self.fixed_arm
+
+
+class RandomIncentivePolicy(ContextualPolicy):
+    """Picks a uniformly random (affordable) incentive level each round."""
+
+    def __init__(
+        self,
+        n_contexts: int,
+        arms: tuple[float, ...],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(n_contexts, arms)
+        self.rng = rng
+
+    def select(
+        self,
+        context: int,
+        budget_per_round: float | None = None,
+        context_distribution: object = None,
+    ) -> int:
+        del context_distribution  # random policy is context-blind
+        self._check_indices(context, 0)
+        costs = np.array(self.arms)
+        if budget_per_round is None:
+            candidates = np.arange(len(self.arms))
+        else:
+            mask = costs <= max(budget_per_round, 0.0) + 1e-9
+            if not mask.any():
+                mask[int(np.argmin(costs))] = True
+            candidates = np.flatnonzero(mask)
+        return int(self.rng.choice(candidates))

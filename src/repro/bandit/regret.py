@@ -1,0 +1,118 @@
+"""Empirical regret accounting for incentive policies.
+
+Measures how much payoff a policy left on the table relative to the best
+fixed arm per context in hindsight — the standard contextual-bandit regret
+notion, computed from the realized pull history.  Used to sanity-check that
+the UCB-ALP learner actually converges (sublinear cumulative regret) and to
+compare policies quantitatively beyond raw delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PullRecord", "RegretTracker"]
+
+
+@dataclass(frozen=True)
+class PullRecord:
+    """One realized (context, arm, payoff) observation."""
+
+    context: int
+    arm: int
+    payoff: float
+
+
+@dataclass
+class RegretTracker:
+    """Accumulates pulls and computes hindsight regret.
+
+    Parameters
+    ----------
+    n_contexts, n_arms:
+        Dimensions of the policy's decision space.
+    """
+
+    n_contexts: int
+    n_arms: int
+    pulls: list[PullRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_contexts <= 0 or self.n_arms <= 0:
+            raise ValueError("n_contexts and n_arms must be positive")
+
+    def record(self, context: int, arm: int, payoff: float) -> None:
+        """Record one realized pull."""
+        if not 0 <= context < self.n_contexts:
+            raise IndexError(f"context {context} out of range")
+        if not 0 <= arm < self.n_arms:
+            raise IndexError(f"arm {arm} out of range")
+        self.pulls.append(PullRecord(context, arm, float(payoff)))
+
+    def __len__(self) -> int:
+        return len(self.pulls)
+
+    def mean_payoff_matrix(self) -> np.ndarray:
+        """Empirical mean payoff per (context, arm); NaN for unpulled cells."""
+        total = np.zeros((self.n_contexts, self.n_arms))
+        count = np.zeros((self.n_contexts, self.n_arms))
+        for pull in self.pulls:
+            total[pull.context, pull.arm] += pull.payoff
+            count[pull.context, pull.arm] += 1
+        with np.errstate(invalid="ignore"):
+            means = total / count
+        means[count == 0] = np.nan
+        return means
+
+    def best_arm_per_context(self) -> np.ndarray:
+        """Hindsight-best arm per context (−1 where nothing was pulled)."""
+        means = self.mean_payoff_matrix()
+        best = np.full(self.n_contexts, -1, dtype=np.int64)
+        for z in range(self.n_contexts):
+            row = means[z]
+            if np.isnan(row).all():
+                continue
+            best[z] = int(np.nanargmax(row))
+        return best
+
+    def cumulative_regret(self) -> np.ndarray:
+        """Per-pull cumulative regret vs the hindsight-best arm per context.
+
+        Regret of pull t = (mean payoff of the context's best arm) −
+        (realized payoff of pull t); the returned array is its cumsum.
+        Empty history yields an empty array.
+        """
+        if not self.pulls:
+            return np.empty(0)
+        means = self.mean_payoff_matrix()
+        best_value = np.nanmax(
+            np.where(np.isnan(means), -np.inf, means), axis=1
+        )
+        per_pull = np.array(
+            [best_value[p.context] - p.payoff for p in self.pulls]
+        )
+        return np.cumsum(per_pull)
+
+    def total_regret(self) -> float:
+        """Final cumulative regret (0 for an empty history)."""
+        cumulative = self.cumulative_regret()
+        return float(cumulative[-1]) if cumulative.size else 0.0
+
+    def is_sublinear(self, window_fraction: float = 0.25) -> bool:
+        """Heuristic convergence check: late regret slope < early slope.
+
+        Compares the average per-pull regret in the first and last
+        ``window_fraction`` of the history.
+        """
+        if not 0.0 < window_fraction <= 0.5:
+            raise ValueError("window_fraction must be in (0, 0.5]")
+        cumulative = self.cumulative_regret()
+        n = cumulative.size
+        window = max(int(n * window_fraction), 1)
+        if n < 2 * window:
+            return False
+        early = cumulative[window - 1] / window
+        late = (cumulative[-1] - cumulative[-window - 1]) / window
+        return late <= early + 1e-12

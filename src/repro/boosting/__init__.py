@@ -1,0 +1,12 @@
+"""Gradient-boosting substrate: CART trees, GBT classifier, expert boosting."""
+
+from repro.boosting.adaboost import ExpertBooster
+from repro.boosting.gbt import GradientBoostedClassifier
+from repro.boosting.tree import RegressionTree, TreeNode
+
+__all__ = [
+    "ExpertBooster",
+    "GradientBoostedClassifier",
+    "RegressionTree",
+    "TreeNode",
+]

@@ -1,0 +1,118 @@
+"""Confidence-rated boosting over pre-trained experts (SAMME-style).
+
+The paper's **Ensemble** baseline aggregates VGG16, BoVW and DDM "using a
+boosting technique" [52] (Schapire & Singer's confidence-rated predictions).
+Because the member models are already trained, boosting here learns a stagewise
+weighting of the experts: at each round the expert with the lowest weighted
+error on a labeled calibration set is added with its SAMME confidence weight,
+and sample weights are updated multiplicatively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ExpertBooster"]
+
+
+class ExpertBooster:
+    """Stagewise confidence-rated combination of fixed expert predictions.
+
+    Parameters
+    ----------
+    n_rounds:
+        Number of boosting rounds (experts may repeat across rounds).
+    n_classes:
+        Number of output classes.
+    """
+
+    def __init__(self, n_rounds: int = 10, n_classes: int = 3) -> None:
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_rounds = n_rounds
+        self.n_classes = n_classes
+        self.alphas: list[float] = []
+        self.chosen: list[int] = []
+
+    def fit(
+        self, expert_probs: Sequence[np.ndarray], y: np.ndarray
+    ) -> "ExpertBooster":
+        """Learn expert weights from calibration predictions.
+
+        Parameters
+        ----------
+        expert_probs:
+            One ``(n, n_classes)`` probability array per expert, all on the
+            same ``n`` calibration samples.
+        y:
+            True labels for those samples.
+        """
+        y = np.asarray(y, dtype=np.int64).ravel()
+        probs = [np.asarray(p, dtype=np.float64) for p in expert_probs]
+        if not probs:
+            raise ValueError("need at least one expert")
+        n = y.shape[0]
+        for p in probs:
+            if p.shape != (n, self.n_classes):
+                raise ValueError(
+                    f"each expert must predict ({n}, {self.n_classes}), "
+                    f"got {p.shape}"
+                )
+        predictions = [np.argmax(p, axis=1) for p in probs]
+        weights = np.full(n, 1.0 / n)
+        self.alphas = []
+        self.chosen = []
+        k = self.n_classes
+        for _ in range(self.n_rounds):
+            errors = [
+                float(np.sum(weights * (pred != y))) for pred in predictions
+            ]
+            best = int(np.argmin(errors))
+            err = min(max(errors[best], 1e-10), 1.0 - 1e-10)
+            if err >= 1.0 - 1.0 / k:
+                break  # no expert better than chance under current weights
+            # SAMME multiclass confidence weight.
+            alpha = float(np.log((1.0 - err) / err) + np.log(k - 1.0))
+            if alpha <= 0:
+                break
+            self.alphas.append(alpha)
+            self.chosen.append(best)
+            mistakes = predictions[best] != y
+            weights = weights * np.exp(alpha * mistakes)
+            weights /= weights.sum()
+        if not self.alphas:
+            # Degenerate calibration set: fall back to the single best expert.
+            accuracy = [float(np.mean(pred == y)) for pred in predictions]
+            self.chosen = [int(np.argmax(accuracy))]
+            self.alphas = [1.0]
+        return self
+
+    def expert_weights(self, n_experts: int) -> np.ndarray:
+        """Total normalized weight assigned to each of ``n_experts``."""
+        if not self.alphas:
+            raise RuntimeError("ExpertBooster not fitted")
+        totals = np.zeros(n_experts, dtype=np.float64)
+        for alpha, idx in zip(self.alphas, self.chosen):
+            if idx >= n_experts:
+                raise ValueError("n_experts smaller than fitted expert indices")
+            totals[idx] += alpha
+        return totals / totals.sum()
+
+    def predict_proba(self, expert_probs: Sequence[np.ndarray]) -> np.ndarray:
+        """Weighted mixture of expert probabilities on new samples."""
+        if not self.alphas:
+            raise RuntimeError("ExpertBooster not fitted")
+        probs = [np.asarray(p, dtype=np.float64) for p in expert_probs]
+        weights = self.expert_weights(len(probs))
+        mixture = np.zeros_like(probs[0])
+        for w, p in zip(weights, probs):
+            mixture += w * p
+        return mixture / mixture.sum(axis=1, keepdims=True)
+
+    def predict(self, expert_probs: Sequence[np.ndarray]) -> np.ndarray:
+        """Most probable class of the weighted mixture."""
+        return np.argmax(self.predict_proba(expert_probs), axis=1)

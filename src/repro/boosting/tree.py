@@ -1,0 +1,221 @@
+"""CART regression trees, the weak learner under gradient boosting.
+
+Trees are grown greedily on exact splits with variance reduction as the
+criterion.  For gradient boosting, leaves fit the Newton step
+``-sum(grad) / (sum(hess) + lambda)`` so the same tree class serves both
+plain regression and second-order boosting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TreeNode", "RegressionTree"]
+
+
+@dataclass
+class TreeNode:
+    """A node of a binary regression tree.
+
+    Leaves have ``feature == -1`` and carry the prediction in ``value``.
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class RegressionTree:
+    """Greedy CART regression tree with Newton-style leaf values.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root at depth 0).
+    min_samples_leaf:
+        Minimum samples each child must retain for a split to be valid.
+    min_gain:
+        Minimum split gain; splits below it become leaves.
+    reg_lambda:
+        L2 regularization on leaf values (the XGBoost ``lambda``).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        min_gain: float = 1e-7,
+        reg_lambda: float = 1.0,
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if reg_lambda < 0:
+            raise ValueError(f"reg_lambda must be >= 0, got {reg_lambda}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.reg_lambda = reg_lambda
+        self.root: TreeNode | None = None
+        self.n_features: int | None = None
+
+    def fit(
+        self,
+        x: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray | None = None,
+    ) -> "RegressionTree":
+        """Fit the tree to gradients (and optional Hessians).
+
+        With ``hess=None`` all Hessians are 1, which reduces to fitting the
+        negative mean gradient per leaf — i.e., ordinary least-squares
+        regression on ``-grad``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64).ravel()
+        if x.ndim != 2 or x.shape[0] != grad.shape[0]:
+            raise ValueError(
+                f"x must be (n, d) aligned with grad, got {x.shape} "
+                f"and {grad.shape}"
+            )
+        if hess is None:
+            hess = np.ones_like(grad)
+        else:
+            hess = np.asarray(hess, dtype=np.float64).ravel()
+            if hess.shape != grad.shape:
+                raise ValueError("hess must be parallel to grad")
+            if np.any(hess < 0):
+                raise ValueError("hess must be non-negative")
+        self.n_features = x.shape[1]
+        self.root = self._build(x, grad, hess, depth=0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Leaf value for each row of ``x``."""
+        if self.root is None or self.n_features is None:
+            raise RuntimeError("RegressionTree.predict called before fit")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(
+                f"x must be (n, {self.n_features}), got shape {x.shape}"
+            )
+        out = np.empty(x.shape[0], dtype=np.float64)
+        self._predict_into(self.root, x, np.arange(x.shape[0]), out)
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self.root is None:
+            raise RuntimeError("tree not fitted")
+        return self._depth(self.root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        if self.root is None:
+            raise RuntimeError("tree not fitted")
+        return self._leaves(self.root)
+
+    def feature_split_counts(self) -> np.ndarray:
+        """How many internal nodes split on each feature, shape ``(d,)``."""
+        if self.root is None or self.n_features is None:
+            raise RuntimeError("tree not fitted")
+        counts = np.zeros(self.n_features, dtype=np.int64)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            counts[node.feature] += 1
+            assert node.left is not None and node.right is not None
+            stack.extend((node.left, node.right))
+        return counts
+
+    # -- internals ---------------------------------------------------------
+
+    def _leaf_value(self, grad: np.ndarray, hess: np.ndarray) -> float:
+        return float(-grad.sum() / (hess.sum() + self.reg_lambda))
+
+    def _score(self, g_sum: float, h_sum: float) -> float:
+        return g_sum * g_sum / (h_sum + self.reg_lambda)
+
+    def _build(
+        self, x: np.ndarray, grad: np.ndarray, hess: np.ndarray, depth: int
+    ) -> TreeNode:
+        node = TreeNode(value=self._leaf_value(grad, hess))
+        n = x.shape[0]
+        if depth >= self.max_depth or n < 2 * self.min_samples_leaf:
+            return node
+        best_gain = self.min_gain
+        best: tuple[int, float, np.ndarray] | None = None
+        parent_score = self._score(grad.sum(), hess.sum())
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            g_cum = np.cumsum(grad[order])
+            h_cum = np.cumsum(hess[order])
+            g_total, h_total = g_cum[-1], h_cum[-1]
+            # Candidate split after position i (left gets i+1 samples).
+            positions = np.arange(self.min_samples_leaf - 1, n - self.min_samples_leaf)
+            if positions.size == 0:
+                continue
+            valid = sorted_vals[positions] < sorted_vals[positions + 1]
+            positions = positions[valid]
+            if positions.size == 0:
+                continue
+            g_left = g_cum[positions]
+            h_left = h_cum[positions]
+            gains = (
+                self._score_vec(g_left, h_left)
+                + self._score_vec(g_total - g_left, h_total - h_left)
+                - parent_score
+            )
+            idx = int(np.argmax(gains))
+            if gains[idx] > best_gain:
+                best_gain = float(gains[idx])
+                pos = positions[idx]
+                threshold = 0.5 * (sorted_vals[pos] + sorted_vals[pos + 1])
+                best = (feature, threshold, column <= threshold)
+        if best is None:
+            return node
+        feature, threshold, mask = best
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], grad[mask], hess[mask], depth + 1)
+        node.right = self._build(x[~mask], grad[~mask], hess[~mask], depth + 1)
+        return node
+
+    def _score_vec(self, g: np.ndarray, h: np.ndarray) -> np.ndarray:
+        return g * g / (h + self.reg_lambda)
+
+    def _predict_into(
+        self, node: TreeNode, x: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf:
+            out[idx] = node.value
+            return
+        mask = x[idx, node.feature] <= node.threshold
+        assert node.left is not None and node.right is not None
+        self._predict_into(node.left, x, idx[mask], out)
+        self._predict_into(node.right, x, idx[~mask], out)
+
+    def _depth(self, node: TreeNode) -> int:
+        if node.is_leaf:
+            return 0
+        assert node.left is not None and node.right is not None
+        return 1 + max(self._depth(node.left), self._depth(node.right))
+
+    def _leaves(self, node: TreeNode) -> int:
+        if node.is_leaf:
+            return 1
+        assert node.left is not None and node.right is not None
+        return self._leaves(node.left) + self._leaves(node.right)

@@ -1,0 +1,180 @@
+"""Command-line interface for the CrowdLearn reproduction.
+
+Exposes the library's main entry points without writing any Python:
+
+    python -m repro run        # run the closed loop, print the scores
+    python -m repro pilot      # regenerate Figures 5 & 6
+    python -m repro table1     # regenerate Table I
+    python -m repro table2     # regenerate Table II + Figure 7 + Table III
+    python -m repro fig8       # regenerate Figure 8
+    python -m repro fig9       # regenerate Figure 9
+    python -m repro budget     # regenerate Figures 10 & 11
+    python -m repro diagnose   # per-archetype failure report of each expert
+
+All commands run the miniature (fast) deployment by default; pass ``--full``
+for the paper-scale configuration, ``--seed`` for a different world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+__all__ = ["main", "build_parser"]
+
+
+def _prepare(args):
+    from repro.eval.runner import prepare
+
+    started = time.time()
+    print(
+        f"preparing {'paper-scale' if args.full else 'fast'} world "
+        f"(seed={args.seed})...",
+        file=sys.stderr,
+    )
+    setup = prepare(seed=args.seed, fast=not args.full)
+    print(f"ready in {time.time() - started:.1f}s", file=sys.stderr)
+    return setup
+
+
+def cmd_run(args) -> int:
+    from repro.eval.runner import build_crowdlearn, scheme_result_from_run
+    from repro.metrics import classification_report
+
+    setup = _prepare(args)
+    system = build_crowdlearn(setup)
+    outcome = system.run(setup.make_stream("cli-run"))
+    result = scheme_result_from_run("CrowdLearn", outcome)
+    report = classification_report(result.y_true, result.y_pred)
+    print(f"CrowdLearn: {report}")
+    delay = result.mean_crowd_delay()
+    print(
+        f"crowd delay {0.0 if delay is None else delay:.1f}s, "
+        f"spend {result.cost_cents / 100:.2f} USD "
+        f"(budget {system.ledger.total / 100:.2f} USD)"
+    )
+    trace = outcome.accuracy_trace()
+    print(
+        "per-cycle accuracy: first quarter "
+        f"{trace[: max(len(trace) // 4, 1)].mean():.3f}, last quarter "
+        f"{trace[-max(len(trace) // 4, 1):].mean():.3f}"
+    )
+    return 0
+
+
+def cmd_pilot(args) -> int:
+    from repro.eval.experiments import run_fig5, run_fig6
+
+    setup = _prepare(args)
+    print(run_fig5(setup).render())
+    print()
+    print(run_fig6(setup).render())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.eval.experiments import run_table1
+
+    setup = _prepare(args)
+    print(run_table1(setup).render())
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.eval.experiments import run_table2_suite
+
+    setup = _prepare(args)
+    suite = run_table2_suite(setup)
+    print(suite.table2.render())
+    print()
+    print(suite.fig7.render())
+    print()
+    print(suite.table3.render())
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    from repro.eval.experiments import run_fig8
+
+    setup = _prepare(args)
+    print(run_fig8(setup).render())
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    from repro.eval.experiments import run_fig9
+
+    setup = _prepare(args)
+    print(run_fig9(setup).render())
+    return 0
+
+
+def cmd_budget(args) -> int:
+    from repro.eval.experiments import run_budget_sweep
+
+    setup = _prepare(args)
+    sweep = run_budget_sweep(setup)
+    print(sweep.render_fig10())
+    print()
+    print(sweep.render_fig11())
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.eval.diagnostics import diagnose
+
+    setup = _prepare(args)
+    for expert in setup.base_committee.experts:
+        report = diagnose(expert, setup.test_set)
+        print(report.render())
+        innate = report.innate_failure_archetypes()
+        if innate:
+            print(
+                "innate failures (confidently wrong): "
+                + ", ".join(a.value for a in innate)
+            )
+        print()
+    return 0
+
+
+_COMMANDS: dict[str, tuple[Callable, str]] = {
+    "run": (cmd_run, "run the CrowdLearn closed loop and print its scores"),
+    "pilot": (cmd_pilot, "regenerate Figures 5 & 6 (the pilot study)"),
+    "table1": (cmd_table1, "regenerate Table I (CQC vs aggregators)"),
+    "table2": (cmd_table2, "regenerate Table II, Figure 7 and Table III"),
+    "fig8": (cmd_fig8, "regenerate Figure 8 (IPD vs fixed vs random)"),
+    "fig9": (cmd_fig9, "regenerate Figure 9 (query-set size sweep)"),
+    "budget": (cmd_budget, "regenerate Figures 10 & 11 (budget sweep)"),
+    "diagnose": (cmd_diagnose, "per-archetype failure report of each expert"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CrowdLearn (ICDCS 2019) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (func, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--full",
+            action="store_true",
+            help="paper-scale deployment (960 images, 40 cycles)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="root seed")
+        sub.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

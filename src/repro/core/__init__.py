@@ -1,0 +1,22 @@
+"""CrowdLearn core: QSS, IPD, CQC, MIC and the closed-loop system."""
+
+from repro.core.committee import Committee
+from repro.core.config import CrowdLearnConfig
+from repro.core.cqc import CrowdQualityControl
+from repro.core.ipd import IncentivePolicyDesigner
+from repro.core.mic import MachineIntelligenceCalibrator
+from repro.core.qss import AdaptiveQuerySetSelector, QuerySetSelector
+from repro.core.system import CrowdLearnSystem, CycleOutcome, RunOutcome
+
+__all__ = [
+    "Committee",
+    "CrowdLearnConfig",
+    "CrowdQualityControl",
+    "IncentivePolicyDesigner",
+    "MachineIntelligenceCalibrator",
+    "AdaptiveQuerySetSelector",
+    "QuerySetSelector",
+    "CrowdLearnSystem",
+    "CycleOutcome",
+    "RunOutcome",
+]

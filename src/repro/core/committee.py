@@ -1,0 +1,114 @@
+"""The QBC committee (Definitions 4-8).
+
+A committee is a set of DDA experts with dynamic weights.  It produces the
+weighted committee vote of Eq. 2 and the committee entropy of Eq. 3, which
+QSS uses to find the samples the AI is uncertain about and MIC uses to
+derive final labels after reweighting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DisasterDataset
+from repro.metrics.information import entropy
+from repro.models.base import DDAModel
+
+__all__ = ["Committee"]
+
+
+class Committee:
+    """A weighted committee of DDA experts.
+
+    Parameters
+    ----------
+    experts:
+        The member models (the paper uses VGG16, BoVW and DDM).
+    weights:
+        Initial expert weights; uniform when omitted.  Weights are kept
+        normalized to sum to 1.
+    """
+
+    def __init__(
+        self, experts: list[DDAModel], weights: np.ndarray | None = None
+    ) -> None:
+        if not experts:
+            raise ValueError("committee requires at least one expert")
+        self.experts = list(experts)
+        if weights is None:
+            weights = np.full(len(experts), 1.0 / len(experts))
+        self.set_weights(weights)
+
+    @property
+    def n_experts(self) -> int:
+        return len(self.experts)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current normalized expert weights (copy)."""
+        return self._weights.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Replace the expert weights (renormalized to sum to 1)."""
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape[0] != len(self.experts):
+            raise ValueError(
+                f"need {len(self.experts)} weights, got {weights.shape[0]}"
+            )
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self._weights = weights / weights.sum()
+
+    def fit(self, dataset: DisasterDataset, rng: np.random.Generator) -> "Committee":
+        """Train every expert on the same labeled dataset."""
+        for expert in self.experts:
+            expert.fit(dataset, rng)
+        return self
+
+    def expert_votes(self, dataset: DisasterDataset) -> list[np.ndarray]:
+        """Each expert's vote V(AI_m) — one ``(n, k)`` array per expert."""
+        return [expert.predict_proba(dataset) for expert in self.experts]
+
+    def committee_vote(
+        self,
+        dataset: DisasterDataset,
+        votes: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Weighted, normalized committee vote ρ (Eq. 2), shape ``(n, k)``.
+
+        Pass precomputed ``votes`` to avoid re-running the experts.
+        """
+        if votes is None:
+            votes = self.expert_votes(dataset)
+        if len(votes) != len(self.experts):
+            raise ValueError("one vote array per expert is required")
+        stacked = np.einsum("m,mnk->nk", self._weights, np.stack(votes))
+        return stacked / stacked.sum(axis=1, keepdims=True)
+
+    def committee_entropy(
+        self,
+        dataset: DisasterDataset,
+        votes: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Committee entropy H per sample (Eq. 3), shape ``(n,)``."""
+        rho = self.committee_vote(dataset, votes)
+        return np.array([entropy(row) for row in rho])
+
+    def predict(
+        self,
+        dataset: DisasterDataset,
+        votes: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Final labels: argmax of the committee vote."""
+        return np.argmax(self.committee_vote(dataset, votes), axis=1)
+
+    def retrain(
+        self,
+        dataset: DisasterDataset,
+        labels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "Committee":
+        """Incrementally retrain every expert on crowd-labeled data."""
+        for expert in self.experts:
+            expert.retrain(dataset, labels, rng)
+        return self

@@ -1,0 +1,104 @@
+"""Configuration for the CrowdLearn system and its experiments.
+
+Defaults mirror the paper's deployment: 40 ten-minute sensing cycles (10 per
+temporal context), 10 images per cycle, 5 queried to the crowd, 5 workers
+per query, the pilot's 7 incentive levels, and a total crowd budget swept
+between 2 and 40 USD (default 20 USD — 10 cents per query on average, the
+middle of the paper's sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crowd.delay import INCENTIVE_LEVELS
+
+__all__ = ["CrowdLearnConfig"]
+
+
+@dataclass(frozen=True)
+class CrowdLearnConfig:
+    """All knobs of a CrowdLearn deployment in one immutable bundle."""
+
+    # Stream structure (paper §V-B).
+    n_cycles: int = 40
+    images_per_cycle: int = 10
+    cycles_per_context: int = 10
+
+    # Query selection.
+    query_fraction: float = 0.5  # 5 of 10 images per cycle
+    qss_epsilon: float = 0.2
+    # VDBE adaptive exploration (Tokic & Palm, the paper's ref [37]): when
+    # set, ε adapts to how much the crowd's feedback surprises the committee
+    # instead of staying fixed at qss_epsilon.
+    qss_adaptive: bool = False
+
+    # Crowd platform.
+    workers_per_query: int = 5
+    n_workers: int = 120
+    incentive_levels: tuple[float, ...] = INCENTIVE_LEVELS
+    budget_usd: float = 20.0
+
+    # MIC.
+    mic_eta: float = 2.0
+    mic_replay_size: int = 30
+    mic_retrain: bool = True
+    mic_reweight: bool = True
+    mic_offload: bool = True
+
+    # CQC.
+    cqc_use_questionnaire: bool = True
+
+    # Pilot study.
+    pilot_queries_per_cell: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n_cycles <= 0 or self.images_per_cycle <= 0:
+            raise ValueError("cycle structure sizes must be positive")
+        if self.cycles_per_context <= 0:
+            raise ValueError("cycles_per_context must be positive")
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise ValueError(
+                f"query_fraction must be in [0, 1], got {self.query_fraction}"
+            )
+        if not 0.0 <= self.qss_epsilon <= 1.0:
+            raise ValueError(
+                f"qss_epsilon must be in [0, 1], got {self.qss_epsilon}"
+            )
+        if self.workers_per_query <= 0 or self.n_workers <= 0:
+            raise ValueError("worker counts must be positive")
+        if not self.incentive_levels or any(x <= 0 for x in self.incentive_levels):
+            raise ValueError("incentive levels must be positive and non-empty")
+        if self.budget_usd <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget_usd}")
+
+    @property
+    def queries_per_cycle(self) -> int:
+        """Number of images sent to the crowd each cycle."""
+        return int(round(self.query_fraction * self.images_per_cycle))
+
+    @property
+    def total_queries(self) -> int:
+        """Expected total crowd queries over the deployment."""
+        return self.n_cycles * self.queries_per_cycle
+
+    @property
+    def budget_cents(self) -> float:
+        """Total crowd budget in cents."""
+        return self.budget_usd * 100.0
+
+    def queries_per_context(self) -> dict:
+        """Expected crowd queries per temporal context over the deployment.
+
+        Contexts are visited in consecutive blocks of ``cycles_per_context``
+        cycles in the paper's order (morning, afternoon, evening, midnight),
+        wrapping if there are more blocks than contexts.
+        """
+        from repro.utils.clock import TemporalContext
+
+        contexts = TemporalContext.ordered()
+        counts = {context: 0 for context in contexts}
+        for cycle in range(self.n_cycles):
+            block = cycle // self.cycles_per_context
+            counts[contexts[block % len(contexts)]] += self.queries_per_cycle
+        return counts

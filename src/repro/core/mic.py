@@ -1,0 +1,165 @@
+"""Machine Intelligence Calibration (§IV-D).
+
+MIC closes the loop: given CQC's truthful labels for the query set it
+
+1. **reweights the committee** — each expert's loss is the bounded symmetric
+   KL divergence between its vote and the truthful distribution (Eq. 5),
+   driving a classical exponential-weights update [50];
+2. **retrains the experts** — the crowd labels become training data for the
+   next sensing cycle (the fix for insufficient-training-data failures);
+3. **offloads to the crowd** — the query set's final labels are replaced by
+   the truthful labels outright (the fix for innate AI failures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.committee import Committee
+from repro.data.dataset import DisasterDataset, DisasterImage
+from repro.metrics.information import bounded_divergence
+
+__all__ = ["MachineIntelligenceCalibrator"]
+
+
+class MachineIntelligenceCalibrator:
+    """Implements MIC's three calibration strategies.
+
+    Parameters
+    ----------
+    eta:
+        Learning rate of the exponential-weights update.
+    replay_size:
+        Number of original training images mixed into each retraining batch
+        to stabilize fine-tuning (experience replay).
+    retrain:
+        Whether the model-retraining strategy is enabled (ablation switch).
+    reweight:
+        Whether the expert-weight update is enabled (ablation switch).
+    offload:
+        Whether crowd offloading is enabled (ablation switch).
+    """
+
+    def __init__(
+        self,
+        eta: float = 2.0,
+        replay_size: int = 30,
+        retrain: bool = True,
+        reweight: bool = True,
+        offload: bool = True,
+    ) -> None:
+        if eta < 0:
+            raise ValueError(f"eta must be >= 0, got {eta}")
+        if replay_size < 0:
+            raise ValueError(f"replay_size must be >= 0, got {replay_size}")
+        self.eta = eta
+        self.replay_size = replay_size
+        self.retrain = retrain
+        self.reweight = reweight
+        self.offload = offload
+
+    def expert_losses(
+        self,
+        expert_votes: list[np.ndarray],
+        truth_distributions: np.ndarray,
+    ) -> np.ndarray:
+        """Per-expert mean bounded divergence from the truthful labels (Eq. 5).
+
+        ``expert_votes[m]`` holds expert m's distributions on the *query set*
+        (shape ``(Y, k)``); ``truth_distributions`` holds CQC's distributions
+        aligned with them.
+        """
+        truth_distributions = np.asarray(truth_distributions, dtype=np.float64)
+        losses = []
+        for votes in expert_votes:
+            votes = np.asarray(votes, dtype=np.float64)
+            if votes.shape != truth_distributions.shape:
+                raise ValueError(
+                    "expert votes and truth distributions must align: "
+                    f"{votes.shape} vs {truth_distributions.shape}"
+                )
+            per_query = [
+                bounded_divergence(vote, truth)
+                for vote, truth in zip(votes, truth_distributions)
+            ]
+            losses.append(float(np.mean(per_query)))
+        return np.array(losses)
+
+    def update_weights(
+        self,
+        committee: Committee,
+        expert_votes: list[np.ndarray],
+        truth_distributions: np.ndarray,
+    ) -> np.ndarray:
+        """Exponential-weights update of the committee; returns new weights."""
+        if not self.reweight:
+            return committee.weights
+        losses = self.expert_losses(expert_votes, truth_distributions)
+        new_weights = committee.weights * np.exp(-self.eta * losses)
+        committee.set_weights(new_weights)
+        return committee.weights
+
+    def retrain_experts(
+        self,
+        committee: Committee,
+        query_images: list[DisasterImage],
+        truthful_labels: np.ndarray,
+        replay_pool: DisasterDataset,
+        rng: np.random.Generator,
+    ) -> None:
+        """Fine-tune every expert on crowd-labeled queries + a replay sample.
+
+        The replay sample (drawn from the original golden training set) keeps
+        a handful of crowd labels from dragging the experts off distribution.
+        """
+        if not self.retrain or not query_images:
+            return
+        truthful_labels = np.asarray(truthful_labels, dtype=np.int64).ravel()
+        if truthful_labels.shape[0] != len(query_images):
+            raise ValueError("one truthful label per query image is required")
+        images = list(query_images)
+        labels = list(truthful_labels)
+        if self.replay_size > 0 and len(replay_pool) > 0:
+            take = min(self.replay_size, len(replay_pool))
+            chosen = rng.choice(len(replay_pool), size=take, replace=False)
+            for index in chosen:
+                replay_image = replay_pool[int(index)]
+                images.append(replay_image)
+                labels.append(int(replay_image.true_label))
+        committee.retrain(
+            DisasterDataset(images), np.array(labels, dtype=np.int64), rng
+        )
+
+    def offload_labels(
+        self,
+        committee_labels: np.ndarray,
+        query_indices: np.ndarray,
+        truthful_labels: np.ndarray,
+    ) -> np.ndarray:
+        """Crowd offloading: overwrite the query set's labels with the crowd's."""
+        committee_labels = np.asarray(committee_labels, dtype=np.int64).copy()
+        if not self.offload:
+            return committee_labels
+        query_indices = np.asarray(query_indices, dtype=np.int64)
+        truthful_labels = np.asarray(truthful_labels, dtype=np.int64)
+        if query_indices.shape != truthful_labels.shape:
+            raise ValueError("query indices and truthful labels must align")
+        committee_labels[query_indices] = truthful_labels
+        return committee_labels
+
+    def offload_distributions(
+        self,
+        committee_vote: np.ndarray,
+        query_indices: np.ndarray,
+        truth_distributions: np.ndarray,
+    ) -> np.ndarray:
+        """Same as :meth:`offload_labels` but on probabilistic scores (ROC)."""
+        committee_vote = np.asarray(committee_vote, dtype=np.float64).copy()
+        if not self.offload:
+            return committee_vote
+        query_indices = np.asarray(query_indices, dtype=np.int64)
+        truth_distributions = np.asarray(truth_distributions, dtype=np.float64)
+        if truth_distributions.shape[0] != query_indices.shape[0]:
+            raise ValueError("query indices and truth distributions must align")
+        committee_vote[query_indices] = truth_distributions
+        return committee_vote

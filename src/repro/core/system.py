@@ -1,0 +1,333 @@
+"""The CrowdLearn closed-loop system (Figure 4).
+
+Per sensing cycle: ① QSS picks the query set from committee entropy;
+② IPD prices each query with the constrained contextual bandit and the
+queries go to the crowdsourcing platform; ③ CQC fuses the workers' labels
+and questionnaire evidence into truthful labels; ④ MIC reweights the
+committee, retrains the experts, and offloads the query set's labels to the
+crowd.  Final labels come from the reweighted committee with the query set
+overridden by the crowd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
+from repro.core.committee import Committee
+from repro.core.config import CrowdLearnConfig
+from repro.core.cqc import CrowdQualityControl
+from repro.core.ipd import IncentivePolicyDesigner
+from repro.core.mic import MachineIntelligenceCalibrator
+from repro.core.qss import AdaptiveQuerySetSelector, QuerySetSelector
+from repro.crowd.pilot import PilotResult, run_pilot_study
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.tasks import QueryResult
+from repro.data.dataset import DisasterDataset
+from repro.data.stream import SensingCycle, SensingCycleStream
+from repro.models.registry import create_model, default_committee_names
+from repro.utils.clock import TemporalContext
+from repro.utils.rng import SeedSequencer
+
+__all__ = ["CycleOutcome", "RunOutcome", "CrowdLearnSystem"]
+
+
+@dataclass(frozen=True)
+class CycleOutcome:
+    """Everything CrowdLearn produced in one sensing cycle."""
+
+    cycle_index: int
+    context: TemporalContext
+    true_labels: np.ndarray
+    final_labels: np.ndarray
+    final_scores: np.ndarray
+    query_indices: np.ndarray
+    incentives_cents: np.ndarray
+    crowd_delay: float  # mean per-query delay; 0.0 when nothing was queried
+    cost_cents: float
+    expert_weights: np.ndarray
+
+
+@dataclass
+class RunOutcome:
+    """Aggregated outcomes over a whole deployment."""
+
+    cycles: list[CycleOutcome] = field(default_factory=list)
+
+    def append(self, outcome: CycleOutcome) -> None:
+        self.cycles.append(outcome)
+
+    def y_true(self) -> np.ndarray:
+        """Ground-truth labels over all cycles, in stream order."""
+        return np.concatenate([c.true_labels for c in self.cycles])
+
+    def y_pred(self) -> np.ndarray:
+        """Final labels over all cycles, in stream order."""
+        return np.concatenate([c.final_labels for c in self.cycles])
+
+    def scores(self) -> np.ndarray:
+        """Final per-class scores over all cycles (for ROC curves)."""
+        return np.concatenate([c.final_scores for c in self.cycles])
+
+    def mean_crowd_delay(self) -> float:
+        """Average crowd delay per cycle, over cycles that queried the crowd."""
+        delays = [c.crowd_delay for c in self.cycles if c.query_indices.size]
+        if not delays:
+            return 0.0
+        return float(np.mean(delays))
+
+    def crowd_delay_by_context(self) -> dict[TemporalContext, float]:
+        """Mean crowd delay per temporal context (Figure 8's series)."""
+        table: dict[TemporalContext, list[float]] = {}
+        for c in self.cycles:
+            if c.query_indices.size:
+                table.setdefault(c.context, []).append(c.crowd_delay)
+        return {
+            context: float(np.mean(values)) for context, values in table.items()
+        }
+
+    def total_cost_cents(self) -> float:
+        """Total crowd spend over the run."""
+        return float(sum(c.cost_cents for c in self.cycles))
+
+    def accuracy_trace(self) -> np.ndarray:
+        """Per-cycle accuracy, shape ``(n_cycles,)``.
+
+        Shows the closed loop's learning behaviour: as MIC reweights and
+        retrains, per-cycle accuracy should drift up over the deployment.
+        """
+        return np.array(
+            [
+                float(np.mean(c.final_labels == c.true_labels))
+                for c in self.cycles
+            ]
+        )
+
+    def weight_trace(self) -> np.ndarray:
+        """Expert weights after every cycle, shape ``(n_cycles, n_experts)``."""
+        if not self.cycles:
+            return np.empty((0, 0))
+        return np.stack([c.expert_weights for c in self.cycles])
+
+    def spend_trace(self) -> np.ndarray:
+        """Cumulative crowd spend after each cycle (cents)."""
+        return np.cumsum([c.cost_cents for c in self.cycles])
+
+
+class CrowdLearnSystem:
+    """The assembled CrowdLearn pipeline.
+
+    Use :meth:`build` for the full paper setup (train committee, run pilot,
+    train CQC, warm-start IPD), or construct directly from pre-built parts
+    for custom experiments.
+    """
+
+    def __init__(
+        self,
+        committee: Committee,
+        platform: CrowdsourcingPlatform,
+        qss: QuerySetSelector,
+        ipd: IncentivePolicyDesigner,
+        cqc: CrowdQualityControl,
+        mic: MachineIntelligenceCalibrator,
+        ledger: BudgetLedger,
+        replay_pool: DisasterDataset,
+        config: CrowdLearnConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.committee = committee
+        self.platform = platform
+        self.qss = qss
+        self.ipd = ipd
+        self.cqc = cqc
+        self.mic = mic
+        self.ledger = ledger
+        self.replay_pool = replay_pool
+        self.config = config
+        self.rng = rng
+
+    @classmethod
+    def build(
+        cls,
+        training_set: DisasterDataset,
+        config: CrowdLearnConfig | None = None,
+        seed: int = 0,
+        committee: Committee | None = None,
+        platform: CrowdsourcingPlatform | None = None,
+        pilot: PilotResult | None = None,
+    ) -> "CrowdLearnSystem":
+        """Assemble and pre-train the full system as the paper deploys it.
+
+        Steps: train the {VGG16, BoVW, DDM} committee on the training set,
+        run the pilot study on the platform, fit CQC on the pilot's labeled
+        queries, and warm-start the IPD bandit with the pilot's delays.
+        Pass ``committee``/``platform``/``pilot`` to reuse pre-built parts
+        (e.g. to share one trained committee across budget-sweep runs).
+        """
+        config = config or CrowdLearnConfig()
+        seeds = SeedSequencer(seed)
+        if committee is None:
+            experts = [create_model(name) for name in default_committee_names()]
+            committee = Committee(experts)
+            committee.fit(training_set, seeds.get("committee"))
+        if platform is None:
+            from repro.crowd.delay import DelayModel
+            from repro.crowd.population import WorkerPopulation
+            from repro.crowd.quality import QualityModel
+
+            platform = CrowdsourcingPlatform(
+                population=WorkerPopulation(
+                    config.n_workers, seeds.get("population")
+                ),
+                delay_model=DelayModel(),
+                quality_model=QualityModel(),
+                rng=seeds.get("platform"),
+                workers_per_query=config.workers_per_query,
+            )
+        if pilot is None:
+            pilot = run_pilot_study(
+                platform,
+                training_set,
+                seeds.get("pilot"),
+                incentive_levels=config.incentive_levels,
+                queries_per_cell=config.pilot_queries_per_cell,
+            )
+        cqc = CrowdQualityControl(use_questionnaire=config.cqc_use_questionnaire)
+        pilot_results, pilot_labels = pilot.all_labeled_results()
+        cqc.fit(pilot_results, np.array(pilot_labels), rng=seeds.get("cqc"))
+
+        ledger = BudgetLedger(config.budget_cents)
+        ipd = IncentivePolicyDesigner(
+            arms=config.incentive_levels,
+            ledger=ledger,
+            total_queries=max(config.total_queries, 1),
+            rng=seeds.get("ipd"),
+            queries_per_context=config.queries_per_context(),
+        )
+        ipd.warm_start(pilot)
+        mic = MachineIntelligenceCalibrator(
+            eta=config.mic_eta,
+            replay_size=config.mic_replay_size,
+            retrain=config.mic_retrain,
+            reweight=config.mic_reweight,
+            offload=config.mic_offload,
+        )
+        if config.qss_adaptive:
+            qss: QuerySetSelector = AdaptiveQuerySetSelector(
+                initial_epsilon=config.qss_epsilon
+            )
+        else:
+            qss = QuerySetSelector(config.qss_epsilon)
+        return cls(
+            committee=committee,
+            platform=platform,
+            qss=qss,
+            ipd=ipd,
+            cqc=cqc,
+            mic=mic,
+            ledger=ledger,
+            replay_pool=training_set,
+            config=config,
+            rng=seeds.get("system"),
+        )
+
+    def run_cycle(self, cycle: SensingCycle) -> CycleOutcome:
+        """Execute the full CrowdLearn loop on one sensing cycle."""
+        dataset = cycle.dataset()
+        true_labels = dataset.labels()
+
+        # ① committee votes and query selection.
+        votes = self.committee.expert_votes(dataset)
+        entropy = self.committee.committee_entropy(dataset, votes)
+        query_size = min(self.config.queries_per_cycle, len(dataset))
+        query_indices = self.qss.select(entropy, query_size, self.rng)
+
+        incentives: list[float] = []
+        results: list[QueryResult] = []
+        arms: list[int] = []
+        cost = 0.0
+        posted_indices: list[int] = []
+        for index in query_indices:
+            arm, incentive = self.ipd.price_query(cycle.context)
+            metadata = dataset[int(index)].metadata
+            try:
+                result = self.platform.post_query(
+                    metadata, incentive, cycle.context, ledger=self.ledger
+                )
+            except BudgetExhausted:
+                break  # budget gone: remaining images stay with the AI
+            incentives.append(incentive)
+            arms.append(arm)
+            results.append(result)
+            posted_indices.append(int(index))
+            cost += incentive
+        query_indices = np.array(posted_indices, dtype=np.int64)
+
+        # ③ quality control + ④ calibration (only if anything was queried).
+        if results:
+            truthful = self.cqc.truthful_labels(results)
+            truth_dists = self.cqc.label_distributions(results)
+            for result, label in zip(results, truthful):
+                self.platform.reveal_ground_truth(result.query.query_id, int(label))
+            query_votes = [v[query_indices] for v in votes]
+            # VDBE extension: feed the surprise (mean committee-vs-truth
+            # divergence on the query set) back into an adaptive QSS.
+            if isinstance(self.qss, AdaptiveQuerySetSelector):
+                from repro.metrics.information import bounded_divergence
+
+                pre_vote = self.committee.committee_vote(dataset, votes)
+                surprise = float(
+                    np.mean(
+                        [
+                            bounded_divergence(pre_vote[int(i)], dist)
+                            for i, dist in zip(query_indices, truth_dists)
+                        ]
+                    )
+                )
+                self.qss.observe_surprise(surprise)
+            self.mic.update_weights(self.committee, query_votes, truth_dists)
+            self.mic.retrain_experts(
+                self.committee,
+                [dataset[int(i)] for i in query_indices],
+                truthful,
+                self.replay_pool,
+                self.rng,
+            )
+            for result, arm in zip(results, arms):
+                self.ipd.observe(cycle.context, arm, result.mean_delay)
+            crowd_delay = float(np.mean([r.mean_delay for r in results]))
+        else:
+            truthful = np.empty(0, dtype=np.int64)
+            truth_dists = np.empty((0, self.committee.experts[0].n_classes))
+            crowd_delay = 0.0
+
+        # Final labels: reweighted committee, query set offloaded to the crowd.
+        committee_vote = self.committee.committee_vote(dataset, votes)
+        committee_labels = np.argmax(committee_vote, axis=1)
+        final_labels = self.mic.offload_labels(
+            committee_labels, query_indices, truthful
+        )
+        final_scores = self.mic.offload_distributions(
+            committee_vote, query_indices, truth_dists
+        )
+        return CycleOutcome(
+            cycle_index=cycle.index,
+            context=cycle.context,
+            true_labels=true_labels,
+            final_labels=final_labels,
+            final_scores=final_scores,
+            query_indices=query_indices,
+            incentives_cents=np.array(incentives),
+            crowd_delay=crowd_delay,
+            cost_cents=cost,
+            expert_weights=self.committee.weights,
+        )
+
+    def run(self, stream: SensingCycleStream) -> RunOutcome:
+        """Run the system over an entire sensing-cycle stream."""
+        outcome = RunOutcome()
+        for cycle in stream:
+            outcome.append(self.run_cycle(cycle))
+        return outcome

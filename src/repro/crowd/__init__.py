@@ -1,0 +1,41 @@
+"""Simulated crowdsourcing platform (the MTurk substitution).
+
+Reproduces the black-box statistical behaviour the paper measured on MTurk:
+context- and incentive-dependent response delays (Figure 5), an
+incentive-quality plateau (Figure 6), heterogeneous ~80%-accurate workers,
+and fixed-form questionnaire evidence.
+"""
+
+from repro.crowd.delay import INCENTIVE_LEVELS, DelayModel
+from repro.crowd.pilot import PilotCell, PilotResult, run_pilot_study
+from repro.crowd.platform import CrowdsourcingPlatform, WorkerHistoryEntry
+from repro.crowd.population import WorkerPopulation
+from repro.crowd.quality import QualityModel
+from repro.crowd.questionnaire import QUESTIONS, encode_query_features, feature_names
+from repro.crowd.tasks import (
+    CrowdQuery,
+    QueryResult,
+    QuestionnaireAnswers,
+    WorkerResponse,
+)
+from repro.crowd.worker import Worker
+
+__all__ = [
+    "INCENTIVE_LEVELS",
+    "DelayModel",
+    "PilotCell",
+    "PilotResult",
+    "run_pilot_study",
+    "CrowdsourcingPlatform",
+    "WorkerHistoryEntry",
+    "WorkerPopulation",
+    "QualityModel",
+    "QUESTIONS",
+    "encode_query_features",
+    "feature_names",
+    "CrowdQuery",
+    "QueryResult",
+    "QuestionnaireAnswers",
+    "WorkerResponse",
+    "Worker",
+]

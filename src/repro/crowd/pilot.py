@@ -1,0 +1,144 @@
+"""The pilot study (§IV-B.1): characterizing the black-box platform.
+
+The paper probes MTurk with 7 incentive levels x 4 temporal contexts, 100
+HITs each (20 queries x 5 workers), on *training* images whose golden labels
+are known.  The pilot's outputs drive three things:
+
+- Figure 5 (delay vs incentive per context) and Figure 6 (quality vs
+  incentive);
+- warm-starting the IPD bandit's payoff estimates;
+- training data for the CQC classifier (query features -> golden label).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crowd.delay import INCENTIVE_LEVELS
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.data.dataset import DisasterDataset
+from repro.crowd.tasks import QueryResult
+from repro.utils.clock import TemporalContext
+
+__all__ = ["PilotCell", "PilotResult", "run_pilot_study"]
+
+
+@dataclass
+class PilotCell:
+    """Observations for one (context, incentive) combination."""
+
+    context: TemporalContext
+    incentive_cents: float
+    results: list[QueryResult] = field(default_factory=list)
+    true_labels: list[int] = field(default_factory=list)
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean per-response delay over all HITs in the cell."""
+        delays = [
+            r.delay_seconds for result in self.results for r in result.responses
+        ]
+        if not delays:
+            raise ValueError("pilot cell has no responses")
+        return float(np.mean(delays))
+
+    @property
+    def label_accuracy(self) -> float:
+        """Fraction of individual worker labels matching the golden label."""
+        correct = 0
+        total = 0
+        for result, truth in zip(self.results, self.true_labels):
+            for response in result.responses:
+                correct += int(int(response.label) == truth)
+                total += 1
+        if total == 0:
+            raise ValueError("pilot cell has no responses")
+        return correct / total
+
+
+@dataclass
+class PilotResult:
+    """All pilot cells, indexed by (context, incentive)."""
+
+    cells: dict[tuple[TemporalContext, float], PilotCell] = field(
+        default_factory=dict
+    )
+    incentive_levels: tuple[float, ...] = INCENTIVE_LEVELS
+
+    def cell(self, context: TemporalContext, incentive: float) -> PilotCell:
+        """The observations for one combination."""
+        return self.cells[(context, float(incentive))]
+
+    def delay_table(self) -> dict[TemporalContext, list[float]]:
+        """Figure 5's series: mean delay per incentive level, per context."""
+        return {
+            context: [
+                self.cell(context, level).mean_delay
+                for level in self.incentive_levels
+            ]
+            for context in TemporalContext.ordered()
+        }
+
+    def quality_table(self) -> list[float]:
+        """Figure 6's series: label accuracy per incentive level (pooled)."""
+        accuracies = []
+        for level in self.incentive_levels:
+            correct = 0
+            total = 0
+            for context in TemporalContext.ordered():
+                cell = self.cell(context, level)
+                for result, truth in zip(cell.results, cell.true_labels):
+                    for response in result.responses:
+                        correct += int(int(response.label) == truth)
+                        total += 1
+            accuracies.append(correct / max(total, 1))
+        return accuracies
+
+    def all_labeled_results(self) -> tuple[list[QueryResult], list[int]]:
+        """Every pilot query with its golden label (CQC training data)."""
+        results: list[QueryResult] = []
+        labels: list[int] = []
+        for cell in self.cells.values():
+            results.extend(cell.results)
+            labels.extend(cell.true_labels)
+        return results, labels
+
+
+def run_pilot_study(
+    platform: CrowdsourcingPlatform,
+    training_set: DisasterDataset,
+    rng: np.random.Generator,
+    incentive_levels: tuple[float, ...] = INCENTIVE_LEVELS,
+    queries_per_cell: int = 20,
+) -> PilotResult:
+    """Run the full pilot sweep on training images with golden labels.
+
+    Each (context, incentive) cell posts ``queries_per_cell`` queries over
+    images sampled (with replacement across cells, without within a cell)
+    from the training set.
+    """
+    if queries_per_cell <= 0:
+        raise ValueError("queries_per_cell must be positive")
+    if len(training_set) < queries_per_cell:
+        raise ValueError(
+            f"training set has {len(training_set)} images, "
+            f"need >= {queries_per_cell} per cell"
+        )
+    result = PilotResult(incentive_levels=tuple(float(x) for x in incentive_levels))
+    for context in TemporalContext.ordered():
+        for level in result.incentive_levels:
+            cell = PilotCell(context=context, incentive_cents=level)
+            chosen = rng.choice(
+                len(training_set), size=queries_per_cell, replace=False
+            )
+            for index in chosen:
+                image = training_set[int(index)]
+                query_result = platform.post_query(
+                    image.metadata, level, context, ledger=None
+                )
+                cell.results.append(query_result)
+                cell.true_labels.append(int(image.true_label))
+            result.cells[(context, level)] = cell
+    return result

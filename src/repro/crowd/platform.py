@@ -1,0 +1,183 @@
+"""The black-box crowdsourcing platform (MTurk stand-in).
+
+The requester-facing API is deliberately narrow, matching §III-B's black-box
+observations: you can only post queries with incentives and receive
+responses — no worker selection, no visibility into the pool.  Internally
+the platform draws workers by context-dependent availability, samples their
+labels/questionnaires through the quality model, and their delays through the
+delay model.
+
+The platform also keeps the per-worker response history that the *Filtering*
+quality-control baseline consumes (worker ids and their past labels are
+visible on real MTurk through HIT bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bandit.budget import BudgetLedger
+from repro.crowd.delay import DelayModel
+from repro.crowd.population import WorkerPopulation
+from repro.crowd.quality import QualityModel
+from repro.crowd.tasks import CrowdQuery, QueryResult, WorkerResponse
+from repro.data.metadata import ImageMetadata
+from repro.utils.clock import TemporalContext
+
+__all__ = ["WorkerHistoryEntry", "CrowdsourcingPlatform"]
+
+
+@dataclass(frozen=True)
+class WorkerHistoryEntry:
+    """One historical (worker, query) interaction, for quality filtering."""
+
+    worker_id: int
+    query_id: int
+    label: int
+    correct: bool | None  # None when ground truth was never revealed
+
+
+@dataclass
+class CrowdsourcingPlatform:
+    """Simulated MTurk: post queries, get noisy timed responses back.
+
+    Parameters
+    ----------
+    population:
+        The (hidden) worker pool.
+    delay_model, quality_model:
+        Behavioural models calibrated to the paper's pilot study.
+    rng:
+        Randomness source for worker draws and response noise.
+    workers_per_query:
+        HIT assignments per query (the paper uses 5).
+    """
+
+    population: WorkerPopulation
+    delay_model: DelayModel
+    quality_model: QualityModel
+    rng: np.random.Generator
+    workers_per_query: int = 5
+    _next_query_id: int = field(default=0, init=False)
+    _history: list[WorkerHistoryEntry] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.workers_per_query <= 0:
+            raise ValueError("workers_per_query must be positive")
+
+    def post_query(
+        self,
+        metadata: ImageMetadata,
+        incentive_cents: float,
+        context: TemporalContext,
+        ledger: BudgetLedger | None = None,
+        deadline_seconds: float | None = None,
+    ) -> QueryResult:
+        """Post one image query and collect worker responses.
+
+        The incentive is charged once per query against ``ledger`` when one
+        is provided (raises :class:`~repro.bandit.budget.BudgetExhausted` if
+        it does not fit).
+
+        ``deadline_seconds`` models the DDA application's real-time
+        constraint: responses arriving after the deadline (e.g. the end of
+        the 10-minute sensing cycle) are never seen by the requester and
+        are dropped from the result.  The incentive is still spent — slow
+        crowds waste money, which is exactly why IPD exists.  ``None``
+        (default) waits for everyone, matching the paper's evaluation,
+        which measures delays rather than truncating them.
+        """
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline must be positive, got {deadline_seconds}"
+            )
+        if ledger is not None:
+            ledger.charge(incentive_cents)
+        query = CrowdQuery(
+            query_id=self._next_query_id,
+            image_id=metadata.image_id,
+            incentive_cents=incentive_cents,
+            context=context,
+        )
+        self._next_query_id += 1
+        workers = self.population.sample_workers(
+            self.workers_per_query, context, self.rng
+        )
+        result = QueryResult(query=query)
+        for worker in workers:
+            label = worker.answer_label(
+                metadata, incentive_cents, self.quality_model, self.rng
+            )
+            questionnaire = worker.answer_questionnaire(
+                metadata, incentive_cents, self.quality_model, self.rng
+            )
+            delay = self.delay_model.sample(
+                context, incentive_cents, self.rng, worker_speed=worker.speed
+            )
+            if deadline_seconds is not None and delay > deadline_seconds:
+                continue  # this worker's answer never arrives in time
+            result.responses.append(
+                WorkerResponse(
+                    worker_id=worker.worker_id,
+                    label=label,
+                    questionnaire=questionnaire,
+                    delay_seconds=delay,
+                )
+            )
+            self._history.append(
+                WorkerHistoryEntry(
+                    worker_id=worker.worker_id,
+                    query_id=query.query_id,
+                    label=int(label),
+                    correct=None,
+                )
+            )
+        return result
+
+    def post_queries(
+        self,
+        metadatas: list[ImageMetadata],
+        incentive_cents: float,
+        context: TemporalContext,
+        ledger: BudgetLedger | None = None,
+    ) -> list[QueryResult]:
+        """Post a batch of queries at a shared incentive level."""
+        return [
+            self.post_query(meta, incentive_cents, context, ledger)
+            for meta in metadatas
+        ]
+
+    def reveal_ground_truth(self, query_id: int, true_label: int) -> None:
+        """Mark history entries of ``query_id`` as correct/incorrect.
+
+        Called by quality-control schemes once a truthful label is known, so
+        worker track records accumulate (used by the Filtering baseline).
+        """
+        for i, entry in enumerate(self._history):
+            if entry.query_id == query_id:
+                self._history[i] = WorkerHistoryEntry(
+                    worker_id=entry.worker_id,
+                    query_id=entry.query_id,
+                    label=entry.label,
+                    correct=entry.label == int(true_label),
+                )
+
+    def worker_track_record(self, worker_id: int) -> tuple[int, int]:
+        """(graded responses, correct responses) for one worker."""
+        graded = [
+            e for e in self._history
+            if e.worker_id == worker_id and e.correct is not None
+        ]
+        return len(graded), sum(1 for e in graded if e.correct)
+
+    @property
+    def n_queries_posted(self) -> int:
+        """Total queries posted so far."""
+        return self._next_query_id
+
+    @property
+    def history(self) -> list[WorkerHistoryEntry]:
+        """The full interaction history (read-only view by convention)."""
+        return self._history

@@ -1,0 +1,55 @@
+"""Label-quality model, calibrated to the paper's pilot study (Figure 6).
+
+The pilot found that very low incentives (1-2 cents) depress label quality,
+but past ~2 cents quality plateaus around 80% (Wilcoxon tests between
+adjacent levels non-significant).  The model expresses this as an additive
+effort offset applied to each worker's intrinsic reliability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crowd.delay import INCENTIVE_LEVELS
+
+__all__ = ["QualityModel"]
+
+# Additive accuracy offset per pilot incentive level.  Tuned so the
+# population-average accuracy traces Figure 6: ~0.65 at 1c, ~0.76 at 2c,
+# plateau ~0.80-0.82 above.
+_QUALITY_OFFSET: dict[float, float] = {
+    1.0: -0.15,
+    2.0: -0.04,
+    4.0: -0.010,
+    6.0: 0.000,
+    8.0: 0.000,
+    10.0: 0.005,
+    20.0: 0.015,
+}
+
+
+class QualityModel:
+    """Maps incentives to the effort offset on worker accuracy."""
+
+    def offset(self, incentive_cents: float) -> float:
+        """Additive accuracy offset for ``incentive_cents`` (interpolated)."""
+        if incentive_cents <= 0:
+            raise ValueError(f"incentive must be positive, got {incentive_cents}")
+        levels = np.array(INCENTIVE_LEVELS)
+        offsets = np.array([_QUALITY_OFFSET[level] for level in INCENTIVE_LEVELS])
+        log_level = np.log(np.clip(incentive_cents, levels[0], levels[-1]))
+        return float(np.interp(log_level, np.log(levels), offsets))
+
+    def effective_accuracy(
+        self, reliability: float, incentive_cents: float
+    ) -> float:
+        """A worker's label accuracy under a given incentive.
+
+        Clipped to [0.05, 0.98]: even careless workers beat random guessing
+        slightly, and nobody is perfect.
+        """
+        if not 0.0 <= reliability <= 1.0:
+            raise ValueError(f"reliability must be in [0, 1], got {reliability}")
+        return float(
+            np.clip(reliability + self.offset(incentive_cents), 0.05, 0.98)
+        )

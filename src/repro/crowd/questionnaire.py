@@ -1,0 +1,66 @@
+"""Questionnaire definition and query-level feature encoding for CQC.
+
+The paper's queries pair the severity label with fixed-form evidence
+questions ("Is the image photoshopped?", "Does this image show damage of a
+road?", ...).  CQC consumes a *query-level* feature vector summarizing all
+workers' labels and answers; this module defines that encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crowd.tasks import QueryResult
+from repro.data.metadata import DamageLabel, SceneType
+
+__all__ = ["QUESTIONS", "encode_query_features", "feature_names"]
+
+#: Human-readable fixed-form questions, for documentation and UIs.
+QUESTIONS: tuple[str, ...] = (
+    "Is the image photoshopped (i.e., a fake image)?",
+    "What does the image show? (road / building / bridge / vehicle / people)",
+    "Are people in danger or being rescued in this image?",
+)
+
+
+def encode_query_features(result: QueryResult) -> np.ndarray:
+    """Encode one query's crowd responses as a fixed-length feature vector.
+
+    Layout (11 features):
+
+    - 3: fraction of workers voting each severity label;
+    - 1: fraction answering "fake";
+    - 5: fraction choosing each scene type;
+    - 1: fraction answering "people in danger";
+    - 1: label vote margin (top fraction minus runner-up), a confidence cue.
+    """
+    if not result.responses:
+        raise ValueError("cannot encode a query with no responses")
+    n = len(result.responses)
+    label_votes = np.zeros(DamageLabel.count())
+    scene_votes = np.zeros(len(SceneType))
+    fake_votes = 0.0
+    danger_votes = 0.0
+    scenes = list(SceneType)
+    for response in result.responses:
+        label_votes[int(response.label)] += 1.0
+        scene_votes[scenes.index(response.questionnaire.scene)] += 1.0
+        fake_votes += float(response.questionnaire.says_fake)
+        danger_votes += float(response.questionnaire.says_people_in_danger)
+    label_votes /= n
+    scene_votes /= n
+    sorted_votes = np.sort(label_votes)[::-1]
+    margin = sorted_votes[0] - sorted_votes[1]
+    return np.concatenate(
+        [label_votes, [fake_votes / n], scene_votes, [danger_votes / n], [margin]]
+    )
+
+
+def feature_names() -> list[str]:
+    """Names of the features produced by :func:`encode_query_features`."""
+    names = [f"label_frac_{label.name.lower()}" for label in DamageLabel]
+    names.append("frac_says_fake")
+    names.extend(f"scene_frac_{scene.value}" for scene in SceneType)
+    names.append("frac_says_danger")
+    names.append("label_vote_margin")
+    return names

@@ -1,0 +1,109 @@
+"""Crowd query / response records (Definitions 2-3).
+
+A :class:`CrowdQuery` is one image posted to the platform with an incentive;
+the platform returns a :class:`QueryResult` bundling the individual
+:class:`WorkerResponse` records (label + questionnaire answers + delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.metadata import DamageLabel, SceneType
+from repro.utils.clock import TemporalContext
+
+__all__ = ["QuestionnaireAnswers", "WorkerResponse", "CrowdQuery", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QuestionnaireAnswers:
+    """Fixed-form questionnaire answers (the worker's evidence).
+
+    The paper's queries solicit, besides the label, a set of fixed-form
+    questions capturing context the AI cannot extract: whether the image is
+    photoshopped, what it depicts, and what is actually happening in it.
+    """
+
+    says_fake: bool
+    scene: SceneType
+    says_people_in_danger: bool
+
+    def encode(self) -> np.ndarray:
+        """Encode the answers as a flat feature vector (for CQC).
+
+        Layout: [fake_flag, one-hot scene (5), danger_flag] → 7 features.
+        """
+        scene_onehot = np.zeros(len(SceneType))
+        scene_onehot[list(SceneType).index(self.scene)] = 1.0
+        return np.concatenate(
+            [[float(self.says_fake)], scene_onehot, [float(self.says_people_in_danger)]]
+        )
+
+    @staticmethod
+    def encoded_dim() -> int:
+        """Dimensionality of :meth:`encode`'s output."""
+        return 2 + len(SceneType)
+
+
+@dataclass(frozen=True)
+class WorkerResponse:
+    """One worker's answer to one query."""
+
+    worker_id: int
+    label: DamageLabel
+    questionnaire: QuestionnaireAnswers
+    delay_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay must be non-negative, got {self.delay_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class CrowdQuery:
+    """A query q_x^t: one image sent to the platform with an incentive b_x^t."""
+
+    query_id: int
+    image_id: int
+    incentive_cents: float
+    context: TemporalContext
+
+    def __post_init__(self) -> None:
+        if self.incentive_cents <= 0:
+            raise ValueError(
+                f"incentive must be positive, got {self.incentive_cents}"
+            )
+
+
+@dataclass
+class QueryResult:
+    """The platform's response r_x^t to one query."""
+
+    query: CrowdQuery
+    responses: list[WorkerResponse] = field(default_factory=list)
+
+    @property
+    def mean_delay(self) -> float:
+        """Average response delay over the workers that answered."""
+        if not self.responses:
+            raise ValueError("query received no responses")
+        return float(np.mean([r.delay_seconds for r in self.responses]))
+
+    @property
+    def max_delay(self) -> float:
+        """Delay until the last worker answered."""
+        if not self.responses:
+            raise ValueError("query received no responses")
+        return float(max(r.delay_seconds for r in self.responses))
+
+    def labels(self) -> np.ndarray:
+        """The raw worker labels as an int array."""
+        return np.array([int(r.label) for r in self.responses], dtype=np.int64)
+
+    def worker_ids(self) -> list[int]:
+        """IDs of the workers that answered, in response order."""
+        return [r.worker_id for r in self.responses]

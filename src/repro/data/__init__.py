@@ -1,0 +1,49 @@
+"""Synthetic disaster-image dataset: the Ecuador-earthquake stand-in."""
+
+from repro.data.archetypes import (
+    ARCHETYPE_MAKERS,
+    make_closeup,
+    make_fake,
+    make_implicit,
+    make_low_resolution,
+    make_regular,
+)
+from repro.data.export import export_dataset_sample, save_ppm, to_ppm
+from repro.data.dataset import (
+    DisasterDataset,
+    DisasterImage,
+    build_dataset,
+    train_test_split,
+)
+from repro.data.images import IMAGE_SIZE, render_scene
+from repro.data.metadata import (
+    DamageLabel,
+    FailureArchetype,
+    ImageMetadata,
+    SceneType,
+)
+from repro.data.stream import SensingCycle, SensingCycleStream
+
+__all__ = [
+    "export_dataset_sample",
+    "save_ppm",
+    "to_ppm",
+    "ARCHETYPE_MAKERS",
+    "make_closeup",
+    "make_fake",
+    "make_implicit",
+    "make_low_resolution",
+    "make_regular",
+    "DisasterDataset",
+    "DisasterImage",
+    "build_dataset",
+    "train_test_split",
+    "IMAGE_SIZE",
+    "render_scene",
+    "DamageLabel",
+    "FailureArchetype",
+    "ImageMetadata",
+    "SceneType",
+    "SensingCycle",
+    "SensingCycleStream",
+]

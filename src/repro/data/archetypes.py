@@ -1,0 +1,177 @@
+"""Failure-archetype injection: the images that fool pixel-only AI.
+
+Each injector produces (pixels, metadata) pairs reproducing one of the AI
+failure cases in the paper's Figure 1:
+
+- :func:`make_fake` — pixels rendered as severe damage, truth is NO_DAMAGE
+  (photoshopped disaster), metadata flags ``is_fake``;
+- :func:`make_closeup` — a harmless crack close-up whose texture reads as
+  severe, truth NO_DAMAGE;
+- :func:`make_low_resolution` — a genuine scene blurred down to 4x4 effective
+  resolution, label preserved;
+- :func:`make_implicit` — a visually calm scene whose story (people being
+  carried from a damaged area) makes the truth SEVERE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.images import IMAGE_SIZE, render_scene
+from repro.data.metadata import (
+    DamageLabel,
+    FailureArchetype,
+    ImageMetadata,
+    SceneType,
+)
+
+__all__ = [
+    "make_regular",
+    "make_fake",
+    "make_closeup",
+    "make_low_resolution",
+    "make_implicit",
+    "ARCHETYPE_MAKERS",
+]
+
+
+def _pick_scene(rng: np.random.Generator) -> SceneType:
+    return list(SceneType)[int(rng.integers(len(SceneType)))]
+
+
+def make_regular(
+    image_id: int,
+    true_label: DamageLabel,
+    rng: np.random.Generator,
+    size: int = IMAGE_SIZE,
+) -> tuple[np.ndarray, ImageMetadata]:
+    """An honest image: pixels express the true label."""
+    scene = _pick_scene(rng)
+    pixels = render_scene(true_label, scene, rng, size=size)
+    meta = ImageMetadata(
+        image_id=image_id,
+        true_label=true_label,
+        archetype=FailureArchetype.NONE,
+        scene=scene,
+        is_fake=False,
+        people_in_danger=bool(
+            true_label is DamageLabel.SEVERE and rng.random() < 0.3
+        ),
+        apparent_label=true_label,
+    )
+    return pixels, meta
+
+
+def make_fake(
+    image_id: int,
+    true_label: DamageLabel,
+    rng: np.random.Generator,
+    size: int = IMAGE_SIZE,
+) -> tuple[np.ndarray, ImageMetadata]:
+    """A photoshopped image: severe-looking pixels, NO_DAMAGE truth.
+
+    ``true_label`` is ignored (fakes are by definition not real damage);
+    accepted for a uniform maker signature.
+    """
+    del true_label
+    scene = _pick_scene(rng)
+    # Pixel-identical to a genuine severe-damage photo: the photoshopping is
+    # only detectable from the story (metadata), never from low-level
+    # features — this is what makes the failure *innate* to pixel-only AI.
+    pixels = render_scene(DamageLabel.SEVERE, scene, rng, size=size)
+    meta = ImageMetadata(
+        image_id=image_id,
+        true_label=DamageLabel.NO_DAMAGE,
+        archetype=FailureArchetype.FAKE,
+        scene=scene,
+        is_fake=True,
+        people_in_danger=False,
+        apparent_label=DamageLabel.SEVERE,
+    )
+    return pixels, meta
+
+
+def make_closeup(
+    image_id: int,
+    true_label: DamageLabel,
+    rng: np.random.Generator,
+    size: int = IMAGE_SIZE,
+) -> tuple[np.ndarray, ImageMetadata]:
+    """A close-up of a minor crack: severe texture, NO_DAMAGE truth."""
+    del true_label
+    # The crack close-up's low-level statistics (edge density, dark jagged
+    # texture) are those of a severe-damage photo; only the story — "this is
+    # a harmless pavement crack" — reveals the truth.  Rendered through the
+    # severe pathway so pixel-only AI cannot separate it.
+    canvas = render_scene(DamageLabel.SEVERE, SceneType.ROAD, rng, size=size)
+    meta = ImageMetadata(
+        image_id=image_id,
+        true_label=DamageLabel.NO_DAMAGE,
+        archetype=FailureArchetype.CLOSEUP,
+        scene=SceneType.ROAD,
+        is_fake=False,
+        people_in_danger=False,
+        apparent_label=DamageLabel.SEVERE,
+    )
+    return canvas, meta
+
+
+def make_low_resolution(
+    image_id: int,
+    true_label: DamageLabel,
+    rng: np.random.Generator,
+    size: int = IMAGE_SIZE,
+) -> tuple[np.ndarray, ImageMetadata]:
+    """A genuine scene degraded to ~4x4 effective resolution + noise."""
+    scene = _pick_scene(rng)
+    pixels = render_scene(true_label, scene, rng, size=size)
+    factor = size // 4
+    coarse = pixels.reshape(4, factor, 4, factor, 3).mean(axis=(1, 3))
+    pixels = np.repeat(np.repeat(coarse, factor, axis=0), factor, axis=1)
+    pixels += rng.normal(0.0, 0.08, pixels.shape)
+    np.clip(pixels, 0.0, 1.0, out=pixels)
+    meta = ImageMetadata(
+        image_id=image_id,
+        true_label=true_label,
+        archetype=FailureArchetype.LOW_RESOLUTION,
+        scene=scene,
+        is_fake=False,
+        people_in_danger=bool(true_label is DamageLabel.SEVERE),
+        apparent_label=true_label,
+    )
+    return pixels, meta
+
+
+def make_implicit(
+    image_id: int,
+    true_label: DamageLabel,
+    rng: np.random.Generator,
+    size: int = IMAGE_SIZE,
+) -> tuple[np.ndarray, ImageMetadata]:
+    """A calm-looking scene whose story makes the truth SEVERE."""
+    del true_label
+    # The image shows no damage texture at all (e.g. injured kids being
+    # carried away from the area): pixels say NO_DAMAGE, the story says
+    # SEVERE.  Rendered through the honest no-damage pathway so pixel-only
+    # AI cannot separate it.
+    pixels = render_scene(DamageLabel.NO_DAMAGE, SceneType.PEOPLE, rng, size=size)
+    meta = ImageMetadata(
+        image_id=image_id,
+        true_label=DamageLabel.SEVERE,
+        archetype=FailureArchetype.IMPLICIT,
+        scene=SceneType.PEOPLE,
+        is_fake=False,
+        people_in_danger=True,
+        apparent_label=DamageLabel.NO_DAMAGE,
+    )
+    return pixels, meta
+
+
+#: Maker function per archetype (regular images under ``NONE``).
+ARCHETYPE_MAKERS = {
+    FailureArchetype.NONE: make_regular,
+    FailureArchetype.FAKE: make_fake,
+    FailureArchetype.CLOSEUP: make_closeup,
+    FailureArchetype.LOW_RESOLUTION: make_low_resolution,
+    FailureArchetype.IMPLICIT: make_implicit,
+}

@@ -1,0 +1,67 @@
+"""Export synthetic images for visual inspection (pure-Python PPM/PGM).
+
+The synthetic dataset is the reproduction's most load-bearing substitution,
+so users should be able to *look* at it.  PPM (portable pixmap) needs no
+imaging dependency and opens in any viewer; :func:`export_dataset_sample`
+dumps a labeled contact sheet of images per class and archetype.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import DisasterDataset
+from repro.data.metadata import FailureArchetype
+
+__all__ = ["to_ppm", "save_ppm", "export_dataset_sample"]
+
+
+def to_ppm(image: np.ndarray) -> bytes:
+    """Encode an (H, W, 3) float image in [0, 1] as binary PPM (P6)."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got shape {image.shape}")
+    if not np.all(np.isfinite(image)):
+        raise ValueError("image contains non-finite values")
+    pixels = np.clip(np.round(image * 255.0), 0, 255).astype(np.uint8)
+    height, width = pixels.shape[:2]
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    return header + pixels.tobytes()
+
+
+def save_ppm(image: np.ndarray, path: str | Path) -> Path:
+    """Write one image to ``path`` as PPM; returns the path."""
+    path = Path(path)
+    path.write_bytes(to_ppm(image))
+    return path
+
+
+def export_dataset_sample(
+    dataset: DisasterDataset,
+    directory: str | Path,
+    per_group: int = 4,
+) -> list[Path]:
+    """Dump up to ``per_group`` example images per failure archetype.
+
+    Files are named ``<archetype>_<truelabel>_<imageid>.ppm``; returns the
+    written paths.
+    """
+    if per_group <= 0:
+        raise ValueError(f"per_group must be positive, got {per_group}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    counts = {archetype: 0 for archetype in FailureArchetype}
+    for image in dataset:
+        archetype = image.metadata.archetype
+        if counts[archetype] >= per_group:
+            continue
+        counts[archetype] += 1
+        name = (
+            f"{archetype.value}_{image.metadata.true_label.name.lower()}"
+            f"_{image.image_id:04d}.ppm"
+        )
+        written.append(save_ppm(image.pixels, directory / name))
+    return written

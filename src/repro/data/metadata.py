@@ -1,0 +1,114 @@
+"""Labels, failure archetypes, and image metadata.
+
+Each synthetic image carries two kinds of information:
+
+- **pixels** — all the AI experts ever see;
+- **metadata** — the high-level "story" of the image (is it fake? what event
+  is actually happening?), which only crowd workers can read, mirroring the
+  paper's observation that humans assess context the CNNs cannot.
+
+The four failure archetypes are exactly the AI failure cases of the paper's
+Figure 1: fake images and close-ups that *look* severely damaged, and
+low-resolution or implicit images whose damage the pixels hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+
+__all__ = ["DamageLabel", "FailureArchetype", "SceneType", "ImageMetadata"]
+
+
+class DamageLabel(IntEnum):
+    """The three output severity levels of the DDA application (Figure 2)."""
+
+    NO_DAMAGE = 0
+    MODERATE = 1
+    SEVERE = 2
+
+    @classmethod
+    def count(cls) -> int:
+        """Number of damage classes."""
+        return len(cls)
+
+
+class FailureArchetype(str, Enum):
+    """Why an image is hard for pixel-only classifiers (paper Figure 1).
+
+    - ``NONE`` — a regular image whose pixels honestly reflect its label.
+    - ``FAKE`` — photoshopped: pixels scream severe damage, truth is none.
+    - ``CLOSEUP`` — a harmless close-up (e.g. a pavement crack) whose texture
+      reads as severe damage.
+    - ``LOW_RESOLUTION`` — a genuine disaster scene too degraded for
+      low-level features.
+    - ``IMPLICIT`` — damage conveyed by the story (injured people being
+      carried away), not by damage texture.
+    """
+
+    NONE = "none"
+    FAKE = "fake"
+    CLOSEUP = "closeup"
+    LOW_RESOLUTION = "low_resolution"
+    IMPLICIT = "implicit"
+
+    @classmethod
+    def deceptive(cls) -> tuple["FailureArchetype", ...]:
+        """Archetypes whose pixels actively mislead the AI."""
+        return (cls.FAKE, cls.CLOSEUP, cls.IMPLICIT)
+
+
+class SceneType(str, Enum):
+    """What the image depicts; one of the questionnaire's fixed answers."""
+
+    ROAD = "road"
+    BUILDING = "building"
+    BRIDGE = "bridge"
+    VEHICLE = "vehicle"
+    PEOPLE = "people"
+
+
+@dataclass(frozen=True)
+class ImageMetadata:
+    """The human-readable context of an image.
+
+    Attributes
+    ----------
+    image_id:
+        Unique id within its dataset.
+    true_label:
+        Ground-truth damage severity.
+    archetype:
+        The failure archetype (``NONE`` for regular images).
+    scene:
+        What the image shows.
+    is_fake:
+        Whether the image is photoshopped/staged (True only for ``FAKE``).
+    people_in_danger:
+        Whether the story involves people at risk (drives ``IMPLICIT``).
+    apparent_label:
+        The label the *pixels* suggest — equals ``true_label`` for honest
+        images and differs for deceptive archetypes.  Used by the image
+        synthesizer and by tests; never shown to models or workers.
+    """
+
+    image_id: int
+    true_label: DamageLabel
+    archetype: FailureArchetype
+    scene: SceneType
+    is_fake: bool
+    people_in_danger: bool
+    apparent_label: DamageLabel
+
+    def __post_init__(self) -> None:
+        if self.is_fake != (self.archetype is FailureArchetype.FAKE):
+            raise ValueError("is_fake must be True exactly for FAKE archetype")
+        if self.archetype is FailureArchetype.NONE and (
+            self.apparent_label != self.true_label
+        ):
+            raise ValueError("honest images must have apparent == true label")
+
+    @property
+    def is_deceptive(self) -> bool:
+        """Whether pixels actively contradict the true label."""
+        return self.archetype in FailureArchetype.deceptive()

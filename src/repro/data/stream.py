@@ -1,0 +1,103 @@
+"""Sensing-cycle streams (Definition 1).
+
+The DDA application runs over T sensing cycles, each delivering a batch of
+new (unseen) images.  The paper's deployment runs 40 ten-minute cycles, 10
+per temporal context, with 10 test images per cycle.  The stream partitions a
+test set accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import DisasterDataset, DisasterImage
+from repro.utils.clock import TemporalContext
+
+__all__ = ["SensingCycle", "SensingCycleStream"]
+
+
+@dataclass(frozen=True)
+class SensingCycle:
+    """One sensing cycle: its index, temporal context and fresh images."""
+
+    index: int
+    context: TemporalContext
+    images: tuple[DisasterImage, ...]
+
+    def dataset(self) -> DisasterDataset:
+        """The cycle's images as a dataset (for batch feature extraction)."""
+        return DisasterDataset(list(self.images))
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+class SensingCycleStream:
+    """Splits a test set into consecutive sensing cycles.
+
+    Parameters
+    ----------
+    test_set:
+        Pool of unseen images; consumed without replacement, in a shuffled
+        order determined by ``rng``.
+    n_cycles:
+        Total sensing cycles (paper: 40).
+    images_per_cycle:
+        Images arriving per cycle (paper: 10).
+    cycles_per_context:
+        Consecutive cycles sharing one temporal context (paper: 10); the
+        stream walks contexts in the paper's order morning → afternoon →
+        evening → midnight, wrapping if ``n_cycles`` exceeds 4x this value.
+    """
+
+    def __init__(
+        self,
+        test_set: DisasterDataset,
+        n_cycles: int = 40,
+        images_per_cycle: int = 10,
+        cycles_per_context: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_cycles <= 0 or images_per_cycle <= 0 or cycles_per_context <= 0:
+            raise ValueError("stream sizes must be positive")
+        required = n_cycles * images_per_cycle
+        if len(test_set) < required:
+            raise ValueError(
+                f"test set has {len(test_set)} images but the stream needs "
+                f"{required} ({n_cycles} cycles x {images_per_cycle})"
+            )
+        if rng is None:
+            rng = np.random.default_rng()
+        self.n_cycles = n_cycles
+        self.images_per_cycle = images_per_cycle
+        self.cycles_per_context = cycles_per_context
+        order = rng.permutation(len(test_set))[:required]
+        self._images = [test_set[int(i)] for i in order]
+
+    def context_of_cycle(self, cycle_index: int) -> TemporalContext:
+        """The temporal context cycle ``cycle_index`` runs in."""
+        if not 0 <= cycle_index < self.n_cycles:
+            raise IndexError(f"cycle {cycle_index} out of range")
+        contexts = TemporalContext.ordered()
+        return contexts[(cycle_index // self.cycles_per_context) % len(contexts)]
+
+    def cycle(self, cycle_index: int) -> SensingCycle:
+        """Materialize cycle ``cycle_index``."""
+        context = self.context_of_cycle(cycle_index)
+        start = cycle_index * self.images_per_cycle
+        images = tuple(self._images[start : start + self.images_per_cycle])
+        return SensingCycle(index=cycle_index, context=context, images=images)
+
+    def __iter__(self) -> Iterator[SensingCycle]:
+        for t in range(self.n_cycles):
+            yield self.cycle(t)
+
+    def __len__(self) -> int:
+        return self.n_cycles
+
+    def all_images(self) -> DisasterDataset:
+        """Every image the stream will deliver, in arrival order."""
+        return DisasterDataset(list(self._images))

@@ -1,0 +1,61 @@
+"""Evaluation layer: baselines, delay model, experiment runner, reporting."""
+
+from repro.eval.baselines import (
+    AIOnlyScheme,
+    EnsembleScheme,
+    HybridALScheme,
+    HybridParaScheme,
+    Scheme,
+    SchemeResult,
+)
+from repro.eval.delay_model import AlgorithmDelayModel
+from repro.eval.diagnostics import ArchetypeDiagnosis, FailureReport, diagnose
+from repro.eval.persistence import (
+    load_results,
+    save_results,
+    scheme_result_from_dict,
+    scheme_result_to_dict,
+)
+from repro.eval.reporting import format_context_table, format_series, format_table
+from repro.eval.robustness import (
+    RobustnessStudy,
+    run_robustness_study,
+    summarize_across_seeds,
+)
+from repro.eval.runner import (
+    ExperimentSetup,
+    build_crowdlearn,
+    fast_config,
+    prepare,
+    run_all_schemes,
+    scheme_result_from_run,
+)
+
+__all__ = [
+    "AIOnlyScheme",
+    "EnsembleScheme",
+    "HybridALScheme",
+    "HybridParaScheme",
+    "Scheme",
+    "SchemeResult",
+    "AlgorithmDelayModel",
+    "ArchetypeDiagnosis",
+    "FailureReport",
+    "diagnose",
+    "load_results",
+    "save_results",
+    "scheme_result_from_dict",
+    "scheme_result_to_dict",
+    "format_context_table",
+    "format_series",
+    "format_table",
+    "RobustnessStudy",
+    "run_robustness_study",
+    "summarize_across_seeds",
+    "ExperimentSetup",
+    "build_crowdlearn",
+    "fast_config",
+    "prepare",
+    "run_all_schemes",
+    "scheme_result_from_run",
+]

@@ -1,0 +1,45 @@
+"""Per-table/figure experiment drivers (see DESIGN.md's experiment index)."""
+
+from repro.eval.experiments.fig8 import Fig8Data, run_fig8
+from repro.eval.experiments.fig9 import DEFAULT_FRACTIONS, Fig9Data, run_fig9
+from repro.eval.experiments.fig10_11 import (
+    DEFAULT_BUDGETS_USD,
+    BudgetSweepData,
+    run_budget_sweep,
+)
+from repro.eval.experiments.pilot_experiments import (
+    Fig5Data,
+    Fig6Data,
+    run_fig5,
+    run_fig6,
+)
+from repro.eval.experiments.table1 import Table1Data, run_table1
+from repro.eval.experiments.table2 import (
+    SCHEME_ORDER,
+    Fig7Data,
+    Table2Data,
+    Table3Data,
+    run_table2_suite,
+)
+
+__all__ = [
+    "Fig8Data",
+    "run_fig8",
+    "DEFAULT_FRACTIONS",
+    "Fig9Data",
+    "run_fig9",
+    "DEFAULT_BUDGETS_USD",
+    "BudgetSweepData",
+    "run_budget_sweep",
+    "Fig5Data",
+    "Fig6Data",
+    "run_fig5",
+    "run_fig6",
+    "Table1Data",
+    "run_table1",
+    "SCHEME_ORDER",
+    "Fig7Data",
+    "Table2Data",
+    "Table3Data",
+    "run_table2_suite",
+]

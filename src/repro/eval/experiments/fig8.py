@@ -1,0 +1,123 @@
+"""Figure 8: crowd delay per temporal context — IPD vs fixed vs random.
+
+Each incentive policy prices the same volume of queries (one stream's worth)
+under the same total budget; the crowd's realized delays per context are the
+figure's bars.  The IPD bandit is warm-started from the pilot, as in the
+deployed system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bandit.base import ContextualPolicy
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
+from repro.bandit.policies import FixedIncentivePolicy, RandomIncentivePolicy
+from repro.core.ipd import IncentivePolicyDesigner
+from repro.eval.reporting import format_series
+from repro.eval.runner import ExperimentSetup
+from repro.utils.clock import TemporalContext
+
+__all__ = ["Fig8Data", "run_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Data:
+    """Mean crowd delay per context for each incentive policy."""
+
+    delays: dict[str, dict[TemporalContext, float]]
+
+    def render(self) -> str:
+        contexts = TemporalContext.ordered()
+        series = {
+            name: [per_context[c] for c in contexts]
+            for name, per_context in self.delays.items()
+        }
+        return format_series(
+            "context",
+            [c.value for c in contexts],
+            series,
+            title="Figure 8: crowd delay (s) at different temporal contexts",
+            float_format="{:.1f}",
+        )
+
+
+def _nearest_arm(arms: tuple[float, ...], value: float) -> int:
+    return int(np.argmin([abs(a - value) for a in arms]))
+
+
+def _run_policy(
+    setup: ExperimentSetup,
+    name: str,
+    policy: ContextualPolicy,
+    warm_start: bool,
+) -> dict[TemporalContext, float]:
+    config = setup.config
+    ledger = BudgetLedger(config.budget_cents)
+    ipd = IncentivePolicyDesigner(
+        arms=config.incentive_levels,
+        ledger=ledger,
+        total_queries=max(config.total_queries, 1),
+        policy=policy,
+        queries_per_context=config.queries_per_context(),
+    )
+    if warm_start:
+        ipd.warm_start(setup.pilot)
+    platform = setup.make_platform(f"fig8-{name}")
+    stream = setup.make_stream(f"fig8-{name}")
+    rng = setup.seeds.get(f"fig8-{name}")
+    delays: dict[TemporalContext, list[float]] = {}
+    for cycle in stream:
+        dataset = cycle.dataset()
+        n_queries = min(config.queries_per_cycle, len(dataset))
+        if n_queries == 0:
+            continue
+        chosen = rng.choice(len(dataset), size=n_queries, replace=False)
+        cycle_delays = []
+        for index in chosen:
+            arm, incentive = ipd.price_query(cycle.context)
+            try:
+                result = platform.post_query(
+                    dataset[int(index)].metadata,
+                    incentive,
+                    cycle.context,
+                    ledger=ledger,
+                )
+            except BudgetExhausted:
+                break
+            ipd.observe(cycle.context, arm, result.mean_delay)
+            cycle_delays.append(result.mean_delay)
+        if cycle_delays:
+            delays.setdefault(cycle.context, []).append(
+                float(np.mean(cycle_delays))
+            )
+    return {context: float(np.mean(v)) for context, v in delays.items()}
+
+
+def run_fig8(setup: ExperimentSetup) -> Fig8Data:
+    """Regenerate Figure 8's three policies on identical workloads."""
+    config = setup.config
+    n_contexts = len(TemporalContext.ordered())
+    arms = config.incentive_levels
+    fixed_arm = _nearest_arm(arms, setup.fixed_incentive_cents())
+
+    from repro.bandit.ccmb import UCBALPBandit
+
+    policies: dict[str, tuple[ContextualPolicy, bool]] = {
+        "CrowdLearn (IPD)": (
+            UCBALPBandit(n_contexts, arms, rng=setup.seeds.get("fig8-ipd")),
+            True,
+        ),
+        "Fixed": (FixedIncentivePolicy(n_contexts, arms, arm=fixed_arm), False),
+        "Random": (
+            RandomIncentivePolicy(n_contexts, arms, setup.seeds.get("fig8-rand")),
+            False,
+        ),
+    }
+    delays = {
+        name: _run_policy(setup, name, policy, warm)
+        for name, (policy, warm) in policies.items()
+    }
+    return Fig8Data(delays=delays)

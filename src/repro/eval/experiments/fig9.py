@@ -1,0 +1,93 @@
+"""Figure 9: query-set size vs classification performance.
+
+Sweeps the fraction of each cycle's images sent to the crowd from 0% (pure
+AI) to 100% (pure crowd) and reports macro-F1 for CrowdLearn and the two
+hybrid baselines, with the best AI-only scheme (Ensemble) as a flat
+reference, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.committee import Committee
+from repro.eval.baselines import HybridALScheme, HybridParaScheme, EnsembleScheme
+from repro.eval.reporting import format_series
+from repro.eval.runner import ExperimentSetup, build_crowdlearn, scheme_result_from_run
+from repro.metrics.classification import macro_f1
+
+__all__ = ["Fig9Data", "run_fig9", "DEFAULT_FRACTIONS"]
+
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig9Data:
+    """Macro-F1 per scheme over query-set fractions."""
+
+    fractions: tuple[float, ...]
+    f1: dict[str, list[float]]
+
+    def render(self) -> str:
+        return format_series(
+            "query_fraction",
+            list(self.fractions),
+            self.f1,
+            title="Figure 9: size of query set vs classification performance (F1)",
+        )
+
+
+def run_fig9(
+    setup: ExperimentSetup, fractions: tuple[float, ...] = DEFAULT_FRACTIONS
+) -> Fig9Data:
+    """Regenerate Figure 9 by sweeping the query fraction."""
+    if setup.fast and len(fractions) > 4:
+        fractions = (0.0, 0.4, 0.8, 1.0)
+    base_config = setup.config
+    ensemble = EnsembleScheme(setup.base_committee.experts, setup.train_set)
+    ensemble_result = ensemble.run(setup.make_stream("fig9-ensemble"))
+    ensemble_f1 = macro_f1(ensemble_result.y_true, ensemble_result.y_pred)
+    vgg = next(e for e in setup.base_committee.experts if e.name == "VGG16")
+
+    f1: dict[str, list[float]] = {
+        "CrowdLearn": [],
+        "Hybrid-AL": [],
+        "Hybrid-Para": [],
+        "Ensemble": [],
+    }
+    for fraction in fractions:
+        config = dataclasses.replace(base_config, query_fraction=fraction)
+        tag = f"fig9-{fraction:.2f}"
+
+        system = build_crowdlearn(setup, config=config)
+        outcome = system.run(setup.make_stream(f"{tag}-cl"))
+        cl = scheme_result_from_run("CrowdLearn", outcome)
+        f1["CrowdLearn"].append(macro_f1(cl.y_true, cl.y_pred))
+
+        incentive = config.budget_cents / max(config.total_queries, 1)
+        al = HybridALScheme(
+            committee=Committee([copy.deepcopy(vgg)]),
+            platform=setup.make_platform(f"{tag}-al"),
+            incentive_cents=incentive,
+            queries_per_cycle=config.queries_per_cycle,
+            replay_pool=setup.train_set,
+            rng=setup.seeds.get(f"{tag}-al"),
+            replay_size=2 * config.mic_replay_size,
+        )
+        al_result = al.run(setup.make_stream(f"{tag}-al"))
+        f1["Hybrid-AL"].append(macro_f1(al_result.y_true, al_result.y_pred))
+
+        para = HybridParaScheme(
+            model=vgg,
+            platform=setup.make_platform(f"{tag}-para"),
+            incentive_cents=incentive,
+            queries_per_cycle=config.queries_per_cycle,
+            rng=setup.seeds.get(f"{tag}-para"),
+        )
+        para_result = para.run(setup.make_stream(f"{tag}-para"))
+        f1["Hybrid-Para"].append(macro_f1(para_result.y_true, para_result.y_pred))
+
+        f1["Ensemble"].append(ensemble_f1)
+    return Fig9Data(fractions=tuple(fractions), f1=f1)

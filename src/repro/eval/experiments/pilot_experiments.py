@@ -1,0 +1,64 @@
+"""Figures 5 & 6: the pilot study's delay and quality characterization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.reporting import format_series
+from repro.eval.runner import ExperimentSetup
+from repro.utils.clock import TemporalContext
+
+__all__ = ["Fig5Data", "Fig6Data", "run_fig5", "run_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig5Data:
+    """Crowd response time vs incentive, one series per temporal context."""
+
+    incentive_levels: tuple[float, ...]
+    delays: dict[TemporalContext, list[float]]
+
+    def render(self) -> str:
+        series = {
+            context.value: self.delays[context]
+            for context in TemporalContext.ordered()
+        }
+        return format_series(
+            "incentive_cents",
+            list(self.incentive_levels),
+            series,
+            title="Figure 5: crowd response time (s) vs incentive, per context",
+            float_format="{:.1f}",
+        )
+
+
+@dataclass(frozen=True)
+class Fig6Data:
+    """Label quality vs incentive (pooled over contexts)."""
+
+    incentive_levels: tuple[float, ...]
+    quality: list[float]
+
+    def render(self) -> str:
+        return format_series(
+            "incentive_cents",
+            list(self.incentive_levels),
+            {"label_accuracy": self.quality},
+            title="Figure 6: crowd label quality vs incentive",
+        )
+
+
+def run_fig5(setup: ExperimentSetup) -> Fig5Data:
+    """Regenerate Figure 5 from the setup's pilot study."""
+    return Fig5Data(
+        incentive_levels=setup.pilot.incentive_levels,
+        delays=setup.pilot.delay_table(),
+    )
+
+
+def run_fig6(setup: ExperimentSetup) -> Fig6Data:
+    """Regenerate Figure 6 from the setup's pilot study."""
+    return Fig6Data(
+        incentive_levels=setup.pilot.incentive_levels,
+        quality=setup.pilot.quality_table(),
+    )

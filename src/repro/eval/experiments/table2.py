@@ -1,0 +1,139 @@
+"""Table II, Figure 7 and Table III: the headline scheme comparison.
+
+All three artifacts come from one pass of :func:`run_all_schemes` — the
+classification metrics (Table II), the macro-average ROC curves (Figure 7),
+and the per-cycle delays (Table III: structural algorithm-delay model plus
+the measured crowd delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.baselines import SchemeResult
+from repro.eval.delay_model import AlgorithmDelayModel
+from repro.eval.reporting import format_table
+from repro.eval.runner import ExperimentSetup, run_all_schemes
+from repro.metrics.classification import ClassificationReport, classification_report
+from repro.metrics.roc import RocCurve, macro_average_roc
+
+__all__ = [
+    "SCHEME_ORDER",
+    "Table2Data",
+    "Fig7Data",
+    "Table3Data",
+    "run_table2_suite",
+]
+
+#: Row order used by the paper's Table II / Table III.
+SCHEME_ORDER = (
+    "CrowdLearn",
+    "VGG16",
+    "BoVW",
+    "DDM",
+    "Ensemble",
+    "Hybrid-Para",
+    "Hybrid-AL",
+)
+
+
+@dataclass(frozen=True)
+class Table2Data:
+    """Classification metrics per scheme."""
+
+    reports: dict[str, ClassificationReport]
+
+    def render(self) -> str:
+        rows = [
+            [name, *self.reports[name].as_row()]
+            for name in SCHEME_ORDER
+            if name in self.reports
+        ]
+        return format_table(
+            ["Algorithm", "Accuracy", "Precision", "Recall", "F1"],
+            rows,
+            title="Table II: classification accuracy for all schemes",
+        )
+
+
+@dataclass(frozen=True)
+class Fig7Data:
+    """Macro-average ROC curves per scheme."""
+
+    curves: dict[str, RocCurve]
+
+    def render(self) -> str:
+        rows = [
+            [name, self.curves[name].auc]
+            for name in SCHEME_ORDER
+            if name in self.curves
+        ]
+        return format_table(
+            ["Algorithm", "macro-AUC"],
+            rows,
+            title="Figure 7: macro-average ROC (summarized by AUC)",
+        )
+
+
+@dataclass(frozen=True)
+class Table3Data:
+    """Per-cycle algorithm and crowd delays per scheme."""
+
+    algorithm_delay: dict[str, float]
+    crowd_delay: dict[str, float | None]
+
+    def render(self) -> str:
+        rows = []
+        for name in SCHEME_ORDER:
+            if name not in self.algorithm_delay:
+                continue
+            crowd = self.crowd_delay.get(name)
+            rows.append(
+                [
+                    name,
+                    self.algorithm_delay[name],
+                    "N/A" if crowd is None else f"{crowd:.2f}",
+                ]
+            )
+        return format_table(
+            ["Algorithm", "Algorithm Delay (s)", "Crowd Delay (s)"],
+            rows,
+            title="Table III: average delay per sensing cycle",
+            float_format="{:.2f}",
+        )
+
+
+@dataclass(frozen=True)
+class Table2Suite:
+    """The bundled artifacts of the headline comparison run."""
+
+    results: dict[str, SchemeResult]
+    table2: Table2Data
+    fig7: Fig7Data
+    table3: Table3Data
+
+
+def run_table2_suite(setup: ExperimentSetup) -> Table2Suite:
+    """Run all schemes once and derive Table II, Figure 7 and Table III."""
+    results = run_all_schemes(setup)
+    reports = {
+        name: classification_report(r.y_true, r.y_pred)
+        for name, r in results.items()
+    }
+    curves = {
+        name: macro_average_roc(r.y_true, r.scores)
+        for name, r in results.items()
+    }
+    delay_model = AlgorithmDelayModel()
+    algorithm_delay = {
+        name: delay_model.scheme_cost(name) for name in results
+    }
+    crowd_delay = {name: r.mean_crowd_delay() for name, r in results.items()}
+    return Table2Suite(
+        results=results,
+        table2=Table2Data(reports=reports),
+        fig7=Fig7Data(curves=curves),
+        table3=Table3Data(
+            algorithm_delay=algorithm_delay, crowd_delay=crowd_delay
+        ),
+    )

@@ -1,0 +1,93 @@
+"""JSON persistence for experiment results.
+
+Long benchmark runs deserve durable, diffable artifacts.  This module
+serializes :class:`~repro.eval.baselines.SchemeResult` collections (the
+output of :func:`~repro.eval.runner.run_all_schemes`) to plain JSON and back,
+so runs can be archived, compared across seeds, or post-processed without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.baselines import SchemeResult
+from repro.utils.clock import TemporalContext
+
+__all__ = ["scheme_result_to_dict", "scheme_result_from_dict",
+           "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def scheme_result_to_dict(result: SchemeResult) -> dict:
+    """A JSON-safe dict capturing one scheme's full result."""
+    return {
+        "name": result.name,
+        "y_true": result.y_true.tolist(),
+        "y_pred": result.y_pred.tolist(),
+        "scores": result.scores.tolist(),
+        "crowd_delays": list(result.crowd_delays),
+        "crowd_delay_contexts": [c.value for c in result.crowd_delay_contexts],
+        "cost_cents": result.cost_cents,
+    }
+
+
+def scheme_result_from_dict(data: dict) -> SchemeResult:
+    """Inverse of :func:`scheme_result_to_dict`."""
+    try:
+        return SchemeResult(
+            name=data["name"],
+            y_true=np.asarray(data["y_true"], dtype=np.int64),
+            y_pred=np.asarray(data["y_pred"], dtype=np.int64),
+            scores=np.asarray(data["scores"], dtype=np.float64),
+            crowd_delays=[float(d) for d in data["crowd_delays"]],
+            crowd_delay_contexts=[
+                TemporalContext(c) for c in data["crowd_delay_contexts"]
+            ],
+            cost_cents=float(data["cost_cents"]),
+        )
+    except KeyError as missing:
+        raise ValueError(f"result dict is missing field {missing}") from None
+
+
+def save_results(
+    results: dict[str, SchemeResult],
+    path: str | Path,
+    metadata: dict | None = None,
+) -> Path:
+    """Persist a scheme-name → result mapping to JSON.
+
+    ``metadata`` (seed, config summary, timestamps...) is stored verbatim
+    under the ``"metadata"`` key.
+    """
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "results": {
+            name: scheme_result_to_dict(result)
+            for name, result in results.items()
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_results(path: str | Path) -> tuple[dict[str, SchemeResult], dict]:
+    """Load (results, metadata) previously written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    results = {
+        name: scheme_result_from_dict(data)
+        for name, data in payload["results"].items()
+    }
+    return results, payload.get("metadata", {})

@@ -1,0 +1,92 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The reproduction has no plotting dependency; figures are reported as aligned
+numeric series (one row per x-value) that can be eyeballed or piped into any
+plotting tool.  Benchmarks print these via ``print`` so the regenerated
+artifacts appear directly in the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_context_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render figure data: one row per x-value, one column per series."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x-values"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(float(series[name][i]) for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_context_table(
+    row_label: str,
+    rows: dict[str, dict[str, float]],
+    context_names: Sequence[str],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a (scheme x context) table like the paper's Table I."""
+    headers = [row_label, *context_names, "Overall"]
+    body = []
+    for name, per_context in rows.items():
+        values = [float(per_context[c]) for c in context_names]
+        body.append([name, *values, sum(values) / len(values)])
+    return format_table(headers, body, title=title, float_format=float_format)

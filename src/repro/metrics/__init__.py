@@ -1,0 +1,38 @@
+"""Evaluation metrics: classification scores, ROC/AUC, information measures."""
+
+from repro.metrics.classification import (
+    ClassificationReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    macro_f1,
+    macro_precision,
+    macro_recall,
+)
+from repro.metrics.information import (
+    bounded_divergence,
+    entropy,
+    kl_divergence,
+    normalized_entropy,
+    symmetric_kl,
+)
+from repro.metrics.roc import RocCurve, auc, binary_roc, macro_average_roc
+
+__all__ = [
+    "ClassificationReport",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "macro_f1",
+    "macro_precision",
+    "macro_recall",
+    "bounded_divergence",
+    "entropy",
+    "kl_divergence",
+    "normalized_entropy",
+    "symmetric_kl",
+    "RocCurve",
+    "auc",
+    "binary_roc",
+    "macro_average_roc",
+]

@@ -1,0 +1,139 @@
+"""Multi-class classification metrics (macro-averaged, as in the paper).
+
+The paper reports Accuracy, Precision, Recall and F1 macro-averaged over the
+three damage classes because the Ecuador dataset is class-balanced (§V-C.1).
+All functions take integer label arrays; probabilistic outputs are handled by
+:mod:`repro.metrics.roc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "macro_precision",
+    "macro_recall",
+    "macro_f1",
+    "ClassificationReport",
+    "classification_report",
+]
+
+
+def _validate_labels(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None
+) -> tuple[np.ndarray, np.ndarray, int]:
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred must have the same length, "
+            f"got {y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot compute metrics on empty label arrays")
+    if y_true.min(initial=0) < 0 or y_pred.min(initial=0) < 0:
+        raise ValueError("labels must be non-negative integers")
+    inferred = int(max(y_true.max(), y_pred.max())) + 1
+    if n_classes is None:
+        n_classes = inferred
+    elif inferred > n_classes:
+        raise ValueError(
+            f"labels exceed n_classes={n_classes}: max label {inferred - 1}"
+        )
+    return y_true, y_pred, n_classes
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Return the ``(n_classes, n_classes)`` confusion matrix.
+
+    Rows index the true class, columns the predicted class.
+    """
+    y_true, y_pred, n_classes = _validate_labels(y_true, y_pred, n_classes)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of samples whose predicted label equals the true label."""
+    y_true, y_pred, _ = _validate_labels(y_true, y_pred, None)
+    return float(np.mean(y_true == y_pred))
+
+
+def _per_class_prf(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1
+
+
+def macro_precision(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> float:
+    """Unweighted mean of per-class precision."""
+    precision, _, _ = _per_class_prf(confusion_matrix(y_true, y_pred, n_classes))
+    return float(precision.mean())
+
+
+def macro_recall(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> float:
+    """Unweighted mean of per-class recall."""
+    _, recall, _ = _per_class_prf(confusion_matrix(y_true, y_pred, n_classes))
+    return float(recall.mean())
+
+
+def macro_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    _, _, f1 = _per_class_prf(confusion_matrix(y_true, y_pred, n_classes))
+    return float(f1.mean())
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Bundle of the four metrics reported in the paper's Table II."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """Return (accuracy, precision, recall, f1) in Table II column order."""
+        return (self.accuracy, self.precision, self.recall, self.f1)
+
+    def __str__(self) -> str:
+        return (
+            f"acc={self.accuracy:.3f} prec={self.precision:.3f} "
+            f"rec={self.recall:.3f} f1={self.f1:.3f}"
+        )
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> ClassificationReport:
+    """Compute all four Table II metrics at once."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    precision, recall, f1 = _per_class_prf(matrix)
+    total = matrix.sum()
+    return ClassificationReport(
+        accuracy=float(np.diag(matrix).sum() / total),
+        precision=float(precision.mean()),
+        recall=float(recall.mean()),
+        f1=float(f1.mean()),
+    )

@@ -1,0 +1,80 @@
+"""Information-theoretic quantities used by QSS and MIC.
+
+Committee entropy (Definition 8, Eq. 3) measures how uncertain the weighted
+committee is about a sample; symmetric KL divergence (Eq. 5) measures how far
+an expert's label distribution is from the crowd's truthful label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "normalized_entropy",
+    "kl_divergence",
+    "symmetric_kl",
+    "bounded_divergence",
+]
+
+_EPS = 1e-12
+
+
+def _as_distribution(probs: np.ndarray, name: str) -> np.ndarray:
+    probs = np.asarray(probs, dtype=np.float64).ravel()
+    if probs.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(probs < 0):
+        raise ValueError(f"{name} has negative entries")
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError(f"{name} must have positive mass")
+    return probs / total
+
+
+def entropy(probs: np.ndarray, base: float | None = None) -> float:
+    """Shannon entropy of a distribution (natural log by default).
+
+    Inputs are renormalized so unnormalized committee votes can be passed
+    directly, matching Eq. 3's use of the normalized committee vote.
+    """
+    p = _as_distribution(probs, "probs")
+    nonzero = p[p > _EPS]
+    value = float(-(nonzero * np.log(nonzero)).sum())
+    if base is not None:
+        value /= float(np.log(base))
+    return value
+
+
+def normalized_entropy(probs: np.ndarray) -> float:
+    """Entropy scaled to [0, 1] by the maximum (uniform) entropy."""
+    p = _as_distribution(probs, "probs")
+    if p.size == 1:
+        return 0.0
+    return entropy(p) / float(np.log(p.size))
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """KL(p || q) with epsilon smoothing so zero entries stay finite."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.shape != q.shape:
+        raise ValueError(f"p and q must have the same shape: {p.shape} vs {q.shape}")
+    p_s = np.clip(p, _EPS, None)
+    q_s = np.clip(q, _EPS, None)
+    return float((p_s * np.log(p_s / q_s)).sum())
+
+
+def symmetric_kl(p: np.ndarray, q: np.ndarray) -> float:
+    """Symmetric KL divergence: KL(p||q) + KL(q||p) (Eq. 5)."""
+    return kl_divergence(p, q) + kl_divergence(q, p)
+
+
+def bounded_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Symmetric KL mapped to [0, 1) via ``d / (1 + d)``.
+
+    This is the normalization :math:`\\delta` in Eq. 5: the MIC loss needs a
+    divergence on a [0, 1] scale so the exponential-weights update is stable.
+    """
+    divergence = symmetric_kl(p, q)
+    return divergence / (1.0 + divergence)

@@ -1,0 +1,110 @@
+"""ROC curves and AUC for multi-class classifiers (Figure 7).
+
+The paper plots macro-average ROC curves: each class is treated one-vs-rest,
+per-class ROC curves are computed from the class scores, and the macro curve
+averages the per-class true-positive rates over a common false-positive-rate
+grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RocCurve", "binary_roc", "auc", "macro_average_roc"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """An ROC curve as parallel arrays of FPR/TPR plus its AUC."""
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    auc: float
+
+    def interpolate(self, grid: np.ndarray) -> np.ndarray:
+        """TPR values at the false-positive rates in ``grid``."""
+        return np.interp(grid, self.fpr, self.tpr)
+
+
+def binary_roc(y_true: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """ROC curve for a binary problem from real-valued scores.
+
+    Parameters
+    ----------
+    y_true:
+        Binary labels (0/1); must contain at least one of each class.
+    scores:
+        Scores where larger means "more likely positive".
+    """
+    y_true = np.asarray(y_true).ravel().astype(bool)
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same length")
+    n_pos = int(y_true.sum())
+    n_neg = int(y_true.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("binary_roc requires both positive and negative samples")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+
+    # Cumulative counts, collapsing ties so thresholds between equal scores
+    # are not counted as distinct operating points.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    threshold_idx = np.concatenate([distinct, [y_true.size - 1]])
+    tps = np.cumsum(sorted_true)[threshold_idx]
+    fps = (threshold_idx + 1) - tps
+
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    return RocCurve(fpr=fpr, tpr=tpr, auc=auc(fpr, tpr))
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Area under a curve given by (fpr, tpr) points via the trapezoid rule."""
+    fpr = np.asarray(fpr, dtype=np.float64)
+    tpr = np.asarray(tpr, dtype=np.float64)
+    if fpr.shape != tpr.shape or fpr.ndim != 1 or fpr.size < 2:
+        raise ValueError("fpr and tpr must be 1-D arrays of equal length >= 2")
+    order = np.argsort(fpr, kind="stable")
+    return float(np.trapezoid(tpr[order], fpr[order]))
+
+
+def macro_average_roc(
+    y_true: np.ndarray, scores: np.ndarray, grid_size: int = 101
+) -> RocCurve:
+    """Macro-average one-vs-rest ROC over all classes (paper Figure 7).
+
+    Parameters
+    ----------
+    y_true:
+        Integer class labels, shape ``(n,)``.
+    scores:
+        Class scores/probabilities, shape ``(n, n_classes)``.
+    grid_size:
+        Number of false-positive-rate grid points for the averaged curve.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[0] != y_true.size:
+        raise ValueError(
+            f"scores must be (n, n_classes) aligned with y_true, "
+            f"got {scores.shape} for {y_true.size} labels"
+        )
+    n_classes = scores.shape[1]
+    grid = np.linspace(0.0, 1.0, grid_size)
+    curves = []
+    for cls in range(n_classes):
+        positives = y_true == cls
+        if positives.all() or not positives.any():
+            continue  # class absent in y_true; skip it from the macro average
+        curves.append(binary_roc(positives, scores[:, cls]))
+    if not curves:
+        raise ValueError("no class has both positive and negative samples")
+    mean_tpr = np.mean([c.interpolate(grid) for c in curves], axis=0)
+    mean_tpr[0] = 0.0
+    mean_tpr[-1] = 1.0
+    return RocCurve(fpr=grid, tpr=mean_tpr, auc=auc(grid, mean_tpr))

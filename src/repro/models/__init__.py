@@ -1,0 +1,23 @@
+"""DDA expert models: VGG-style CNN, BoVW, DDM (CNN + Grad-CAM)."""
+
+from repro.models.base import DDAModel
+from repro.models.bovw_model import BoVWModel
+from repro.models.ddm import DDMModel
+from repro.models.registry import (
+    available_models,
+    create_model,
+    default_committee_names,
+    register_model,
+)
+from repro.models.vgg import VGGModel
+
+__all__ = [
+    "DDAModel",
+    "BoVWModel",
+    "DDMModel",
+    "available_models",
+    "create_model",
+    "default_committee_names",
+    "register_model",
+    "VGGModel",
+]

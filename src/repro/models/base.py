@@ -1,0 +1,71 @@
+"""Common interface for DDA expert models (the committee members).
+
+Every expert consumes :class:`~repro.data.dataset.DisasterDataset` batches
+(pixels only — experts never see metadata) and produces a probability
+distribution over the three damage labels: the "expert vote" of
+Definition 6.  Experts support both full training and the cheap incremental
+*retraining* the MIC module performs each sensing cycle with fresh crowd
+labels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.dataset import DisasterDataset
+from repro.data.metadata import DamageLabel
+
+__all__ = ["DDAModel"]
+
+
+class DDAModel(ABC):
+    """Abstract base class for damage-assessment experts."""
+
+    #: Human-readable model name (matches the paper's baseline names).
+    name: str = "dda-model"
+
+    @property
+    def n_classes(self) -> int:
+        """Number of output damage classes."""
+        return DamageLabel.count()
+
+    @abstractmethod
+    def fit(self, dataset: DisasterDataset, rng: np.random.Generator) -> "DDAModel":
+        """Train the expert from scratch on a labeled dataset."""
+
+    @abstractmethod
+    def predict_proba(self, dataset: DisasterDataset) -> np.ndarray:
+        """Expert votes: class probabilities of shape ``(n, n_classes)``."""
+
+    def predict(self, dataset: DisasterDataset) -> np.ndarray:
+        """Hard labels (argmax of the expert vote)."""
+        return np.argmax(self.predict_proba(dataset), axis=1)
+
+    @abstractmethod
+    def retrain(
+        self,
+        dataset: DisasterDataset,
+        labels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "DDAModel":
+        """Incrementally update the expert with crowd-provided labels.
+
+        ``labels`` overrides the dataset's own ground truth (the crowd's
+        truthful labels may be soft/incorrect; the expert must not peek at
+        golden labels here).
+        """
+
+    def _check_fitted(self, fitted: bool) -> None:
+        if not fitted:
+            raise RuntimeError(f"{self.name} used before fit()")
+
+    def _check_labels(self, dataset: DisasterDataset, labels: np.ndarray) -> np.ndarray:
+        labels = np.asarray(labels)
+        if labels.shape[0] != len(dataset):
+            raise ValueError(
+                f"labels ({labels.shape[0]}) must align with dataset "
+                f"({len(dataset)})"
+            )
+        return labels

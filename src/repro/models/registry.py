@@ -1,0 +1,57 @@
+"""Model registry: name -> factory for the DDA experts.
+
+The paper's committee is {VGG16, BoVW, DDM}; the registry lets experiments
+and examples construct committees by name and lets users register custom
+experts without touching library code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import DDAModel
+from repro.models.bovw_model import BoVWModel
+from repro.models.ddm import DDMModel
+from repro.models.vgg import VGGModel
+
+__all__ = [
+    "register_model",
+    "create_model",
+    "available_models",
+    "default_committee_names",
+]
+
+_REGISTRY: dict[str, Callable[..., DDAModel]] = {}
+
+
+def register_model(name: str, factory: Callable[..., DDAModel]) -> None:
+    """Register (or replace) a model factory under ``name``."""
+    if not name:
+        raise ValueError("model name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def create_model(name: str, **kwargs) -> DDAModel:
+    """Instantiate a registered model, forwarding ``kwargs`` to its factory."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_models() -> list[str]:
+    """Names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def default_committee_names() -> tuple[str, str, str]:
+    """The paper's QSS committee: VGG16, BoVW, DDM."""
+    return ("VGG16", "BoVW", "DDM")
+
+
+register_model("VGG16", VGGModel)
+register_model("BoVW", BoVWModel)
+register_model("DDM", DDMModel)

@@ -1,0 +1,43 @@
+"""Weight initializers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "Initializer"]
+
+#: An initializer maps (shape, rng) to a float64 array.
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def _fans(shape: Sequence[int]) -> tuple[int, int]:
+    """Fan-in/fan-out for dense ((in, out)) and conv ((out, in, kh, kw)) shapes."""
+    if len(shape) == 2:
+        return int(shape[0]), int(shape[1])
+    if len(shape) == 4:
+        receptive = int(np.prod(shape[2:]))
+        return int(shape[1]) * receptive, int(shape[0]) * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/softmax layers."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU layers."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    del rng  # deterministic; signature kept uniform with other initializers
+    return np.zeros(shape, dtype=np.float64)

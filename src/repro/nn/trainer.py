@@ -1,0 +1,141 @@
+"""Minibatch training loop for :class:`~repro.nn.model.Sequential` models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.model import Sequential
+from repro.nn.optim import Optimizer
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy traces collected during training."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Trains a model with shuffled minibatches and optional validation.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The usual trio.  The optimizer must have been constructed over the
+        model's own ``params()``/``grads()`` lists.
+    rng:
+        Source of shuffling randomness (training is deterministic given it).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Loss,
+        optimizer: Optimizer,
+        rng: np.random.Generator,
+        batch_size: int = 32,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.rng = rng
+        self.batch_size = batch_size
+
+    def train_epoch(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """One pass over the data; returns (mean loss, accuracy)."""
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot train on an empty dataset")
+        order = self.rng.permutation(n)
+        total_loss = 0.0
+        correct = 0
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xb, yb = x[idx], y[idx]
+            logits = self.model.forward(xb, training=True)
+            batch_loss = self.loss.forward(logits, yb)
+            self.model.zero_grad()
+            self.model.backward(self.loss.backward())
+            self.optimizer.step()
+            total_loss += batch_loss * len(idx)
+            predicted = np.argmax(logits, axis=-1)
+            correct += int(np.sum(predicted == self._hard_labels(yb)))
+        return total_loss / n, correct / n
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """(mean loss, accuracy) on held-out data, without updating weights."""
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        total_loss = 0.0
+        correct = 0
+        for start in range(0, n, self.batch_size):
+            xb = x[start : start + self.batch_size]
+            yb = y[start : start + self.batch_size]
+            logits = self.model.forward(xb, training=False)
+            total_loss += self.loss.forward(logits, yb) * len(xb)
+            predicted = np.argmax(logits, axis=-1)
+            correct += int(np.sum(predicted == self._hard_labels(yb)))
+        return total_loss / n, correct / n
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        patience: int | None = None,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs with optional early stopping.
+
+        Early stopping triggers when validation loss has not improved for
+        ``patience`` consecutive epochs (requires validation data).
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        has_val = x_val is not None and y_val is not None
+        if patience is not None and not has_val:
+            raise ValueError("early stopping requires validation data")
+        history = TrainingHistory()
+        best_val = np.inf
+        stale = 0
+        for _ in range(epochs):
+            train_loss, train_acc = self.train_epoch(x, y)
+            history.train_loss.append(train_loss)
+            history.train_accuracy.append(train_acc)
+            if has_val:
+                val_loss, val_acc = self.evaluate(x_val, y_val)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if patience is not None:
+                    if val_loss < best_val - 1e-9:
+                        best_val = val_loss
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= patience:
+                            break
+        return history
+
+    @staticmethod
+    def _hard_labels(y: np.ndarray) -> np.ndarray:
+        """Integer labels from either int labels or target distributions."""
+        y = np.asarray(y)
+        if y.ndim == 2:
+            return np.argmax(y, axis=-1)
+        return y.astype(np.int64)

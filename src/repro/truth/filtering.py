@@ -1,0 +1,83 @@
+"""Worker-quality filtering — blacklist-then-vote aggregation.
+
+The *Filtering* baseline [13] blacklists workers whose graded history shows
+poor accuracy and majority-votes over the rest.  Its known weakness, which
+Table I exhibits, is cold start: workers without enough history cannot be
+filtered, so early rounds behave like plain voting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.tasks import QueryResult
+from repro.data.metadata import DamageLabel
+
+__all__ = ["QualityFilter", "aggregate_by_filtering"]
+
+
+@dataclass
+class QualityFilter:
+    """Majority voting over workers that pass a track-record filter.
+
+    Parameters
+    ----------
+    platform:
+        Source of worker track records (graded past responses).
+    min_history:
+        Minimum graded responses before a worker can be judged at all.
+    min_accuracy:
+        Historical accuracy below which a judged worker is blacklisted.
+    """
+
+    platform: CrowdsourcingPlatform
+    min_history: int = 5
+    min_accuracy: float = 0.7
+
+    def is_blacklisted(self, worker_id: int) -> bool:
+        """Whether the worker's graded history falls below the bar."""
+        graded, correct = self.platform.worker_track_record(worker_id)
+        if graded < self.min_history:
+            return False  # cold start: cannot judge, must keep
+        return correct / graded < self.min_accuracy
+
+    def aggregate_one(
+        self, result: QueryResult, n_classes: int = DamageLabel.count()
+    ) -> int:
+        """Filtered plurality label for one query.
+
+        Falls back to unfiltered voting when the filter would discard every
+        response (the platform must return *some* answer).
+        """
+        kept = [
+            r for r in result.responses if not self.is_blacklisted(r.worker_id)
+        ]
+        if not kept:
+            kept = list(result.responses)
+        if not kept:
+            raise ValueError("query has no responses")
+        counts = np.bincount(
+            [int(r.label) for r in kept], minlength=n_classes
+        )
+        return int(np.argmax(counts))
+
+    def aggregate(self, results: list[QueryResult]) -> np.ndarray:
+        """Filtered plurality labels for a batch of queries."""
+        if not results:
+            raise ValueError("no query results to aggregate")
+        return np.array([self.aggregate_one(r) for r in results], dtype=np.int64)
+
+
+def aggregate_by_filtering(
+    results: list[QueryResult],
+    platform: CrowdsourcingPlatform,
+    min_history: int = 5,
+    min_accuracy: float = 0.7,
+) -> np.ndarray:
+    """Convenience wrapper around :class:`QualityFilter`."""
+    return QualityFilter(
+        platform=platform, min_history=min_history, min_accuracy=min_accuracy
+    ).aggregate(results)

@@ -1,0 +1,41 @@
+"""Majority voting — the simplest crowd label aggregator.
+
+The paper's Table I compares CQC against plain majority voting, which is
+known to be suboptimal when workers have unequal reliability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crowd.tasks import QueryResult
+from repro.data.metadata import DamageLabel
+
+__all__ = ["majority_vote", "vote_distribution", "aggregate_by_voting"]
+
+
+def vote_distribution(result: QueryResult, n_classes: int | None = None) -> np.ndarray:
+    """Normalized label-vote histogram for one query."""
+    if n_classes is None:
+        n_classes = DamageLabel.count()
+    labels = result.labels()
+    if labels.size == 0:
+        raise ValueError("query has no responses to vote over")
+    counts = np.bincount(labels, minlength=n_classes).astype(np.float64)
+    return counts / counts.sum()
+
+
+def majority_vote(result: QueryResult, n_classes: int | None = None) -> int:
+    """The plurality label for one query (ties break to the lower label)."""
+    return int(np.argmax(vote_distribution(result, n_classes)))
+
+
+def aggregate_by_voting(
+    results: list[QueryResult], n_classes: int | None = None
+) -> np.ndarray:
+    """Plurality labels for a batch of queries."""
+    if not results:
+        raise ValueError("no query results to aggregate")
+    return np.array(
+        [majority_vote(r, n_classes) for r in results], dtype=np.int64
+    )

@@ -1,0 +1,72 @@
+"""Lightweight structured logging for experiment runs.
+
+The standard :mod:`logging` module is used underneath; this wrapper adds a
+uniform ``repro.*`` namespace and an in-memory :class:`RunLog` that experiment
+drivers use to accumulate per-cycle records (cycle index, context, query set,
+incentives, delays, accuracy) which the reporting layer then renders into the
+paper's tables and figure series.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["get_logger", "RunLog"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str, level: int = logging.WARNING) -> logging.Logger:
+    """Return a namespaced logger, configuring a handler once per process."""
+    logger = logging.getLogger(f"repro.{name}")
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(level)
+    return logger
+
+
+@dataclass
+class RunLog:
+    """Accumulates structured per-event records during an experiment run."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def record(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append a record tagged with ``event`` and return it."""
+        entry = {"event": event, **fields}
+        self.records.append(entry)
+        return entry
+
+    def by_event(self, event: str) -> list[dict[str, Any]]:
+        """All records whose event tag equals ``event``."""
+        return [r for r in self.records if r["event"] == event]
+
+    def values(self, event: str, key: str) -> list[Any]:
+        """Extract ``key`` from every record of type ``event`` (if present)."""
+        return [r[key] for r in self.by_event(event) if key in r]
+
+    def group_by(self, event: str, key: str) -> dict[Any, list[dict[str, Any]]]:
+        """Group records of type ``event`` by the value of ``key``."""
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        for record in self.by_event(event):
+            groups.setdefault(record.get(key), []).append(record)
+        return groups
+
+    def extend(self, other: "RunLog") -> None:
+        """Append all records from ``other``."""
+        self.records.extend(other.records)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[dict[str, Any]]:
+        return iter(self.records)

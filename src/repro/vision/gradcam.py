@@ -1,0 +1,107 @@
+"""Gradient-weighted Class Activation Mapping (Grad-CAM) for numpy CNNs.
+
+The DDM baseline [5] combines a CNN with Grad-CAM: the class-discriminative
+heatmap localizes the damaged region, and the heatmap mass is used to grade
+severity.  This implementation works directly on
+:class:`repro.nn.model.Sequential` models by replaying the forward pass in
+training mode (so layer caches are populated) and backpropagating a one-hot
+class gradient down to the chosen convolutional layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dropout
+from repro.nn.model import Sequential
+
+__all__ = ["GradCAM"]
+
+
+class GradCAM:
+    """Computes Grad-CAM heatmaps for a target conv layer of a model.
+
+    Parameters
+    ----------
+    model:
+        The CNN; its input must be NCHW.
+    target_layer:
+        Index into ``model.layers`` of the convolution whose output feature
+        maps the heatmap is computed over.  Defaults to the last
+        :class:`~repro.nn.layers.Conv2D` in the model.
+    """
+
+    def __init__(self, model: Sequential, target_layer: int | None = None) -> None:
+        if target_layer is None:
+            conv_indices = [
+                i for i, layer in enumerate(model.layers) if isinstance(layer, Conv2D)
+            ]
+            if not conv_indices:
+                raise ValueError("model contains no Conv2D layer for Grad-CAM")
+            target_layer = conv_indices[-1]
+        if not 0 <= target_layer < len(model.layers):
+            raise ValueError(
+                f"target_layer {target_layer} out of range for "
+                f"{len(model.layers)} layers"
+            )
+        self.model = model
+        self.target_layer = target_layer
+
+    def heatmaps(self, x: np.ndarray, class_idx: np.ndarray) -> np.ndarray:
+        """Grad-CAM heatmaps for a batch.
+
+        Parameters
+        ----------
+        x:
+            NCHW input batch.
+        class_idx:
+            Per-sample class whose evidence to localize, shape ``(n,)``.
+
+        Returns
+        -------
+        Heatmaps of shape ``(n, fh, fw)`` (the target layer's spatial size),
+        ReLU-ed and max-normalized to [0, 1] per sample.
+        """
+        class_idx = np.asarray(class_idx, dtype=np.int64).ravel()
+        if class_idx.shape[0] != x.shape[0]:
+            raise ValueError("class_idx must have one entry per input sample")
+
+        # Forward in training mode so every layer caches what backward needs —
+        # except Dropout, which must stay in inference mode or the heatmaps
+        # (and any prediction derived from them) become stochastic.
+        activations = x
+        cached: np.ndarray | None = None
+        for i, layer in enumerate(self.model.layers):
+            training = not isinstance(layer, Dropout)
+            activations = layer.forward(activations, training=training)
+            if i == self.target_layer:
+                cached = activations
+        logits = activations
+        if cached is None:  # pragma: no cover - guarded by constructor
+            raise RuntimeError("target layer did not produce activations")
+        if logits.ndim != 2 or np.any(class_idx >= logits.shape[1]):
+            raise ValueError("class_idx out of range for the model's outputs")
+
+        # Backpropagate d(logit[class]) / d(feature maps) to the target layer.
+        grad = np.zeros_like(logits)
+        grad[np.arange(len(class_idx)), class_idx] = 1.0
+        self.model.zero_grad()
+        for layer in reversed(self.model.layers[self.target_layer + 1 :]):
+            grad = layer.backward(grad)
+
+        # Grad-CAM: weight each feature map by its average gradient, sum, ReLU.
+        weights = grad.mean(axis=(2, 3))  # (n, channels)
+        cam = np.einsum("nc,nchw->nhw", weights, cached)
+        np.clip(cam, 0.0, None, out=cam)
+        maxes = cam.max(axis=(1, 2), keepdims=True)
+        safe = np.where(maxes > 0, maxes, 1.0)
+        return cam / safe
+
+    def heatmap_mass(self, x: np.ndarray, class_idx: np.ndarray) -> np.ndarray:
+        """Fraction of image area the heatmap activates, shape ``(n,)``.
+
+        DDM grades severity by how much of the image the damage evidence
+        covers; this returns mean heatmap intensity per sample as that proxy.
+        """
+        maps = self.heatmaps(x, class_idx)
+        return maps.mean(axis=(1, 2))

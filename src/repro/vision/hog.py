@@ -1,0 +1,102 @@
+"""Histogram-of-oriented-gradients descriptor (Dalal & Triggs style).
+
+The BoVW baseline in the paper uses handcrafted features (SIFT, HOG) to train
+a neural-network classifier.  This module provides the HOG half; dense patch
+descriptors for the visual-word codebook come from :mod:`repro.vision.patches`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gradient_magnitude_orientation", "hog_descriptor"]
+
+
+def _to_gray(image: np.ndarray) -> np.ndarray:
+    """Collapse an (H, W) or (H, W, 3) image to grayscale float64."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return image
+    if image.ndim == 3 and image.shape[2] == 3:
+        # ITU-R BT.601 luma weights.
+        return image @ np.array([0.299, 0.587, 0.114])
+    raise ValueError(f"expected (H, W) or (H, W, 3) image, got shape {image.shape}")
+
+
+def gradient_magnitude_orientation(
+    image: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pixel gradient magnitude and orientation (radians in [0, pi)).
+
+    Gradients use central differences with replicated borders.
+    """
+    gray = _to_gray(image)
+    gx = np.empty_like(gray)
+    gy = np.empty_like(gray)
+    gx[:, 1:-1] = (gray[:, 2:] - gray[:, :-2]) / 2.0
+    gx[:, 0] = gray[:, 1] - gray[:, 0]
+    gx[:, -1] = gray[:, -1] - gray[:, -2]
+    gy[1:-1, :] = (gray[2:, :] - gray[:-2, :]) / 2.0
+    gy[0, :] = gray[1, :] - gray[0, :]
+    gy[-1, :] = gray[-1, :] - gray[-2, :]
+    magnitude = np.hypot(gx, gy)
+    orientation = np.arctan2(gy, gx) % np.pi  # unsigned orientation
+    return magnitude, orientation
+
+
+def hog_descriptor(
+    image: np.ndarray,
+    cell_size: int = 8,
+    n_bins: int = 9,
+    block_size: int = 2,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Compute a HOG feature vector for ``image``.
+
+    Parameters
+    ----------
+    image:
+        (H, W) or (H, W, 3) array; H and W must be multiples of ``cell_size``.
+    cell_size:
+        Side of the square cells the orientation histogram is pooled over.
+    n_bins:
+        Number of unsigned orientation bins over [0, pi).
+    block_size:
+        Side (in cells) of the L2-normalized blocks; blocks overlap by one
+        cell in each direction, as in the original descriptor.
+    """
+    if cell_size <= 0 or n_bins <= 0 or block_size <= 0:
+        raise ValueError("cell_size, n_bins and block_size must be positive")
+    magnitude, orientation = gradient_magnitude_orientation(image)
+    h, w = magnitude.shape
+    if h % cell_size or w % cell_size:
+        raise ValueError(
+            f"image dims {h}x{w} must be multiples of cell_size={cell_size}"
+        )
+    cells_y, cells_x = h // cell_size, w // cell_size
+    if cells_y < block_size or cells_x < block_size:
+        raise ValueError("image too small for the requested block_size")
+
+    # Soft-assign each pixel's magnitude to the two nearest orientation bins.
+    bin_width = np.pi / n_bins
+    position = orientation / bin_width - 0.5
+    lower = np.floor(position).astype(np.int64)
+    frac = position - lower
+    lower_bin = lower % n_bins
+    upper_bin = (lower + 1) % n_bins
+
+    cell_hist = np.zeros((cells_y, cells_x, n_bins), dtype=np.float64)
+    cy = np.repeat(np.arange(cells_y), cell_size)[:, None]
+    cx = np.repeat(np.arange(cells_x), cell_size)[None, :]
+    cy = np.broadcast_to(cy, (h, w))
+    cx = np.broadcast_to(cx, (h, w))
+    np.add.at(cell_hist, (cy, cx, lower_bin), magnitude * (1.0 - frac))
+    np.add.at(cell_hist, (cy, cx, upper_bin), magnitude * frac)
+
+    blocks = []
+    for by in range(cells_y - block_size + 1):
+        for bx in range(cells_x - block_size + 1):
+            block = cell_hist[by : by + block_size, bx : bx + block_size].ravel()
+            norm = np.sqrt((block**2).sum() + eps**2)
+            blocks.append(block / norm)
+    return np.concatenate(blocks)

@@ -1,0 +1,114 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used to learn the visual-word codebook for the bag-of-visual-words pipeline.
+Implemented from scratch so the reproduction has no sklearn dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeans", "kmeans_plus_plus_init"]
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers proportionally to D^2."""
+    n = data.shape[0]
+    if k <= 0 or k > n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    centers = np.empty((k, data.shape[1]), dtype=np.float64)
+    centers[0] = data[rng.integers(n)]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers; pick randomly.
+            centers[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = closest_sq / total
+        centers[i] = data[rng.choice(n, p=probs)]
+        dist_sq = np.sum((data - centers[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+@dataclass
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` array of cluster centers after :meth:`fit`.
+    inertia:
+        Final sum of squared distances to assigned centers.
+    """
+
+    n_clusters: int
+    max_iter: int = 100
+    tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {self.n_clusters}")
+        if self.max_iter <= 0:
+            raise ValueError(f"max_iter must be positive, got {self.max_iter}")
+        self.centers: np.ndarray | None = None
+        self.inertia: float | None = None
+        self.n_iter: int = 0
+
+    def fit(self, data: np.ndarray, rng: np.random.Generator) -> "KMeans":
+        """Cluster ``data`` (shape ``(n, d)``); returns self."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"need at least {self.n_clusters} samples, got {data.shape[0]}"
+            )
+        centers = kmeans_plus_plus_init(data, self.n_clusters, rng)
+        previous_inertia = np.inf
+        for iteration in range(1, self.max_iter + 1):
+            labels, distances = self._assign(data, centers)
+            inertia = float(distances.sum())
+            for cluster in range(self.n_clusters):
+                members = data[labels == cluster]
+                if len(members):
+                    centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from its
+                    # current center to avoid dead clusters.
+                    centers[cluster] = data[np.argmax(distances)]
+            self.n_iter = iteration
+            if previous_inertia - inertia <= self.tol * max(previous_inertia, 1e-12):
+                break
+            previous_inertia = inertia
+        labels, distances = self._assign(data, centers)
+        self.centers = centers
+        self.inertia = float(distances.sum())
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Nearest-center index for each row of ``data``."""
+        if self.centers is None:
+            raise RuntimeError("KMeans.predict called before fit")
+        data = np.asarray(data, dtype=np.float64)
+        labels, _ = self._assign(data, self.centers)
+        return labels
+
+    @staticmethod
+    def _assign(
+        data: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Labels and squared distances of each point to its nearest center."""
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, vectorized over all pairs.
+        x_sq = np.sum(data**2, axis=1)[:, None]
+        c_sq = np.sum(centers**2, axis=1)[None, :]
+        d2 = x_sq - 2.0 * data @ centers.T + c_sq
+        np.clip(d2, 0.0, None, out=d2)
+        labels = np.argmin(d2, axis=1)
+        return labels, d2[np.arange(len(data)), labels]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (datasets, trained models, the fast experiment setup)
+are session-scoped; tests must not mutate them.  Tests that need mutation
+build their own tiny instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.delay import DelayModel
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.population import WorkerPopulation
+from repro.crowd.quality import QualityModel
+from repro.data.dataset import DisasterDataset, build_dataset, train_test_split
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> DisasterDataset:
+    """A 90-image dataset with archetypes (shared, read-only)."""
+    return build_dataset(n_images=90, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset) -> tuple[DisasterDataset, DisasterDataset]:
+    """(train, test) split of the shared small dataset."""
+    return train_test_split(small_dataset, n_train=60, rng=np.random.default_rng(8))
+
+
+@pytest.fixture(scope="session")
+def population() -> WorkerPopulation:
+    """A 40-worker population (shared, read-only)."""
+    return WorkerPopulation(n_workers=40, rng=np.random.default_rng(9))
+
+
+@pytest.fixture
+def platform(population, rng) -> CrowdsourcingPlatform:
+    """A fresh platform per test over the shared population."""
+    return CrowdsourcingPlatform(
+        population=population,
+        delay_model=DelayModel(),
+        quality_model=QualityModel(),
+        rng=rng,
+        workers_per_query=5,
+    )

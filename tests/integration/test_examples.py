@@ -1,0 +1,55 @@
+"""Integration: every example script runs end-to-end (fast demo mode)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    """Run one example script and return its stdout (asserts exit 0)."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_present(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "earthquake_response.py",
+            "incentive_tuning.py",
+            "custom_committee.py",
+        } <= names
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--seed", "71")
+        assert "CrowdLearn final:" in out
+        assert "Total crowd spend:" in out
+        assert "cycle  0" in out
+
+    def test_earthquake_response(self):
+        out = run_example("earthquake_response.py", "--seed", "71")
+        assert "Damage assessment quality per scheme" in out
+        assert "Missed severe" in out
+        assert "Failure report: VGG16" in out
+
+    def test_incentive_tuning(self):
+        out = run_example("incentive_tuning.py", "--seed", "71")
+        assert "Pilot study:" in out
+        assert "UCB-ALP (IPD): mean delay" in out
+        assert "Random: mean delay" in out
+
+    def test_custom_committee(self):
+        out = run_example("custom_committee.py", "--seed", "71")
+        assert "HistGBT" in out
+        assert "CrowdLearn with the custom committee:" in out

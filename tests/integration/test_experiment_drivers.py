@@ -1,0 +1,112 @@
+"""Integration: every table/figure driver runs end-to-end in fast mode."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    run_budget_sweep,
+    run_fig5,
+    run_fig6,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table2_suite,
+)
+from repro.eval.runner import prepare
+from repro.utils.clock import TemporalContext
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=41, fast=True)
+
+
+class TestPilotDrivers:
+    def test_fig5_series_complete(self, setup):
+        data = run_fig5(setup)
+        for context in TemporalContext.ordered():
+            series = data.delays[context]
+            assert len(series) == len(data.incentive_levels)
+            assert all(d > 0 for d in series)
+        assert "Figure 5" in data.render()
+
+    def test_fig6_quality_bounds(self, setup):
+        data = run_fig6(setup)
+        assert len(data.quality) == len(data.incentive_levels)
+        assert all(0.0 <= q <= 1.0 for q in data.quality)
+        assert "Figure 6" in data.render()
+
+
+class TestTable1Driver:
+    def test_all_schemes_and_contexts(self, setup):
+        data = run_table1(setup, queries_per_context=10)
+        assert set(data.accuracy) == {"CQC", "Voting", "TD-EM", "Filtering"}
+        for scheme_accuracy in data.accuracy.values():
+            assert set(scheme_accuracy) == {
+                c.value for c in TemporalContext.ordered()
+            }
+            assert all(0.0 <= v <= 1.0 for v in scheme_accuracy.values())
+        assert "Table I" in data.render()
+
+    def test_overall_is_context_mean(self, setup):
+        data = run_table1(setup, queries_per_context=8)
+        manual = np.mean(list(data.accuracy["Voting"].values()))
+        assert data.overall("Voting") == pytest.approx(manual)
+
+
+class TestTable2Suite:
+    def test_bundle_complete(self, setup):
+        suite = run_table2_suite(setup)
+        assert len(suite.table2.reports) == 7
+        assert len(suite.fig7.curves) == 7
+        assert len(suite.table3.algorithm_delay) == 7
+        for text, marker in [
+            (suite.table2.render(), "Table II"),
+            (suite.fig7.render(), "Figure 7"),
+            (suite.table3.render(), "Table III"),
+        ]:
+            assert marker in text
+
+    def test_table3_na_for_ai_only(self, setup):
+        suite = run_table2_suite(setup)
+        assert suite.table3.crowd_delay["VGG16"] is None
+        assert suite.table3.crowd_delay["CrowdLearn"] is not None
+        assert "N/A" in suite.table3.render()
+
+
+class TestFig8Driver:
+    def test_three_policies_four_contexts(self, setup):
+        data = run_fig8(setup)
+        assert set(data.delays) == {"CrowdLearn (IPD)", "Fixed", "Random"}
+        for per_context in data.delays.values():
+            assert set(per_context) == set(TemporalContext.ordered())
+            assert all(v > 0 for v in per_context.values())
+        assert "Figure 8" in data.render()
+
+
+class TestFig9Driver:
+    def test_sweep_structure(self, setup):
+        data = run_fig9(setup, fractions=(0.0, 0.5, 1.0))
+        assert data.fractions == (0.0, 0.5, 1.0)
+        for name in ("CrowdLearn", "Hybrid-AL", "Hybrid-Para", "Ensemble"):
+            assert len(data.f1[name]) == 3
+            assert all(0.0 <= v <= 1.0 for v in data.f1[name])
+        assert "Figure 9" in data.render()
+
+    def test_ensemble_reference_is_flat(self, setup):
+        data = run_fig9(setup, fractions=(0.0, 1.0))
+        assert data.f1["Ensemble"][0] == data.f1["Ensemble"][1]
+
+
+class TestBudgetSweepDriver:
+    def test_sweep_structure(self, setup):
+        data = run_budget_sweep(setup, budgets_usd=(2.0, 16.0))
+        assert data.budgets_usd == (2.0, 16.0)
+        assert len(data.f1) == 2
+        assert len(data.crowd_delay) == 2
+        assert all(0.0 <= v <= 1.0 for v in data.f1)
+        assert all(v > 0 or math.isnan(v) for v in data.crowd_delay)
+        assert "Figure 10" in data.render_fig10()
+        assert "Figure 11" in data.render_fig11()

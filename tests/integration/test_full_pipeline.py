@@ -1,0 +1,115 @@
+"""End-to-end integration: the whole evaluation pipeline in fast mode.
+
+These tests run every scheme over a miniature deployment and assert the
+*structural* invariants that must hold at any scale.  Paper-shape assertions
+(who beats whom) are reserved for the full-scale benchmarks, since miniature
+models are too noisy to rank reliably.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import prepare, run_all_schemes
+from repro.metrics.classification import classification_report
+from repro.metrics.roc import macro_average_roc
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=17, fast=True)
+
+
+@pytest.fixture(scope="module")
+def results(setup):
+    return run_all_schemes(setup)
+
+
+EXPECTED_SCHEMES = {
+    "CrowdLearn",
+    "VGG16",
+    "BoVW",
+    "DDM",
+    "Ensemble",
+    "Hybrid-Para",
+    "Hybrid-AL",
+}
+
+
+class TestAllSchemes:
+    def test_all_seven_schemes_run(self, results):
+        assert set(results) == EXPECTED_SCHEMES
+
+    def test_aligned_outputs(self, results, setup):
+        n = setup.config.n_cycles * setup.config.images_per_cycle
+        for name, result in results.items():
+            assert result.y_true.shape == (n,), name
+            assert result.y_pred.shape == (n,), name
+            assert result.scores.shape == (n, 3), name
+            np.testing.assert_allclose(
+                result.scores.sum(axis=1), 1.0, atol=1e-6, err_msg=name
+            )
+
+    def test_same_ground_truth_distribution(self, results):
+        """All schemes consume identically-distributed streams."""
+        counts = {
+            name: np.bincount(r.y_true, minlength=3)
+            for name, r in results.items()
+        }
+        reference = counts["CrowdLearn"].sum()
+        for name, c in counts.items():
+            assert c.sum() == reference, name
+
+    def test_all_above_chance(self, results):
+        for name, result in results.items():
+            report = classification_report(result.y_true, result.y_pred)
+            assert report.accuracy > 0.34, (name, report)
+
+    def test_roc_computable_for_all(self, results):
+        for name, result in results.items():
+            curve = macro_average_roc(result.y_true, result.scores)
+            assert 0.3 < curve.auc <= 1.0, name
+
+    def test_crowd_schemes_record_delays(self, results):
+        for name in ("CrowdLearn", "Hybrid-Para", "Hybrid-AL"):
+            assert results[name].mean_crowd_delay() > 0, name
+        for name in ("VGG16", "BoVW", "DDM", "Ensemble"):
+            assert results[name].mean_crowd_delay() is None, name
+
+    def test_crowd_schemes_spend_budget(self, results, setup):
+        for name in ("CrowdLearn", "Hybrid-Para", "Hybrid-AL"):
+            assert 0 < results[name].cost_cents <= setup.config.budget_cents + 1e-6
+
+    def test_crowdlearn_not_worse_than_weakest_expert(self, results):
+        """Even in the noisy fast regime the hybrid must not collapse."""
+        crowdlearn = classification_report(
+            results["CrowdLearn"].y_true, results["CrowdLearn"].y_pred
+        ).accuracy
+        weakest = min(
+            classification_report(results[n].y_true, results[n].y_pred).accuracy
+            for n in ("VGG16", "BoVW", "DDM")
+        )
+        assert crowdlearn >= weakest - 0.05
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_crowdlearn(self):
+        from repro.eval.runner import build_crowdlearn
+
+        accs = []
+        for _ in range(2):
+            setup = prepare(seed=23, fast=True)
+            system = build_crowdlearn(setup)
+            outcome = system.run(setup.make_stream("det"))
+            accs.append(float(np.mean(outcome.y_true() == outcome.y_pred())))
+        assert accs[0] == accs[1]
+
+    def test_different_seed_differs(self):
+        from repro.eval.runner import build_crowdlearn
+
+        preds = []
+        for seed in (23, 24):
+            setup = prepare(seed=seed, fast=True)
+            system = build_crowdlearn(setup)
+            outcome = system.run(setup.make_stream("det"))
+            preds.append(outcome.y_pred())
+        assert not np.array_equal(preds[0], preds[1])

@@ -1,0 +1,122 @@
+"""Property-based tests for the metrics package."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.classification import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+)
+from repro.metrics.information import (
+    bounded_divergence,
+    entropy,
+    kl_divergence,
+    normalized_entropy,
+    symmetric_kl,
+)
+from repro.metrics.roc import macro_average_roc
+
+labels = st.lists(st.integers(0, 2), min_size=1, max_size=60)
+
+
+def distributions(k=3):
+    return arrays(
+        np.float64,
+        (k,),
+        elements=st.floats(0.01, 10.0, allow_nan=False),
+    ).map(lambda v: v / v.sum())
+
+
+class TestClassificationProperties:
+    @given(labels, labels)
+    def test_accuracy_in_unit_interval(self, a, b):
+        n = min(len(a), len(b))
+        if n == 0:
+            return
+        value = accuracy(a[:n], b[:n])
+        assert 0.0 <= value <= 1.0
+
+    @given(labels)
+    def test_self_prediction_is_perfect(self, a):
+        report = classification_report(a, a)
+        assert report.accuracy == 1.0
+        # Macro F1 only reaches 1 when every class actually occurs; absent
+        # classes legitimately contribute zero to the macro average.
+        if set(a) == {0, 1, 2}:
+            assert report.f1 == 1.0
+        else:
+            assert report.f1 <= 1.0
+
+    @given(labels, labels)
+    def test_confusion_matrix_total(self, a, b):
+        n = min(len(a), len(b))
+        if n == 0:
+            return
+        matrix = confusion_matrix(a[:n], b[:n], n_classes=3)
+        assert matrix.sum() == n
+        assert (matrix >= 0).all()
+
+    @given(labels, labels)
+    def test_metrics_bounded(self, a, b):
+        n = min(len(a), len(b))
+        if n == 0:
+            return
+        report = classification_report(a[:n], b[:n], n_classes=3)
+        for value in report.as_row():
+            assert 0.0 <= value <= 1.0
+
+
+class TestInformationProperties:
+    @given(distributions())
+    def test_entropy_bounds(self, p):
+        value = entropy(p)
+        assert -1e-12 <= value <= np.log(len(p)) + 1e-9
+
+    @given(distributions())
+    def test_normalized_entropy_unit_interval(self, p):
+        assert 0.0 <= normalized_entropy(p) <= 1.0 + 1e-9
+
+    @given(distributions(), distributions())
+    def test_kl_non_negative(self, p, q):
+        assert kl_divergence(p, q) >= -1e-9
+
+    @given(distributions(), distributions())
+    def test_symmetric_kl_symmetry(self, p, q):
+        assert abs(symmetric_kl(p, q) - symmetric_kl(q, p)) < 1e-9
+
+    @given(distributions(), distributions())
+    def test_bounded_divergence_unit_interval(self, p, q):
+        value = bounded_divergence(p, q)
+        assert 0.0 <= value < 1.0
+
+    @given(distributions())
+    def test_zero_divergence_to_self(self, p):
+        assert bounded_divergence(p, p) < 1e-9
+
+
+class TestRocProperties:
+    @settings(max_examples=30)
+    @given(st.integers(0, 10_000))
+    def test_macro_roc_auc_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 3, size=40)
+        if len(np.unique(y)) < 2:
+            return
+        scores = rng.dirichlet(np.ones(3), size=40)
+        curve = macro_average_roc(y, scores)
+        assert 0.0 <= curve.auc <= 1.0
+        assert np.all(np.diff(curve.fpr) >= 0)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10_000))
+    def test_perfect_scores_auc_one(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 3, size=30)
+        if len(np.unique(y)) < 2:
+            return
+        scores = np.eye(3)[y]
+        curve = macro_average_roc(y, scores)
+        assert curve.auc > 0.97

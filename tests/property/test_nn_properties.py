@@ -1,0 +1,84 @@
+"""Property-based tests for the NN substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import col2im, im2col
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000), st.integers(1, 8), st.integers(2, 6))
+    def test_rows_are_distributions(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(0, 10, size=(n, k))
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000), st.floats(-100, 100))
+    def test_shift_invariance(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            softmax(logits), softmax(logits + shift), atol=1e-9
+        )
+
+
+class TestIm2ColProperties:
+    @settings(max_examples=25)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 3),  # batch
+        st.integers(1, 3),  # channels
+        st.sampled_from([(4, 2, 1, 0), (6, 3, 1, 1), (8, 2, 2, 0)]),
+    )
+    def test_adjoint_property(self, seed, n, c, geometry):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+
+        This is the exact condition for the conv backward pass to be the
+        true gradient, so it pins down correctness without a conv layer.
+        """
+        size, kernel, stride, pad = geometry
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, size, size))
+        cols, _, _ = im2col(x, kernel, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, kernel, stride, pad)
+        rhs = float((x * back).sum())
+        assert abs(lhs - rhs) < 1e-8 * max(abs(lhs), 1.0)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_patch_count(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, oh, ow = im2col(x, kernel=3, stride=1, pad=1)
+        assert cols.shape == (2 * oh * ow, 3 * 9)
+
+
+class TestCrossEntropyProperties:
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000), st.integers(1, 10))
+    def test_loss_non_negative(self, seed, n):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(n, 3))
+        targets = rng.integers(0, 3, size=n)
+        loss = SoftmaxCrossEntropy()
+        assert loss.forward(logits, targets) >= 0.0
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_gradient_rows_sum_to_zero(self, seed):
+        """d(CE)/d(logits) rows sum to 0: softmax gradient conservation."""
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(5, 3))
+        targets = rng.integers(0, 3, size=5)
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)

@@ -1,0 +1,109 @@
+"""Property-based tests for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
+from repro.bandit.ccmb import UCBALPBandit
+from repro.core.qss import QuerySetSelector
+from repro.boosting.tree import RegressionTree
+
+
+class TestBudgetLedgerProperties:
+    @given(
+        st.floats(1.0, 1000.0),
+        st.lists(st.floats(0.0, 50.0), max_size=40),
+    )
+    def test_conservation(self, total, charges):
+        """spent + remaining == total under any charge sequence."""
+        ledger = BudgetLedger(total)
+        for amount in charges:
+            try:
+                ledger.charge(amount)
+            except BudgetExhausted:
+                pass
+        assert ledger.spent + ledger.remaining == np.isclose(
+            ledger.spent + ledger.remaining, total
+        ) * total or abs(ledger.spent + ledger.remaining - total) < 1e-6
+        assert ledger.spent <= total + 1e-6
+        assert ledger.remaining >= -1e-6
+
+
+class TestQssProperties:
+    @settings(max_examples=50)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 40),
+        st.floats(0.0, 1.0),
+    )
+    def test_selection_is_valid_subset(self, seed, n, epsilon):
+        rng = np.random.default_rng(seed)
+        entropy = rng.random(n)
+        query_size = int(rng.integers(0, n + 1))
+        selector = QuerySetSelector(epsilon=epsilon)
+        chosen = selector.select(entropy, query_size, rng)
+        assert chosen.shape == (query_size,)
+        assert len(set(chosen.tolist())) == query_size
+        assert all(0 <= i < n for i in chosen)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10_000), st.integers(2, 30))
+    def test_greedy_selects_max_first(self, seed, n):
+        rng = np.random.default_rng(seed)
+        entropy = rng.random(n)
+        selector = QuerySetSelector(epsilon=0.0)
+        chosen = selector.select(entropy, 1, rng)
+        assert entropy[chosen[0]] == entropy.max()
+
+
+class TestBanditProperties:
+    @settings(max_examples=25)
+    @given(st.integers(0, 10_000), st.floats(0.5, 30.0))
+    def test_allocation_rows_are_distributions(self, seed, rho):
+        rng = np.random.default_rng(seed)
+        bandit = UCBALPBandit(3, (1.0, 2.0, 4.0, 8.0), exploration=0.5)
+        for _ in range(30):
+            z = int(rng.integers(3))
+            arm = int(rng.integers(4))
+            bandit.update(z, arm, float(-rng.random()))
+        allocation = bandit.allocation(rho)
+        assert allocation.shape == (3, 4)
+        assert (allocation >= -1e-9).all()
+        np.testing.assert_allclose(allocation.sum(axis=1), 1.0, atol=1e-6)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 10_000), st.floats(1.0, 20.0))
+    def test_expected_cost_within_pace(self, seed, rho):
+        rng = np.random.default_rng(seed)
+        arms = (1.0, 2.0, 4.0, 8.0)
+        bandit = UCBALPBandit(2, arms, exploration=0.0)
+        for z in range(2):
+            for arm in range(4):
+                bandit.update(z, arm, float(-rng.random()))
+        allocation = bandit.allocation(rho)
+        expected = float((allocation @ np.array(arms) * 0.5).sum())
+        assert expected <= max(rho, min(arms)) + 1e-6
+
+
+class TestTreeProperties:
+    @settings(max_examples=25)
+    @given(st.integers(0, 10_000), st.integers(5, 60), st.integers(1, 4))
+    def test_predictions_finite_and_bounded_by_gradients(self, seed, n, depth):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        grad = rng.normal(size=n)
+        tree = RegressionTree(max_depth=depth, reg_lambda=1.0).fit(x, grad)
+        pred = tree.predict(x)
+        assert np.isfinite(pred).all()
+        # Newton leaves with lambda=1 shrink toward zero: |leaf| <= sum|grad|.
+        assert np.abs(pred).max() <= np.abs(grad).sum() + 1e-9
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_depth_never_exceeds_cap(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(50, 2))
+        grad = rng.normal(size=50)
+        tree = RegressionTree(max_depth=3).fit(x, grad)
+        assert tree.depth() <= 3

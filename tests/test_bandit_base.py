@@ -1,0 +1,69 @@
+"""Tests for repro.bandit.base."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.base import ArmStats, ContextualPolicy
+
+ARMS = (1.0, 2.0, 4.0)
+
+
+class TestArmStats:
+    def test_initial(self):
+        stats = ArmStats()
+        assert stats.pulls == 0
+        assert stats.mean_payoff == 0.0
+
+    def test_record_updates_mean(self):
+        stats = ArmStats()
+        stats.record(-1.0)
+        stats.record(-3.0)
+        assert stats.pulls == 2
+        assert stats.mean_payoff == pytest.approx(-2.0)
+
+    def test_payoffs_retained(self):
+        stats = ArmStats()
+        stats.record(1.5)
+        assert stats.payoffs == [1.5]
+
+
+class TestContextualPolicy:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            ContextualPolicy(0, ARMS)
+        with pytest.raises(ValueError):
+            ContextualPolicy(2, ())
+        with pytest.raises(ValueError):
+            ContextualPolicy(2, (1.0, -2.0))
+
+    def test_update_and_stats(self):
+        policy = ContextualPolicy(2, ARMS)
+        policy.update(0, 1, -0.5)
+        policy.update(0, 1, -1.5)
+        policy.update(1, 0, -2.0)
+        assert policy.t == 3
+        np.testing.assert_allclose(policy.mean_payoffs(0), [0.0, -1.0, 0.0])
+        np.testing.assert_array_equal(policy.pull_counts(0), [0, 2, 0])
+        np.testing.assert_array_equal(policy.pull_counts(1), [1, 0, 0])
+
+    def test_contexts_isolated(self):
+        policy = ContextualPolicy(2, ARMS)
+        policy.update(0, 0, -9.0)
+        assert policy.mean_payoffs(1)[0] == 0.0
+
+    def test_arm_cost(self):
+        policy = ContextualPolicy(1, ARMS)
+        assert policy.arm_cost(2) == 4.0
+
+    def test_bad_indices_raise(self):
+        policy = ContextualPolicy(2, ARMS)
+        with pytest.raises(IndexError):
+            policy.update(2, 0, 0.0)
+        with pytest.raises(IndexError):
+            policy.update(0, 3, 0.0)
+        with pytest.raises(IndexError):
+            policy.mean_payoffs(-1)
+
+    def test_select_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ContextualPolicy(1, ARMS).select(0)

@@ -1,0 +1,66 @@
+"""Tests for repro.bandit.budget."""
+
+import pytest
+
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
+
+
+class TestBudgetLedger:
+    def test_initial_state(self):
+        ledger = BudgetLedger(100.0)
+        assert ledger.total == 100.0
+        assert ledger.spent == 0.0
+        assert ledger.remaining == 100.0
+        assert ledger.n_charges == 0
+
+    def test_charge_accumulates(self):
+        ledger = BudgetLedger(100.0)
+        ledger.charge(30.0)
+        ledger.charge(20.0)
+        assert ledger.spent == pytest.approx(50.0)
+        assert ledger.remaining == pytest.approx(50.0)
+        assert ledger.n_charges == 2
+
+    def test_charge_returns_remaining(self):
+        ledger = BudgetLedger(10.0)
+        assert ledger.charge(4.0) == pytest.approx(6.0)
+
+    def test_overcharge_raises_and_preserves_state(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(8.0)
+        with pytest.raises(BudgetExhausted):
+            ledger.charge(5.0)
+        assert ledger.spent == pytest.approx(8.0)
+
+    def test_exact_exhaustion_allowed(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(10.0)
+        assert ledger.remaining == pytest.approx(0.0)
+
+    def test_can_afford(self):
+        ledger = BudgetLedger(10.0)
+        assert ledger.can_afford(10.0)
+        assert not ledger.can_afford(10.5)
+        assert not ledger.can_afford(-1.0)
+
+    def test_negative_charge_raises(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(10.0).charge(-1.0)
+
+    def test_zero_charge_allowed(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(0.0)
+        assert ledger.spent == 0.0
+
+    def test_nonpositive_budget_raises(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(0.0)
+        with pytest.raises(ValueError):
+            BudgetLedger(-5.0)
+
+    def test_float_tolerance_at_boundary(self):
+        ledger = BudgetLedger(0.3)
+        ledger.charge(0.1)
+        ledger.charge(0.1)
+        ledger.charge(0.1)  # 0.1*3 > 0.3 in floats; tolerance must absorb it
+        assert ledger.remaining == pytest.approx(0.0, abs=1e-9)

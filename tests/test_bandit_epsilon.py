@@ -1,0 +1,72 @@
+"""Tests for repro.bandit.epsilon."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.epsilon import EpsilonGreedyBandit
+
+ARMS = (1.0, 2.0, 4.0)
+
+
+def converged_bandit(rng, epsilon=0.0, contextual=True):
+    bandit = EpsilonGreedyBandit(2, ARMS, rng, epsilon=epsilon, contextual=contextual)
+    # Context 0: arm 2 best; context 1: arm 0 best.
+    for _ in range(10):
+        bandit.update(0, 0, -2.0)
+        bandit.update(0, 1, -1.5)
+        bandit.update(0, 2, -0.5)
+        bandit.update(1, 0, -0.2)
+        bandit.update(1, 1, -1.0)
+        bandit.update(1, 2, -1.5)
+    return bandit
+
+
+class TestEpsilonGreedy:
+    def test_greedy_picks_best_per_context(self, rng):
+        bandit = converged_bandit(rng)
+        assert bandit.select(0) == 2
+        assert bandit.select(1) == 0
+
+    def test_unpulled_arms_tried_first(self, rng):
+        bandit = EpsilonGreedyBandit(1, ARMS, rng, epsilon=0.0)
+        bandit.update(0, 0, -1.0)
+        assert bandit.select(0) in (1, 2)
+
+    def test_exploration_rate(self):
+        rng = np.random.default_rng(0)
+        bandit = converged_bandit(rng, epsilon=0.5)
+        picks = [bandit.select(0) for _ in range(400)]
+        explored = sum(1 for p in picks if p != 2)
+        # ~epsilon * (2/3 chance of a non-best arm under uniform exploration)
+        assert 0.2 < explored / 400 < 0.5
+
+    def test_budget_restricts_affordable(self, rng):
+        bandit = converged_bandit(rng)
+        # Only arm 0 (cost 1) affordable.
+        assert bandit.select(0, budget_per_round=1.0) == 0
+
+    def test_budget_below_cheapest_falls_back(self, rng):
+        bandit = converged_bandit(rng)
+        assert bandit.select(0, budget_per_round=0.1) == 0
+
+    def test_non_contextual_pools_statistics(self, rng):
+        bandit = EpsilonGreedyBandit(2, ARMS, rng, epsilon=0.0, contextual=False)
+        # Updates from different contexts all land in the pooled slot.
+        bandit.update(0, 0, -2.0)
+        bandit.update(1, 1, -0.1)
+        bandit.update(0, 2, -1.0)
+        assert bandit.pull_counts(0)[0] == 1
+        assert bandit.pull_counts(0)[1] == 1
+        # With every arm pulled once, both contexts agree on the pooled best.
+        assert bandit.select(0) == 1
+        assert bandit.select(1) == 1
+
+    def test_invalid_epsilon_raises(self, rng):
+        with pytest.raises(ValueError):
+            EpsilonGreedyBandit(1, ARMS, rng, epsilon=1.5)
+
+    def test_epsilon_one_always_explores(self):
+        rng = np.random.default_rng(1)
+        bandit = converged_bandit(rng, epsilon=1.0)
+        picks = {bandit.select(0) for _ in range(100)}
+        assert picks == {0, 1, 2}

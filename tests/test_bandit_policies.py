@@ -1,0 +1,67 @@
+"""Tests for repro.bandit.policies (fixed and random incentive policies)."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.policies import FixedIncentivePolicy, RandomIncentivePolicy
+
+ARMS = (1.0, 2.0, 4.0, 8.0)
+
+
+class TestFixedIncentivePolicy:
+    def test_defaults_to_most_expensive(self):
+        policy = FixedIncentivePolicy(2, ARMS)
+        assert policy.select(0) == 3
+        assert policy.select(1) == 3
+
+    def test_explicit_arm(self):
+        policy = FixedIncentivePolicy(2, ARMS, arm=1)
+        assert policy.select(0) == 1
+
+    def test_ignores_context(self):
+        policy = FixedIncentivePolicy(4, ARMS, arm=2)
+        assert {policy.select(z) for z in range(4)} == {2}
+
+    def test_budget_fallback_to_affordable(self):
+        policy = FixedIncentivePolicy(1, ARMS)  # fixed at 8c
+        assert policy.select(0, budget_per_round=4.5) == 2  # 4c best affordable
+
+    def test_budget_below_cheapest(self):
+        policy = FixedIncentivePolicy(1, ARMS)
+        assert policy.select(0, budget_per_round=0.1) == 0
+
+    def test_invalid_arm_raises(self):
+        with pytest.raises(IndexError):
+            FixedIncentivePolicy(1, ARMS, arm=9)
+
+    def test_update_still_records(self):
+        policy = FixedIncentivePolicy(1, ARMS)
+        policy.update(0, 3, -1.0)
+        assert policy.pull_counts(0)[3] == 1
+
+
+class TestRandomIncentivePolicy:
+    def test_covers_all_arms(self):
+        policy = RandomIncentivePolicy(1, ARMS, np.random.default_rng(0))
+        picks = {policy.select(0) for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_roughly_uniform(self):
+        policy = RandomIncentivePolicy(1, ARMS, np.random.default_rng(1))
+        picks = [policy.select(0) for _ in range(2000)]
+        counts = np.bincount(picks, minlength=4)
+        assert counts.min() > 2000 / 4 * 0.7
+
+    def test_budget_restricts_support(self):
+        policy = RandomIncentivePolicy(1, ARMS, np.random.default_rng(2))
+        picks = {policy.select(0, budget_per_round=2.5) for _ in range(100)}
+        assert picks <= {0, 1}
+
+    def test_budget_below_cheapest_falls_back(self):
+        policy = RandomIncentivePolicy(1, ARMS, np.random.default_rng(3))
+        assert policy.select(0, budget_per_round=0.01) == 0
+
+    def test_invalid_context_raises(self):
+        policy = RandomIncentivePolicy(1, ARMS, np.random.default_rng(4))
+        with pytest.raises(IndexError):
+            policy.select(3)

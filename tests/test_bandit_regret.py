@@ -1,0 +1,100 @@
+"""Tests for repro.bandit.regret."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.ccmb import UCBALPBandit
+from repro.bandit.regret import RegretTracker
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        tracker = RegretTracker(2, 3)
+        tracker.record(0, 1, -0.5)
+        tracker.record(1, 2, -1.0)
+        assert len(tracker) == 2
+
+    def test_out_of_range_raises(self):
+        tracker = RegretTracker(2, 3)
+        with pytest.raises(IndexError):
+            tracker.record(2, 0, 0.0)
+        with pytest.raises(IndexError):
+            tracker.record(0, 3, 0.0)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            RegretTracker(0, 3)
+
+
+class TestMeanMatrix:
+    def test_means_and_nans(self):
+        tracker = RegretTracker(2, 2)
+        tracker.record(0, 0, -1.0)
+        tracker.record(0, 0, -3.0)
+        means = tracker.mean_payoff_matrix()
+        assert means[0, 0] == pytest.approx(-2.0)
+        assert np.isnan(means[0, 1])
+        assert np.isnan(means[1, 0])
+
+    def test_best_arm_per_context(self):
+        tracker = RegretTracker(2, 2)
+        tracker.record(0, 0, -1.0)
+        tracker.record(0, 1, -0.2)
+        best = tracker.best_arm_per_context()
+        assert best[0] == 1
+        assert best[1] == -1  # context 1 never pulled
+
+
+class TestRegret:
+    def test_always_best_arm_zero_regret(self):
+        tracker = RegretTracker(1, 2)
+        for _ in range(10):
+            tracker.record(0, 0, -1.0)
+        assert tracker.total_regret() == pytest.approx(0.0)
+
+    def test_suboptimal_pulls_accumulate(self):
+        tracker = RegretTracker(1, 2)
+        for _ in range(5):
+            tracker.record(0, 0, -1.0)  # bad arm
+        for _ in range(5):
+            tracker.record(0, 1, -0.2)  # good arm
+        # Each bad pull regrets 0.8 relative to the best arm's mean.
+        assert tracker.total_regret() == pytest.approx(5 * 0.8)
+
+    def test_cumulative_is_nondecreasing_for_stationary_noiseless(self):
+        tracker = RegretTracker(1, 3)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            arm = int(rng.integers(3))
+            tracker.record(0, arm, [-1.0, -0.5, -0.1][arm])
+        cumulative = tracker.cumulative_regret()
+        assert np.all(np.diff(cumulative) >= -1e-12)
+
+    def test_empty_history(self):
+        tracker = RegretTracker(1, 1)
+        assert tracker.cumulative_regret().size == 0
+        assert tracker.total_regret() == 0.0
+        assert not tracker.is_sublinear()
+
+
+class TestConvergence:
+    def test_ucb_bandit_has_sublinear_regret(self):
+        """The UCB-ALP learner converges: late regret slope < early slope."""
+        rng = np.random.default_rng(1)
+        true_means = np.array([[-1.2, -0.6, -0.2], [-0.3, -0.9, -1.4]])
+        bandit = UCBALPBandit(2, (1.0, 2.0, 4.0), exploration=0.6)
+        tracker = RegretTracker(2, 3)
+        for t in range(800):
+            context = t % 2
+            arm = bandit.select(context, None)
+            payoff = float(true_means[context, arm] + rng.normal(0, 0.05))
+            bandit.update(context, arm, payoff)
+            tracker.record(context, arm, payoff)
+        assert tracker.is_sublinear()
+        # And it found the per-context best arms.
+        np.testing.assert_array_equal(tracker.best_arm_per_context(), [2, 0])
+
+    def test_window_fraction_validated(self):
+        tracker = RegretTracker(1, 1)
+        with pytest.raises(ValueError):
+            tracker.is_sublinear(window_fraction=0.9)

@@ -1,0 +1,89 @@
+"""Tests for repro.boosting.adaboost (ExpertBooster)."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.adaboost import ExpertBooster
+
+
+def make_expert_probs(rng, accuracy, y, n_classes=3):
+    """Synthetic expert predictions with the given accuracy."""
+    n = len(y)
+    probs = np.full((n, n_classes), 0.1 / (n_classes - 1))
+    correct = rng.random(n) < accuracy
+    predicted = np.where(
+        correct, y, (y + rng.integers(1, n_classes, size=n)) % n_classes
+    )
+    probs[np.arange(n), predicted] = 0.9
+    probs /= probs.sum(axis=1, keepdims=True)
+    return probs
+
+
+class TestExpertBooster:
+    def test_prefers_accurate_expert(self, rng):
+        y = rng.integers(0, 3, size=200)
+        good = make_expert_probs(rng, 0.95, y)
+        bad = make_expert_probs(rng, 0.4, y)
+        booster = ExpertBooster(n_rounds=8).fit([bad, good], y)
+        weights = booster.expert_weights(2)
+        assert weights[1] > weights[0]
+
+    def test_weights_normalized(self, rng):
+        y = rng.integers(0, 3, size=100)
+        experts = [make_expert_probs(rng, a, y) for a in (0.9, 0.7, 0.5)]
+        booster = ExpertBooster(n_rounds=6).fit(experts, y)
+        assert booster.expert_weights(3).sum() == pytest.approx(1.0)
+
+    def test_ensemble_at_least_as_good_as_members_here(self, rng):
+        y = rng.integers(0, 3, size=400)
+        experts = [make_expert_probs(rng, a, y) for a in (0.85, 0.75, 0.65)]
+        booster = ExpertBooster(n_rounds=10).fit(experts, y)
+        pred = booster.predict(experts)
+        best_single = max(
+            np.mean(np.argmax(p, axis=1) == y) for p in experts
+        )
+        assert np.mean(pred == y) >= best_single - 0.03
+
+    def test_predict_proba_normalized(self, rng):
+        y = rng.integers(0, 3, size=50)
+        experts = [make_expert_probs(rng, 0.8, y) for _ in range(2)]
+        booster = ExpertBooster(n_rounds=4).fit(experts, y)
+        probs = booster.predict_proba(experts)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_degenerate_case_falls_back_to_best(self, rng):
+        # All experts at chance: boosting cannot start, falls back.
+        y = rng.integers(0, 3, size=90)
+        experts = [make_expert_probs(rng, 1 / 3, y) for _ in range(2)]
+        booster = ExpertBooster(n_rounds=5).fit(experts, y)
+        assert len(booster.chosen) >= 1
+        assert booster.predict(experts).shape == (90,)
+
+    def test_perfect_expert_dominates(self, rng):
+        y = rng.integers(0, 3, size=100)
+        perfect = np.eye(3)[y] * 0.98 + 0.01
+        noisy = make_expert_probs(rng, 0.5, y)
+        booster = ExpertBooster(n_rounds=5).fit([noisy, perfect], y)
+        assert np.mean(booster.predict([noisy, perfect]) == y) > 0.97
+
+    def test_unfitted_raises(self, rng):
+        booster = ExpertBooster()
+        with pytest.raises(RuntimeError):
+            booster.predict([np.ones((2, 3)) / 3])
+        with pytest.raises(RuntimeError):
+            booster.expert_weights(1)
+
+    def test_shape_mismatch_raises(self, rng):
+        y = np.array([0, 1, 2])
+        with pytest.raises(ValueError):
+            ExpertBooster().fit([np.ones((2, 3)) / 3], y)
+
+    def test_no_experts_raises(self):
+        with pytest.raises(ValueError):
+            ExpertBooster().fit([], np.array([0, 1]))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            ExpertBooster(n_rounds=0)
+        with pytest.raises(ValueError):
+            ExpertBooster(n_classes=1)

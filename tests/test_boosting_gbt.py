@@ -1,0 +1,113 @@
+"""Tests for repro.boosting.gbt."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.gbt import GradientBoostedClassifier
+
+
+def xor_data(rng, n=300):
+    """The XOR problem: linearly inseparable, easy for depth-2 trees."""
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+def three_class_data(rng, n=300):
+    x = rng.uniform(0, 3, size=(n, 1))
+    y = np.clip(x[:, 0].astype(np.int64), 0, 2)
+    return x, y
+
+
+class TestGradientBoostedClassifier:
+    def test_solves_xor(self, rng):
+        x, y = xor_data(rng)
+        model = GradientBoostedClassifier(n_estimators=40, max_depth=2)
+        model.fit(x, y, rng=rng)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_multiclass(self, rng):
+        x, y = three_class_data(rng)
+        model = GradientBoostedClassifier(n_estimators=30, max_depth=2)
+        model.fit(x, y, rng=rng)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        x, y = three_class_data(rng)
+        model = GradientBoostedClassifier(n_estimators=10).fit(x, y, rng=rng)
+        probs = model.predict_proba(x)
+        assert probs.shape == (len(x), 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_base_score_is_prior_with_no_trees(self, rng):
+        # With max_depth=0 + constant data, predictions stay near the prior.
+        x = np.ones((100, 1))
+        y = np.array([0] * 75 + [1] * 25)
+        model = GradientBoostedClassifier(n_estimators=1, max_depth=0)
+        model.fit(x, y, rng=rng)
+        probs = model.predict_proba(x[:1])
+        assert probs[0, 0] > probs[0, 1]
+
+    def test_early_stopping_truncates(self, rng):
+        x, y = xor_data(rng, n=200)
+        # A noisy validation set guarantees the val loss bottoms out, so
+        # early stopping must fire well before the round cap.
+        x_val, y_val = xor_data(rng, n=100)
+        flip = rng.random(100) < 0.3
+        y_val = np.where(flip, 1 - y_val, y_val)
+        model = GradientBoostedClassifier(
+            n_estimators=200, max_depth=2, early_stopping_rounds=5
+        )
+        model.fit(x, y, rng=rng, x_val=x_val, y_val=y_val)
+        assert model.n_rounds < 200
+
+    def test_early_stopping_requires_validation(self, rng):
+        x, y = xor_data(rng, n=50)
+        model = GradientBoostedClassifier(early_stopping_rounds=3)
+        with pytest.raises(ValueError):
+            model.fit(x, y, rng=rng)
+
+    def test_subsample_still_learns(self, rng):
+        x, y = xor_data(rng)
+        model = GradientBoostedClassifier(
+            n_estimators=60, max_depth=2, subsample=0.5
+        )
+        model.fit(x, y, rng=rng)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_more_rounds_lower_training_loss(self, rng):
+        x, y = xor_data(rng)
+        few = GradientBoostedClassifier(n_estimators=3, max_depth=2).fit(
+            x, y, rng=np.random.default_rng(0)
+        )
+        many = GradientBoostedClassifier(n_estimators=40, max_depth=2).fit(
+            x, y, rng=np.random.default_rng(0)
+        )
+        def log_loss(model):
+            p = np.clip(model.predict_proba(x)[np.arange(len(y)), y], 1e-12, None)
+            return -np.log(p).mean()
+        assert log_loss(many) < log_loss(few)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedClassifier().predict(np.zeros((2, 2)))
+
+    def test_empty_data_raises(self, rng):
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier().fit(
+                np.zeros((0, 2)), np.zeros(0, dtype=np.int64), rng=rng
+            )
+
+    def test_invalid_hyperparams_raise(self):
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier(subsample=0.0)
+
+    def test_binary_labels_all_same_class_handled(self, rng):
+        x = rng.normal(size=(20, 2))
+        y = np.zeros(20, dtype=np.int64)
+        model = GradientBoostedClassifier(n_estimators=2).fit(x, y, rng=rng)
+        assert (model.predict(x) == 0).all()

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface (fast deployments only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "run", "pilot", "table1", "table2", "fig8", "fig9",
+            "budget", "diagnose",
+        ):
+            args = parser.parse_args([command, "--seed", "5"])
+            assert args.seed == 5
+            assert callable(args.func)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["run", "--full"])
+        assert args.full is True
+
+
+class TestCommands:
+    """Each command runs end-to-end on the fast deployment."""
+
+    def test_run(self, capsys):
+        assert main(["run", "--seed", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "CrowdLearn:" in out
+        assert "crowd delay" in out
+
+    def test_pilot(self, capsys):
+        assert main(["pilot", "--seed", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--seed", "61"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--seed", "61"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_diagnose(self, capsys):
+        assert main(["diagnose", "--seed", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "Failure report: VGG16" in out
+        assert "Failure report: DDM" in out

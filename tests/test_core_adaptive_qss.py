@@ -1,0 +1,85 @@
+"""Tests for the VDBE adaptive query-set selector (paper ref [37])."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.qss import AdaptiveQuerySetSelector
+
+
+class TestVdbeUpdate:
+    def test_sustained_surprise_raises_epsilon(self):
+        selector = AdaptiveQuerySetSelector(initial_epsilon=0.1)
+        for _ in range(20):
+            selector.observe_surprise(0.9)
+        assert selector.epsilon > 0.5
+
+    def test_sustained_agreement_decays_epsilon(self):
+        selector = AdaptiveQuerySetSelector(initial_epsilon=0.5)
+        for _ in range(50):
+            selector.observe_surprise(0.0)
+        assert selector.epsilon == pytest.approx(selector.epsilon_bounds[0])
+
+    def test_bounds_respected(self):
+        selector = AdaptiveQuerySetSelector(
+            initial_epsilon=0.2, epsilon_bounds=(0.1, 0.4)
+        )
+        for _ in range(100):
+            selector.observe_surprise(5.0)
+        assert selector.epsilon <= 0.4
+        for _ in range(100):
+            selector.observe_surprise(0.0)
+        assert selector.epsilon >= 0.1
+
+    def test_update_is_smooth(self):
+        selector = AdaptiveQuerySetSelector(initial_epsilon=0.2, delta=0.1)
+        before = selector.epsilon
+        after = selector.observe_surprise(1.0)
+        assert abs(after - before) <= 0.1  # one step moves at most delta
+
+    def test_zero_surprise_targets_zero(self):
+        selector = AdaptiveQuerySetSelector(
+            initial_epsilon=0.5, delta=1.0, epsilon_bounds=(0.0, 1.0)
+        )
+        assert selector.observe_surprise(0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_surprise(self):
+        low = AdaptiveQuerySetSelector(initial_epsilon=0.2, delta=1.0)
+        high = AdaptiveQuerySetSelector(initial_epsilon=0.2, delta=1.0)
+        low.observe_surprise(0.1)
+        high.observe_surprise(0.9)
+        assert high.epsilon > low.epsilon
+
+    def test_negative_surprise_raises(self):
+        with pytest.raises(ValueError):
+            AdaptiveQuerySetSelector().observe_surprise(-0.1)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            AdaptiveQuerySetSelector(delta=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveQuerySetSelector(sigma=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveQuerySetSelector(epsilon_bounds=(0.5, 0.4))
+
+    def test_still_selects_like_base_class(self, rng):
+        selector = AdaptiveQuerySetSelector(initial_epsilon=0.0)
+        entropy = np.array([0.1, 0.9, 0.5])
+        chosen = selector.select(entropy, 1, rng)
+        assert chosen[0] == 1
+
+
+class TestSystemIntegration:
+    def test_adaptive_qss_runs_in_the_loop(self):
+        from repro.eval.runner import build_crowdlearn, prepare
+
+        setup = prepare(seed=29, fast=True)
+        config = dataclasses.replace(setup.config, qss_adaptive=True)
+        system = build_crowdlearn(setup, config=config)
+        assert isinstance(system.qss, AdaptiveQuerySetSelector)
+        initial_epsilon = system.qss.epsilon
+        outcome = system.run(setup.make_stream("adaptive-qss"))
+        # The loop ran and ε moved in response to crowd feedback.
+        assert outcome.y_pred().shape == outcome.y_true().shape
+        assert system.qss.epsilon != initial_epsilon

@@ -1,0 +1,134 @@
+"""Tests for repro.core.committee."""
+
+import numpy as np
+import pytest
+
+from repro.core.committee import Committee
+from repro.data.dataset import DisasterDataset
+from repro.models.base import DDAModel
+
+
+class StubExpert(DDAModel):
+    """An expert that always predicts a fixed distribution."""
+
+    def __init__(self, name, distribution):
+        self.name = name
+        self.distribution = np.asarray(distribution, dtype=np.float64)
+        self.fitted = False
+        self.retrained_with = None
+
+    def fit(self, dataset, rng):
+        self.fitted = True
+        return self
+
+    def predict_proba(self, dataset):
+        return np.tile(self.distribution, (len(dataset), 1))
+
+    def retrain(self, dataset, labels, rng):
+        self.retrained_with = np.asarray(labels)
+        return self
+
+
+@pytest.fixture
+def tiny_dataset(small_dataset):
+    return small_dataset.subset(range(4))
+
+
+class TestCommitteeConstruction:
+    def test_requires_experts(self):
+        with pytest.raises(ValueError):
+            Committee([])
+
+    def test_uniform_default_weights(self):
+        committee = Committee([StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 1, 0])])
+        np.testing.assert_allclose(committee.weights, [0.5, 0.5])
+
+    def test_weights_renormalized(self):
+        committee = Committee(
+            [StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 1, 0])],
+            weights=np.array([2.0, 6.0]),
+        )
+        np.testing.assert_allclose(committee.weights, [0.25, 0.75])
+
+    def test_invalid_weights_raise(self):
+        experts = [StubExpert("a", [1, 0, 0])]
+        with pytest.raises(ValueError):
+            Committee(experts, weights=np.array([-1.0]))
+        with pytest.raises(ValueError):
+            Committee(experts, weights=np.array([0.5, 0.5]))
+
+
+class TestCommitteeVote:
+    def test_weighted_mixture(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 1, 0])],
+            weights=np.array([0.75, 0.25]),
+        )
+        vote = committee.committee_vote(tiny_dataset)
+        np.testing.assert_allclose(vote, np.tile([0.75, 0.25, 0.0], (4, 1)))
+
+    def test_vote_rows_normalized(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [0.5, 0.3, 0.2]), StubExpert("b", [0.1, 0.1, 0.8])]
+        )
+        vote = committee.committee_vote(tiny_dataset)
+        np.testing.assert_allclose(vote.sum(axis=1), 1.0)
+
+    def test_precomputed_votes_used(self, tiny_dataset):
+        committee = Committee([StubExpert("a", [1, 0, 0])])
+        votes = [np.tile([0.0, 0.0, 1.0], (4, 1))]
+        vote = committee.committee_vote(tiny_dataset, votes)
+        np.testing.assert_allclose(vote[:, 2], 1.0)
+
+    def test_wrong_vote_count_raises(self, tiny_dataset):
+        committee = Committee([StubExpert("a", [1, 0, 0])])
+        with pytest.raises(ValueError):
+            committee.committee_vote(tiny_dataset, votes=[])
+
+
+class TestCommitteeEntropy:
+    def test_agreement_low_entropy(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [0.98, 0.01, 0.01]), StubExpert("b", [0.98, 0.01, 0.01])]
+        )
+        entropy = committee.committee_entropy(tiny_dataset)
+        assert entropy.max() < 0.2
+
+    def test_disagreement_high_entropy(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 1, 0]),
+             StubExpert("c", [0, 0, 1])]
+        )
+        entropy = committee.committee_entropy(tiny_dataset)
+        np.testing.assert_allclose(entropy, np.log(3), atol=1e-9)
+
+    def test_entropy_shape(self, tiny_dataset):
+        committee = Committee([StubExpert("a", [0.5, 0.25, 0.25])])
+        assert committee.committee_entropy(tiny_dataset).shape == (4,)
+
+
+class TestCommitteeLifecycle:
+    def test_fit_trains_all(self, tiny_dataset, rng):
+        experts = [StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 1, 0])]
+        Committee(experts).fit(tiny_dataset, rng)
+        assert all(e.fitted for e in experts)
+
+    def test_retrain_passes_labels(self, tiny_dataset, rng):
+        experts = [StubExpert("a", [1, 0, 0])]
+        committee = Committee(experts)
+        labels = np.array([0, 1, 2, 0])
+        committee.retrain(tiny_dataset, labels, rng)
+        np.testing.assert_array_equal(experts[0].retrained_with, labels)
+
+    def test_predict_argmax_of_vote(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [0.2, 0.7, 0.1]), StubExpert("b", [0.1, 0.8, 0.1])]
+        )
+        np.testing.assert_array_equal(committee.predict(tiny_dataset), [1, 1, 1, 1])
+
+    def test_set_weights_after_update(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 0, 1])]
+        )
+        committee.set_weights(np.array([0.0, 1.0]))
+        np.testing.assert_array_equal(committee.predict(tiny_dataset), [2, 2, 2, 2])

@@ -1,0 +1,147 @@
+"""Tests for repro.core.mic — machine intelligence calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.committee import Committee
+from repro.core.mic import MachineIntelligenceCalibrator
+from repro.data.dataset import DisasterDataset
+from tests.test_core_committee import StubExpert
+
+
+@pytest.fixture
+def committee():
+    return Committee(
+        [StubExpert("good", [0.9, 0.05, 0.05]), StubExpert("bad", [0.05, 0.05, 0.9])]
+    )
+
+
+def truth_like_good(n):
+    """Truth distributions matching the 'good' expert's output."""
+    return np.tile([0.9, 0.05, 0.05], (n, 1))
+
+
+class TestExpertLosses:
+    def test_agreeing_expert_low_loss(self, committee):
+        mic = MachineIntelligenceCalibrator()
+        votes = [e.predict_proba(DummyLen(4)) for e in committee.experts]
+        losses = mic.expert_losses(votes, truth_like_good(4))
+        assert losses[0] < losses[1]
+        assert 0.0 <= losses.min() and losses.max() < 1.0
+
+    def test_misaligned_shapes_raise(self, committee):
+        mic = MachineIntelligenceCalibrator()
+        votes = [np.tile([0.9, 0.05, 0.05], (3, 1))]
+        with pytest.raises(ValueError):
+            mic.expert_losses(votes, truth_like_good(4))
+
+
+class DummyLen:
+    """Minimal stand-in dataset with a length."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def __len__(self):
+        return self.n
+
+
+class TestUpdateWeights:
+    def test_shifts_weight_to_agreeing_expert(self, committee):
+        mic = MachineIntelligenceCalibrator(eta=2.0)
+        votes = [e.predict_proba(DummyLen(4)) for e in committee.experts]
+        weights = mic.update_weights(committee, votes, truth_like_good(4))
+        assert weights[0] > weights[1]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_repeated_updates_converge_to_good_expert(self, committee):
+        mic = MachineIntelligenceCalibrator(eta=2.0)
+        votes = [e.predict_proba(DummyLen(4)) for e in committee.experts]
+        for _ in range(20):
+            mic.update_weights(committee, votes, truth_like_good(4))
+        assert committee.weights[0] > 0.95
+
+    def test_reweight_disabled_is_noop(self, committee):
+        mic = MachineIntelligenceCalibrator(reweight=False)
+        before = committee.weights
+        votes = [e.predict_proba(DummyLen(4)) for e in committee.experts]
+        after = mic.update_weights(committee, votes, truth_like_good(4))
+        np.testing.assert_array_equal(before, after)
+
+    def test_eta_zero_keeps_weights(self, committee):
+        mic = MachineIntelligenceCalibrator(eta=0.0)
+        votes = [e.predict_proba(DummyLen(4)) for e in committee.experts]
+        weights = mic.update_weights(committee, votes, truth_like_good(4))
+        np.testing.assert_allclose(weights, [0.5, 0.5])
+
+
+class TestRetrainExperts:
+    def test_retrains_with_pool_mix(self, committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator(replay_size=5)
+        query_images = [small_dataset[i] for i in range(3)]
+        mic.retrain_experts(
+            committee, query_images, np.array([0, 1, 2]), small_dataset, rng
+        )
+        for expert in committee.experts:
+            assert expert.retrained_with is not None
+            assert expert.retrained_with.shape == (8,)  # 3 queries + 5 replay
+
+    def test_retrain_disabled_is_noop(self, committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator(retrain=False)
+        mic.retrain_experts(
+            committee, [small_dataset[0]], np.array([0]), small_dataset, rng
+        )
+        assert committee.experts[0].retrained_with is None
+
+    def test_empty_query_set_is_noop(self, committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator()
+        mic.retrain_experts(committee, [], np.array([]), small_dataset, rng)
+        assert committee.experts[0].retrained_with is None
+
+    def test_label_mismatch_raises(self, committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator()
+        with pytest.raises(ValueError):
+            mic.retrain_experts(
+                committee, [small_dataset[0]], np.array([0, 1]), small_dataset, rng
+            )
+
+    def test_zero_replay(self, committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator(replay_size=0)
+        mic.retrain_experts(
+            committee, [small_dataset[0]], np.array([2]), small_dataset, rng
+        )
+        np.testing.assert_array_equal(committee.experts[0].retrained_with, [2])
+
+
+class TestOffloading:
+    def test_labels_replaced(self):
+        mic = MachineIntelligenceCalibrator()
+        labels = np.array([0, 0, 0, 0])
+        out = mic.offload_labels(labels, np.array([1, 3]), np.array([2, 1]))
+        np.testing.assert_array_equal(out, [0, 2, 0, 1])
+        np.testing.assert_array_equal(labels, [0, 0, 0, 0])  # input untouched
+
+    def test_offload_disabled(self):
+        mic = MachineIntelligenceCalibrator(offload=False)
+        labels = np.array([0, 0])
+        out = mic.offload_labels(labels, np.array([1]), np.array([2]))
+        np.testing.assert_array_equal(out, [0, 0])
+
+    def test_distributions_replaced(self):
+        mic = MachineIntelligenceCalibrator()
+        vote = np.full((3, 3), 1 / 3)
+        truth = np.array([[0.0, 0.0, 1.0]])
+        out = mic.offload_distributions(vote, np.array([2]), truth)
+        np.testing.assert_allclose(out[2], [0.0, 0.0, 1.0])
+        np.testing.assert_allclose(out[0], 1 / 3)
+
+    def test_misaligned_offload_raises(self):
+        mic = MachineIntelligenceCalibrator()
+        with pytest.raises(ValueError):
+            mic.offload_labels(np.zeros(3), np.array([0, 1]), np.array([2]))
+
+    def test_invalid_hyperparams_raise(self):
+        with pytest.raises(ValueError):
+            MachineIntelligenceCalibrator(eta=-1.0)
+        with pytest.raises(ValueError):
+            MachineIntelligenceCalibrator(replay_size=-1)

@@ -1,0 +1,89 @@
+"""Tests for repro.core.qss (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qss import QuerySetSelector
+
+
+class TestQuerySetSelector:
+    def test_greedy_picks_highest_entropy(self, rng):
+        selector = QuerySetSelector(epsilon=0.0)
+        entropy = np.array([0.1, 0.9, 0.3, 0.7, 0.5])
+        chosen = selector.select(entropy, 2, rng)
+        assert set(chosen) == {1, 3}
+        # Selection order: highest first.
+        assert chosen[0] == 1
+
+    def test_selects_requested_count(self, rng):
+        selector = QuerySetSelector(epsilon=0.3)
+        entropy = rng.random(20)
+        assert selector.select(entropy, 7, rng).shape == (7,)
+
+    def test_no_duplicates(self, rng):
+        selector = QuerySetSelector(epsilon=0.5)
+        entropy = rng.random(30)
+        chosen = selector.select(entropy, 15, rng)
+        assert len(set(chosen.tolist())) == 15
+
+    def test_zero_query_size(self, rng):
+        selector = QuerySetSelector()
+        assert selector.select(np.array([0.5]), 0, rng).size == 0
+
+    def test_full_query_size_selects_all(self, rng):
+        selector = QuerySetSelector(epsilon=0.2)
+        entropy = rng.random(6)
+        chosen = selector.select(entropy, 6, rng)
+        assert set(chosen.tolist()) == set(range(6))
+
+    def test_epsilon_zero_never_explores(self, rng):
+        selector = QuerySetSelector(epsilon=0.0)
+        entropy = np.array([0.0, 0.0, 0.0, 1.0])
+        for _ in range(20):
+            chosen = selector.select(entropy, 1, rng)
+            assert chosen[0] == 3
+
+    def test_epsilon_exploration_catches_confident_samples(self):
+        """The design point: ε-greedy occasionally queries low-entropy
+        samples, which is how confidently-wrong fakes get caught."""
+        selector = QuerySetSelector(epsilon=0.3)
+        entropy = np.zeros(10)
+        entropy[:5] = 1.0  # five uncertain samples, five confident ones
+        rng = np.random.default_rng(0)
+        hit_confident = 0
+        for _ in range(200):
+            chosen = selector.select(entropy, 5, rng)
+            if any(i >= 5 for i in chosen):
+                hit_confident += 1
+        assert hit_confident > 100  # most runs include a confident sample
+
+    def test_exploration_rate_scales_with_epsilon(self):
+        entropy = np.concatenate([np.ones(5), np.zeros(5)])
+
+        def confident_rate(epsilon, seed):
+            selector = QuerySetSelector(epsilon=epsilon)
+            rng = np.random.default_rng(seed)
+            count = 0
+            for _ in range(300):
+                chosen = selector.select(entropy, 3, rng)
+                count += sum(1 for i in chosen if i >= 5)
+            return count
+
+        assert confident_rate(0.6, 1) > confident_rate(0.1, 1)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            QuerySetSelector(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            QuerySetSelector(epsilon=1.1)
+
+    def test_oversized_query_raises(self, rng):
+        selector = QuerySetSelector()
+        with pytest.raises(ValueError):
+            selector.select(np.array([0.5, 0.6]), 3, rng)
+
+    def test_ties_broken_stably_when_greedy(self, rng):
+        selector = QuerySetSelector(epsilon=0.0)
+        entropy = np.array([0.5, 0.5, 0.5])
+        chosen = selector.select(entropy, 3, rng)
+        np.testing.assert_array_equal(chosen, [0, 1, 2])

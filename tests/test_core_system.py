@@ -1,0 +1,109 @@
+"""Tests for repro.core.system — the assembled CrowdLearn loop (fast mode)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.system import CrowdLearnSystem
+from repro.eval.runner import build_crowdlearn, prepare
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=3, fast=True)
+
+
+@pytest.fixture(scope="module")
+def run_outcome(setup):
+    system = build_crowdlearn(setup)
+    stream = setup.make_stream("core-system-test")
+    return system, system.run(stream)
+
+
+class TestBuild:
+    def test_build_trains_everything(self, setup):
+        system = build_crowdlearn(setup)
+        assert system.cqc.is_fitted
+        assert system.committee.n_experts == 3
+        # IPD warm-started: every (context, arm) cell has pilot pulls.
+        assert system.ipd.policy.t > 0
+
+    def test_budget_matches_config(self, setup):
+        system = build_crowdlearn(setup)
+        assert system.ledger.total == setup.config.budget_cents
+
+
+class TestRunCycle:
+    def test_cycle_outcome_shapes(self, run_outcome, setup):
+        _, outcome = run_outcome
+        config = setup.config
+        assert len(outcome.cycles) == config.n_cycles
+        for cycle in outcome.cycles:
+            n = len(cycle.true_labels)
+            assert cycle.final_labels.shape == (n,)
+            assert cycle.final_scores.shape == (n, 3)
+            assert len(cycle.query_indices) <= config.queries_per_cycle
+            np.testing.assert_allclose(cycle.final_scores.sum(axis=1), 1.0)
+
+    def test_offloading_applied_to_queries(self, run_outcome):
+        _, outcome = run_outcome
+        for cycle in outcome.cycles:
+            for local_idx, score_row in zip(
+                cycle.query_indices, cycle.final_scores[cycle.query_indices]
+            ):
+                # Offloaded scores come from CQC distributions (valid rows).
+                assert score_row.sum() == pytest.approx(1.0)
+
+    def test_weights_evolve(self, run_outcome):
+        _, outcome = run_outcome
+        first = outcome.cycles[0].expert_weights
+        last = outcome.cycles[-1].expert_weights
+        assert not np.allclose(first, last)
+        assert last.sum() == pytest.approx(1.0)
+
+    def test_budget_respected(self, run_outcome, setup):
+        system, outcome = run_outcome
+        assert outcome.total_cost_cents() <= setup.config.budget_cents + 1e-6
+        assert system.ledger.spent == pytest.approx(outcome.total_cost_cents())
+
+    def test_delays_recorded(self, run_outcome):
+        _, outcome = run_outcome
+        assert outcome.mean_crowd_delay() > 0
+        by_context = outcome.crowd_delay_by_context()
+        assert all(v > 0 for v in by_context.values())
+
+
+class TestRunOutcomeAggregation:
+    def test_aligned_arrays(self, run_outcome, setup):
+        _, outcome = run_outcome
+        total = setup.config.n_cycles * setup.config.images_per_cycle
+        assert outcome.y_true().shape == (total,)
+        assert outcome.y_pred().shape == (total,)
+        assert outcome.scores().shape == (total, 3)
+
+    def test_beats_prior_accuracy(self, run_outcome):
+        _, outcome = run_outcome
+        accuracy = float(np.mean(outcome.y_true() == outcome.y_pred()))
+        assert accuracy > 0.4  # well above the 1/3 chance floor even in fast mode
+
+
+class TestZeroQueryFraction:
+    def test_pure_ai_mode(self, setup):
+        config = dataclasses.replace(setup.config, query_fraction=0.0)
+        system = build_crowdlearn(setup, config=config)
+        outcome = system.run(setup.make_stream("zero-query"))
+        assert outcome.total_cost_cents() == 0.0
+        assert outcome.mean_crowd_delay() == 0.0
+        for cycle in outcome.cycles:
+            assert cycle.query_indices.size == 0
+
+
+class TestBudgetExhaustion:
+    def test_tiny_budget_stops_querying(self, setup):
+        config = dataclasses.replace(setup.config, budget_usd=0.05)  # 5 cents
+        system = build_crowdlearn(setup, config=config)
+        outcome = system.run(setup.make_stream("tiny-budget"))
+        assert outcome.total_cost_cents() <= 5.0 + 1e-9
+        # The system must keep producing labels even with the budget gone.
+        assert outcome.y_pred().shape == outcome.y_true().shape

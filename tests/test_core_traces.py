@@ -1,0 +1,73 @@
+"""Tests for RunOutcome's learning traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import CycleOutcome, RunOutcome
+from repro.utils.clock import TemporalContext
+
+
+def make_cycle(index, correct, total, cost=10.0, weights=(0.5, 0.5)):
+    true_labels = np.zeros(total, dtype=np.int64)
+    final_labels = np.zeros(total, dtype=np.int64)
+    final_labels[correct:] = 1  # the rest are wrong
+    return CycleOutcome(
+        cycle_index=index,
+        context=TemporalContext.MORNING,
+        true_labels=true_labels,
+        final_labels=final_labels,
+        final_scores=np.full((total, 3), 1 / 3),
+        query_indices=np.arange(min(2, total)),
+        incentives_cents=np.array([4.0, 4.0]),
+        crowd_delay=100.0,
+        cost_cents=cost,
+        expert_weights=np.array(weights),
+    )
+
+
+class TestTraces:
+    def test_accuracy_trace(self):
+        outcome = RunOutcome(
+            cycles=[make_cycle(0, 5, 10), make_cycle(1, 8, 10)]
+        )
+        np.testing.assert_allclose(outcome.accuracy_trace(), [0.5, 0.8])
+
+    def test_weight_trace_shape(self):
+        outcome = RunOutcome(
+            cycles=[
+                make_cycle(0, 5, 10, weights=(0.5, 0.5)),
+                make_cycle(1, 5, 10, weights=(0.7, 0.3)),
+            ]
+        )
+        trace = outcome.weight_trace()
+        assert trace.shape == (2, 2)
+        np.testing.assert_allclose(trace[1], [0.7, 0.3])
+
+    def test_spend_trace_cumulative(self):
+        outcome = RunOutcome(
+            cycles=[make_cycle(0, 5, 10, cost=10.0), make_cycle(1, 5, 10, cost=6.0)]
+        )
+        np.testing.assert_allclose(outcome.spend_trace(), [10.0, 16.0])
+
+    def test_empty_outcome(self):
+        outcome = RunOutcome()
+        assert outcome.accuracy_trace().size == 0
+        assert outcome.weight_trace().shape == (0, 0)
+        assert outcome.spend_trace().size == 0
+
+
+class TestSystemLearning:
+    def test_crowdlearn_trace_available_end_to_end(self):
+        from repro.eval.runner import build_crowdlearn, prepare
+
+        setup = prepare(seed=37, fast=True)
+        system = build_crowdlearn(setup)
+        outcome = system.run(setup.make_stream("traces"))
+        trace = outcome.accuracy_trace()
+        assert trace.shape == (setup.config.n_cycles,)
+        assert np.all((0.0 <= trace) & (trace <= 1.0))
+        weights = outcome.weight_trace()
+        assert weights.shape == (setup.config.n_cycles, 3)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+        spend = outcome.spend_trace()
+        assert np.all(np.diff(spend) >= 0)

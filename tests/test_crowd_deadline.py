@@ -1,0 +1,95 @@
+"""Tests for deadline-aware crowd queries (the real-time DDA constraint)."""
+
+import numpy as np
+import pytest
+
+from repro.data.metadata import (
+    DamageLabel,
+    FailureArchetype,
+    ImageMetadata,
+    SceneType,
+)
+from repro.utils.clock import TemporalContext
+
+
+def meta(image_id=0):
+    return ImageMetadata(
+        image_id=image_id,
+        true_label=DamageLabel.SEVERE,
+        archetype=FailureArchetype.NONE,
+        scene=SceneType.BUILDING,
+        is_fake=False,
+        people_in_danger=False,
+        apparent_label=DamageLabel.SEVERE,
+    )
+
+
+class TestDeadline:
+    def test_no_deadline_keeps_everyone(self, platform):
+        result = platform.post_query(meta(), 8.0, TemporalContext.MORNING)
+        assert len(result.responses) == 5
+
+    def test_all_kept_responses_meet_deadline(self, platform):
+        deadline = 400.0
+        for i in range(20):
+            result = platform.post_query(
+                meta(i), 8.0, TemporalContext.MORNING, deadline_seconds=deadline
+            )
+            for response in result.responses:
+                assert response.delay_seconds <= deadline
+
+    def test_tight_deadline_drops_slow_morning_crowd(self, platform):
+        """At a 1c morning incentive (mean ~1150s) a 300s deadline starves."""
+        kept = 0
+        for i in range(20):
+            result = platform.post_query(
+                meta(i), 1.0, TemporalContext.MORNING, deadline_seconds=300.0
+            )
+            kept += len(result.responses)
+        assert kept < 20  # far fewer than the 100 assigned HITs
+
+    def test_generous_deadline_keeps_evening_crowd(self, platform):
+        kept = 0
+        for i in range(10):
+            result = platform.post_query(
+                meta(i), 8.0, TemporalContext.EVENING, deadline_seconds=2000.0
+            )
+            kept += len(result.responses)
+        assert kept >= 40  # nearly all of the 50 assigned HITs
+
+    def test_higher_incentive_beats_the_deadline_more_often(self, platform):
+        """The timeliness story: paying more gets answers before the cutoff."""
+        def kept_at(incentive):
+            total = 0
+            for i in range(25):
+                result = platform.post_query(
+                    meta(i), incentive, TemporalContext.MORNING,
+                    deadline_seconds=600.0,
+                )
+                total += len(result.responses)
+            return total
+
+        assert kept_at(20.0) > kept_at(2.0)
+
+    def test_history_only_records_arrived_responses(self, population, rng):
+        from repro.crowd.delay import DelayModel
+        from repro.crowd.platform import CrowdsourcingPlatform
+        from repro.crowd.quality import QualityModel
+
+        platform = CrowdsourcingPlatform(
+            population=population,
+            delay_model=DelayModel(),
+            quality_model=QualityModel(),
+            rng=rng,
+            workers_per_query=5,
+        )
+        result = platform.post_query(
+            meta(), 1.0, TemporalContext.MORNING, deadline_seconds=200.0
+        )
+        assert len(platform.history) == len(result.responses)
+
+    def test_invalid_deadline_raises(self, platform):
+        with pytest.raises(ValueError):
+            platform.post_query(
+                meta(), 8.0, TemporalContext.MORNING, deadline_seconds=0.0
+            )

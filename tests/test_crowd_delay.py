@@ -1,0 +1,107 @@
+"""Tests for repro.crowd.delay — the Figure 5 calibration."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.delay import INCENTIVE_LEVELS, DelayModel
+from repro.utils.clock import TemporalContext
+
+
+@pytest.fixture
+def model():
+    return DelayModel()
+
+
+class TestMeanDelay:
+    def test_morning_monotone_decreasing(self, model):
+        delays = [
+            model.mean_delay(TemporalContext.MORNING, level)
+            for level in INCENTIVE_LEVELS
+        ]
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+    def test_afternoon_monotone_decreasing(self, model):
+        delays = [
+            model.mean_delay(TemporalContext.AFTERNOON, level)
+            for level in INCENTIVE_LEVELS
+        ]
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+    def test_evening_flat_midrange(self, model):
+        """Fig 5: at night only the extremes differ; 2c-10c are similar."""
+        mid = [
+            model.mean_delay(TemporalContext.EVENING, level)
+            for level in (2.0, 4.0, 6.0, 8.0, 10.0)
+        ]
+        assert max(mid) - min(mid) < 0.1 * np.mean(mid)
+
+    def test_evening_extremes(self, model):
+        lowest = model.mean_delay(TemporalContext.EVENING, 1.0)
+        mid = model.mean_delay(TemporalContext.EVENING, 6.0)
+        highest = model.mean_delay(TemporalContext.EVENING, 20.0)
+        assert lowest > 1.5 * mid
+        assert highest < mid
+
+    def test_daytime_slower_than_night_at_midrange(self, model):
+        """Workers are scarcer during the day (the pilot's explanation)."""
+        for level in (4.0, 6.0, 8.0):
+            assert model.mean_delay(TemporalContext.MORNING, level) > (
+                model.mean_delay(TemporalContext.EVENING, level)
+            )
+
+    def test_interpolates_between_levels(self, model):
+        d4 = model.mean_delay(TemporalContext.MORNING, 4.0)
+        d6 = model.mean_delay(TemporalContext.MORNING, 6.0)
+        d5 = model.mean_delay(TemporalContext.MORNING, 5.0)
+        assert d6 < d5 < d4
+
+    def test_clamps_outside_range(self, model):
+        below = model.mean_delay(TemporalContext.MORNING, 0.5)
+        at_min = model.mean_delay(TemporalContext.MORNING, 1.0)
+        assert below == pytest.approx(at_min)
+        above = model.mean_delay(TemporalContext.MORNING, 50.0)
+        at_max = model.mean_delay(TemporalContext.MORNING, 20.0)
+        assert above == pytest.approx(at_max)
+
+    def test_nonpositive_incentive_raises(self, model):
+        with pytest.raises(ValueError):
+            model.mean_delay(TemporalContext.MORNING, 0.0)
+
+
+class TestSample:
+    def test_sample_mean_matches(self, model, rng):
+        samples = [
+            model.sample(TemporalContext.EVENING, 8.0, rng) for _ in range(4000)
+        ]
+        expected = model.mean_delay(TemporalContext.EVENING, 8.0)
+        assert np.mean(samples) == pytest.approx(expected, rel=0.05)
+
+    def test_worker_speed_scales(self, model, rng):
+        slow = [
+            model.sample(TemporalContext.EVENING, 8.0, rng, worker_speed=0.5)
+            for _ in range(2000)
+        ]
+        fast = [
+            model.sample(TemporalContext.EVENING, 8.0, rng, worker_speed=2.0)
+            for _ in range(2000)
+        ]
+        assert np.mean(slow) > 3 * np.mean(fast)
+
+    def test_samples_positive(self, model, rng):
+        samples = [
+            model.sample(TemporalContext.MIDNIGHT, 1.0, rng) for _ in range(100)
+        ]
+        assert min(samples) > 0
+
+    def test_zero_noise_is_deterministic(self, rng):
+        model = DelayModel(noise_sigma=0.0)
+        a = model.sample(TemporalContext.MORNING, 4.0, rng)
+        assert a == pytest.approx(model.mean_delay(TemporalContext.MORNING, 4.0))
+
+    def test_invalid_speed_raises(self, model, rng):
+        with pytest.raises(ValueError):
+            model.sample(TemporalContext.MORNING, 4.0, rng, worker_speed=0.0)
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ValueError):
+            DelayModel(noise_sigma=-0.1)

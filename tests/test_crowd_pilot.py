@@ -1,0 +1,81 @@
+"""Tests for repro.crowd.pilot."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.pilot import run_pilot_study
+from repro.utils.clock import TemporalContext
+
+LEVELS = (1.0, 8.0, 20.0)
+
+
+@pytest.fixture(scope="module")
+def pilot(population):
+    from repro.crowd.delay import DelayModel
+    from repro.crowd.platform import CrowdsourcingPlatform
+    from repro.crowd.quality import QualityModel
+    from repro.data.dataset import build_dataset
+
+    rng = np.random.default_rng(11)
+    platform = CrowdsourcingPlatform(
+        population=population,
+        delay_model=DelayModel(),
+        quality_model=QualityModel(),
+        rng=rng,
+        workers_per_query=5,
+    )
+    train = build_dataset(n_images=60, rng=rng)
+    return run_pilot_study(
+        platform, train, rng, incentive_levels=LEVELS, queries_per_cell=8
+    )
+
+
+class TestPilotStructure:
+    def test_all_cells_present(self, pilot):
+        assert len(pilot.cells) == len(LEVELS) * 4
+        for context in TemporalContext.ordered():
+            for level in LEVELS:
+                cell = pilot.cell(context, level)
+                assert len(cell.results) == 8
+                assert len(cell.true_labels) == 8
+
+    def test_each_query_has_five_responses(self, pilot):
+        cell = pilot.cell(TemporalContext.MORNING, 8.0)
+        assert all(len(r.responses) == 5 for r in cell.results)
+
+    def test_delay_table_shape(self, pilot):
+        table = pilot.delay_table()
+        assert set(table) == set(TemporalContext.ordered())
+        assert all(len(v) == len(LEVELS) for v in table.values())
+
+    def test_quality_table_shape(self, pilot):
+        quality = pilot.quality_table()
+        assert len(quality) == len(LEVELS)
+        assert all(0.0 <= q <= 1.0 for q in quality)
+
+    def test_all_labeled_results_counts(self, pilot):
+        results, labels = pilot.all_labeled_results()
+        assert len(results) == len(labels) == len(LEVELS) * 4 * 8
+
+
+class TestPilotShapes:
+    def test_morning_delay_decreases_with_incentive(self, pilot):
+        delays = pilot.delay_table()[TemporalContext.MORNING]
+        assert delays[0] > delays[-1]
+
+    def test_quality_improves_from_one_cent(self, pilot):
+        quality = pilot.quality_table()
+        assert quality[0] < quality[-1] + 0.05  # 1c is the low point
+
+
+class TestPilotValidation:
+    def test_requires_enough_images(self, platform, rng):
+        from repro.data.dataset import build_dataset
+
+        tiny = build_dataset(n_images=5, rng=rng)
+        with pytest.raises(ValueError):
+            run_pilot_study(platform, tiny, rng, queries_per_cell=10)
+
+    def test_rejects_nonpositive_cell_size(self, platform, small_dataset, rng):
+        with pytest.raises(ValueError):
+            run_pilot_study(platform, small_dataset, rng, queries_per_cell=0)

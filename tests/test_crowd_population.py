@@ -1,0 +1,73 @@
+"""Tests for repro.crowd.population."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.population import WorkerPopulation
+from repro.utils.clock import TemporalContext
+
+
+class TestWorkerPopulation:
+    def test_size(self, population):
+        assert len(population) == 40
+
+    def test_mean_reliability_near_point_eight(self):
+        pop = WorkerPopulation(n_workers=500, rng=np.random.default_rng(0))
+        assert pop.mean_reliability() == pytest.approx(0.8, abs=0.03)
+
+    def test_workers_have_valid_attributes(self, population):
+        for worker in population.workers:
+            assert 0.0 <= worker.reliability <= 1.0
+            assert 0.0 <= worker.insight <= 1.0
+            assert worker.speed > 0
+            for context in TemporalContext:
+                assert worker.activity[context] >= 0
+
+    def test_indexing(self, population):
+        assert population[3].worker_id == 3
+
+    def test_sample_workers_distinct(self, population, rng):
+        workers = population.sample_workers(10, TemporalContext.EVENING, rng)
+        ids = [w.worker_id for w in workers]
+        assert len(set(ids)) == 10
+
+    def test_sample_respects_bounds(self, population, rng):
+        with pytest.raises(ValueError):
+            population.sample_workers(0, TemporalContext.EVENING, rng)
+        with pytest.raises(ValueError):
+            population.sample_workers(41, TemporalContext.EVENING, rng)
+
+    def test_evening_activity_higher_on_average(self):
+        pop = WorkerPopulation(n_workers=300, rng=np.random.default_rng(1))
+        evening = np.mean(
+            [w.activity[TemporalContext.EVENING] for w in pop.workers]
+        )
+        morning = np.mean(
+            [w.activity[TemporalContext.MORNING] for w in pop.workers]
+        )
+        assert evening > morning
+
+    def test_active_workers_sampled_more(self):
+        pop = WorkerPopulation(n_workers=30, rng=np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        counts = np.zeros(30)
+        for _ in range(400):
+            for w in pop.sample_workers(5, TemporalContext.MORNING, rng):
+                counts[w.worker_id] += 1
+        activities = np.array(
+            [w.activity[TemporalContext.MORNING] for w in pop.workers]
+        )
+        # Rank correlation between activity and sample frequency.
+        corr = np.corrcoef(activities, counts)[0, 1]
+        assert corr > 0.5
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            WorkerPopulation(n_workers=0)
+
+    def test_deterministic_given_seed(self):
+        a = WorkerPopulation(10, np.random.default_rng(7))
+        b = WorkerPopulation(10, np.random.default_rng(7))
+        for wa, wb in zip(a.workers, b.workers):
+            assert wa.reliability == wb.reliability
+            assert wa.speed == wb.speed

@@ -1,0 +1,54 @@
+"""Tests for repro.crowd.quality — the Figure 6 calibration."""
+
+import pytest
+
+from repro.crowd.delay import INCENTIVE_LEVELS
+from repro.crowd.quality import QualityModel
+
+
+@pytest.fixture
+def model():
+    return QualityModel()
+
+
+class TestOffset:
+    def test_low_incentives_penalized(self, model):
+        assert model.offset(1.0) < -0.1
+        assert model.offset(2.0) < 0.0
+
+    def test_plateau_above_four_cents(self, model):
+        """Fig 6: no significant quality change between adjacent mid levels."""
+        offsets = [model.offset(level) for level in (4.0, 6.0, 8.0, 10.0)]
+        assert max(offsets) - min(offsets) < 0.02
+
+    def test_monotone_nondecreasing(self, model):
+        offsets = [model.offset(level) for level in INCENTIVE_LEVELS]
+        assert all(b >= a - 1e-12 for a, b in zip(offsets, offsets[1:]))
+
+    def test_clamps_out_of_range(self, model):
+        assert model.offset(0.5) == pytest.approx(model.offset(1.0))
+        assert model.offset(100.0) == pytest.approx(model.offset(20.0))
+
+    def test_nonpositive_raises(self, model):
+        with pytest.raises(ValueError):
+            model.offset(0.0)
+
+
+class TestEffectiveAccuracy:
+    def test_accuracy_bounds(self, model):
+        assert model.effective_accuracy(0.0, 1.0) >= 0.05
+        assert model.effective_accuracy(1.0, 20.0) <= 0.98
+
+    def test_reliability_dominates_at_plateau(self, model):
+        good = model.effective_accuracy(0.9, 8.0)
+        bad = model.effective_accuracy(0.6, 8.0)
+        assert good - bad == pytest.approx(0.3, abs=0.01)
+
+    def test_one_cent_depresses_accuracy(self, model):
+        plateau = model.effective_accuracy(0.8, 8.0)
+        cheap = model.effective_accuracy(0.8, 1.0)
+        assert plateau - cheap > 0.1
+
+    def test_invalid_reliability_raises(self, model):
+        with pytest.raises(ValueError):
+            model.effective_accuracy(1.5, 4.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.crowd.questionnaire."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.questionnaire import QUESTIONS, encode_query_features, feature_names
+from repro.crowd.tasks import (
+    CrowdQuery,
+    QueryResult,
+    QuestionnaireAnswers,
+    WorkerResponse,
+)
+from repro.data.metadata import DamageLabel, SceneType
+from repro.utils.clock import TemporalContext
+
+
+def result_with(labels, fakes=None, scenes=None, dangers=None):
+    n = len(labels)
+    fakes = fakes or [False] * n
+    scenes = scenes or [SceneType.ROAD] * n
+    dangers = dangers or [False] * n
+    responses = [
+        WorkerResponse(
+            worker_id=i,
+            label=labels[i],
+            questionnaire=QuestionnaireAnswers(
+                says_fake=fakes[i],
+                scene=scenes[i],
+                says_people_in_danger=dangers[i],
+            ),
+            delay_seconds=1.0,
+        )
+        for i in range(n)
+    ]
+    return QueryResult(
+        query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING),
+        responses=responses,
+    )
+
+
+class TestEncodeQueryFeatures:
+    def test_feature_length_matches_names(self):
+        result = result_with([DamageLabel.SEVERE] * 5)
+        features = encode_query_features(result)
+        assert features.shape == (len(feature_names()),)
+
+    def test_label_fractions(self):
+        result = result_with(
+            [
+                DamageLabel.NO_DAMAGE,
+                DamageLabel.NO_DAMAGE,
+                DamageLabel.SEVERE,
+                DamageLabel.MODERATE,
+            ]
+        )
+        features = encode_query_features(result)
+        np.testing.assert_allclose(features[:3], [0.5, 0.25, 0.25])
+
+    def test_fake_fraction(self):
+        result = result_with(
+            [DamageLabel.SEVERE] * 4, fakes=[True, True, False, False]
+        )
+        features = encode_query_features(result)
+        assert features[3] == pytest.approx(0.5)
+
+    def test_scene_fractions_sum_to_one(self):
+        result = result_with(
+            [DamageLabel.SEVERE] * 3,
+            scenes=[SceneType.ROAD, SceneType.BRIDGE, SceneType.PEOPLE],
+        )
+        features = encode_query_features(result)
+        assert features[4:9].sum() == pytest.approx(1.0)
+
+    def test_margin_unanimous_is_one(self):
+        result = result_with([DamageLabel.SEVERE] * 5)
+        features = encode_query_features(result)
+        assert features[-1] == pytest.approx(1.0)
+
+    def test_margin_split_is_zero(self):
+        result = result_with([DamageLabel.SEVERE, DamageLabel.NO_DAMAGE])
+        features = encode_query_features(result)
+        assert features[-1] == pytest.approx(0.0)
+
+    def test_empty_result_raises(self):
+        result = QueryResult(query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING))
+        with pytest.raises(ValueError):
+            encode_query_features(result)
+
+
+class TestQuestionnaireDefinition:
+    def test_three_fixed_questions(self):
+        assert len(QUESTIONS) == 3
+        assert any("photoshopped" in q for q in QUESTIONS)
+
+    def test_feature_names_unique(self):
+        names = feature_names()
+        assert len(names) == len(set(names))

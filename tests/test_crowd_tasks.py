@@ -1,0 +1,92 @@
+"""Tests for repro.crowd.tasks."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.tasks import (
+    CrowdQuery,
+    QueryResult,
+    QuestionnaireAnswers,
+    WorkerResponse,
+)
+from repro.data.metadata import DamageLabel, SceneType
+from repro.utils.clock import TemporalContext
+
+
+def make_response(worker_id=0, label=DamageLabel.SEVERE, delay=10.0, fake=False):
+    return WorkerResponse(
+        worker_id=worker_id,
+        label=label,
+        questionnaire=QuestionnaireAnswers(
+            says_fake=fake, scene=SceneType.ROAD, says_people_in_danger=False
+        ),
+        delay_seconds=delay,
+    )
+
+
+class TestQuestionnaireAnswers:
+    def test_encode_layout(self):
+        answers = QuestionnaireAnswers(
+            says_fake=True, scene=SceneType.BRIDGE, says_people_in_danger=False
+        )
+        encoded = answers.encode()
+        assert encoded.shape == (QuestionnaireAnswers.encoded_dim(),)
+        assert encoded[0] == 1.0  # fake flag
+        assert encoded[-1] == 0.0  # danger flag
+        scene_onehot = encoded[1:-1]
+        assert scene_onehot.sum() == 1.0
+        assert scene_onehot[list(SceneType).index(SceneType.BRIDGE)] == 1.0
+
+    def test_encoded_dim(self):
+        assert QuestionnaireAnswers.encoded_dim() == 7
+
+
+class TestWorkerResponse:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            make_response(delay=-1.0)
+
+
+class TestCrowdQuery:
+    def test_requires_positive_incentive(self):
+        with pytest.raises(ValueError):
+            CrowdQuery(0, 0, incentive_cents=0.0, context=TemporalContext.MORNING)
+
+    def test_fields(self):
+        query = CrowdQuery(3, 7, 4.0, TemporalContext.EVENING)
+        assert query.query_id == 3
+        assert query.image_id == 7
+
+
+class TestQueryResult:
+    def test_mean_and_max_delay(self):
+        result = QueryResult(
+            query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING),
+            responses=[make_response(delay=10.0), make_response(delay=30.0)],
+        )
+        assert result.mean_delay == pytest.approx(20.0)
+        assert result.max_delay == pytest.approx(30.0)
+
+    def test_labels_array(self):
+        result = QueryResult(
+            query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING),
+            responses=[
+                make_response(label=DamageLabel.NO_DAMAGE),
+                make_response(label=DamageLabel.SEVERE),
+            ],
+        )
+        np.testing.assert_array_equal(result.labels(), [0, 2])
+
+    def test_worker_ids_order(self):
+        result = QueryResult(
+            query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING),
+            responses=[make_response(worker_id=5), make_response(worker_id=2)],
+        )
+        assert result.worker_ids() == [5, 2]
+
+    def test_empty_responses_raise(self):
+        result = QueryResult(query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING))
+        with pytest.raises(ValueError):
+            _ = result.mean_delay
+        with pytest.raises(ValueError):
+            _ = result.max_delay

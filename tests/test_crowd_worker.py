@@ -1,0 +1,180 @@
+"""Tests for repro.crowd.worker."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.quality import QualityModel
+from repro.crowd.worker import Worker
+from repro.data.metadata import (
+    DamageLabel,
+    FailureArchetype,
+    ImageMetadata,
+    SceneType,
+)
+from repro.utils.clock import TemporalContext
+
+
+def make_worker(reliability=0.9, insight=0.9, speed=1.0):
+    activity = {context: 1.0 for context in TemporalContext}
+    return Worker(
+        worker_id=0,
+        reliability=reliability,
+        insight=insight,
+        speed=speed,
+        activity=activity,
+    )
+
+
+def honest_meta(label=DamageLabel.SEVERE):
+    return ImageMetadata(
+        image_id=0,
+        true_label=label,
+        archetype=FailureArchetype.NONE,
+        scene=SceneType.BUILDING,
+        is_fake=False,
+        people_in_danger=False,
+        apparent_label=label,
+    )
+
+
+def fake_meta():
+    return ImageMetadata(
+        image_id=1,
+        true_label=DamageLabel.NO_DAMAGE,
+        archetype=FailureArchetype.FAKE,
+        scene=SceneType.ROAD,
+        is_fake=True,
+        people_in_danger=False,
+        apparent_label=DamageLabel.SEVERE,
+    )
+
+
+def lowres_meta():
+    return ImageMetadata(
+        image_id=2,
+        true_label=DamageLabel.SEVERE,
+        archetype=FailureArchetype.LOW_RESOLUTION,
+        scene=SceneType.ROAD,
+        is_fake=False,
+        people_in_danger=True,
+        apparent_label=DamageLabel.SEVERE,
+    )
+
+
+QUALITY = QualityModel()
+
+
+class TestWorkerValidation:
+    def test_rejects_bad_reliability(self):
+        with pytest.raises(ValueError):
+            Worker(0, 1.5, 0.5, 1.0, {c: 1.0 for c in TemporalContext})
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            Worker(0, 0.8, 0.5, 0.0, {c: 1.0 for c in TemporalContext})
+
+    def test_rejects_negative_activity(self):
+        activity = {c: 1.0 for c in TemporalContext}
+        activity[TemporalContext.MORNING] = -1.0
+        with pytest.raises(ValueError):
+            Worker(0, 0.8, 0.5, 1.0, activity)
+
+
+class TestLabelAccuracy:
+    def test_reflects_reliability_and_incentive(self):
+        worker = make_worker(reliability=0.85)
+        assert worker.label_accuracy(8.0, QUALITY) == pytest.approx(0.85)
+        assert worker.label_accuracy(1.0, QUALITY) == pytest.approx(0.70)
+
+    def test_low_resolution_penalty(self):
+        worker = make_worker(reliability=0.85)
+        plain = worker.label_accuracy(8.0, QUALITY, honest_meta())
+        degraded = worker.label_accuracy(8.0, QUALITY, lowres_meta())
+        assert plain - degraded == pytest.approx(0.12, abs=1e-9)
+
+    def test_moderate_class_penalty(self):
+        worker = make_worker(reliability=0.85)
+        severe = worker.label_accuracy(8.0, QUALITY, honest_meta())
+        moderate = worker.label_accuracy(
+            8.0, QUALITY, honest_meta(DamageLabel.MODERATE)
+        )
+        assert severe - moderate == pytest.approx(0.06, abs=1e-9)
+
+
+class TestAnswerLabel:
+    def test_reliable_worker_mostly_correct_on_honest(self, rng):
+        worker = make_worker(reliability=0.9)
+        meta = honest_meta()
+        answers = [
+            worker.answer_label(meta, 8.0, QUALITY, rng) for _ in range(1000)
+        ]
+        correct = sum(1 for a in answers if a == meta.true_label)
+        assert correct / 1000 == pytest.approx(0.9, abs=0.04)
+
+    def test_insightful_worker_sees_through_fakes(self, rng):
+        worker = make_worker(reliability=0.95, insight=0.95)
+        meta = fake_meta()
+        answers = [
+            worker.answer_label(meta, 8.0, QUALITY, rng) for _ in range(1000)
+        ]
+        correct = sum(1 for a in answers if a == DamageLabel.NO_DAMAGE)
+        assert correct / 1000 > 0.8
+
+    def test_unintuitive_worker_fooled_by_fakes(self, rng):
+        worker = make_worker(reliability=0.9, insight=0.05)
+        meta = fake_meta()
+        answers = [
+            worker.answer_label(meta, 8.0, QUALITY, rng) for _ in range(500)
+        ]
+        fooled = sum(1 for a in answers if a == DamageLabel.SEVERE)
+        assert fooled / 500 > 0.85
+
+    def test_errors_prefer_adjacent_severity(self, rng):
+        worker = make_worker(reliability=0.3)
+        meta = honest_meta(DamageLabel.NO_DAMAGE)
+        answers = [
+            worker.answer_label(meta, 8.0, QUALITY, rng) for _ in range(2000)
+        ]
+        moderate = sum(1 for a in answers if a == DamageLabel.MODERATE)
+        severe = sum(1 for a in answers if a == DamageLabel.SEVERE)
+        assert moderate > severe
+
+
+class TestQuestionnaire:
+    def test_insightful_worker_flags_fakes(self, rng):
+        worker = make_worker(insight=0.95)
+        meta = fake_meta()
+        flags = [
+            worker.answer_questionnaire(meta, 8.0, QUALITY, rng).says_fake
+            for _ in range(500)
+        ]
+        assert sum(flags) / 500 > 0.85
+
+    def test_honest_image_rarely_flagged(self, rng):
+        worker = make_worker(insight=0.95)
+        meta = honest_meta()
+        flags = [
+            worker.answer_questionnaire(meta, 8.0, QUALITY, rng).says_fake
+            for _ in range(500)
+        ]
+        assert sum(flags) / 500 < 0.15
+
+    def test_scene_mostly_correct(self, rng):
+        worker = make_worker(reliability=0.9)
+        meta = honest_meta()
+        scenes = [
+            worker.answer_questionnaire(meta, 8.0, QUALITY, rng).scene
+            for _ in range(500)
+        ]
+        correct = sum(1 for s in scenes if s == meta.scene)
+        assert correct / 500 > 0.8
+
+    def test_danger_recognized(self, rng):
+        worker = make_worker(insight=0.9)
+        meta = lowres_meta()  # people_in_danger=True
+        answers = [
+            worker.answer_questionnaire(meta, 8.0, QUALITY, rng)
+            for _ in range(500)
+        ]
+        said = sum(1 for a in answers if a.says_people_in_danger)
+        assert said / 500 > 0.8

@@ -1,0 +1,107 @@
+"""Tests for repro.data.archetypes — the AI failure cases of Figure 1."""
+
+import numpy as np
+import pytest
+
+from repro.data.archetypes import (
+    ARCHETYPE_MAKERS,
+    make_closeup,
+    make_fake,
+    make_implicit,
+    make_low_resolution,
+    make_regular,
+)
+from repro.data.metadata import DamageLabel, FailureArchetype
+
+
+class TestRegular:
+    def test_apparent_equals_true(self, rng):
+        _, meta = make_regular(0, DamageLabel.MODERATE, rng)
+        assert meta.apparent_label == meta.true_label
+        assert meta.archetype is FailureArchetype.NONE
+        assert not meta.is_deceptive
+
+
+class TestFake:
+    def test_pixels_look_severe_truth_is_none(self, rng):
+        pixels, meta = make_fake(1, DamageLabel.NO_DAMAGE, rng)
+        assert meta.true_label is DamageLabel.NO_DAMAGE
+        assert meta.apparent_label is DamageLabel.SEVERE
+        assert meta.is_fake
+        assert meta.is_deceptive
+        assert pixels.shape == (32, 32, 3)
+
+    def test_statistically_indistinguishable_from_severe(self, rng):
+        """Innate-failure premise: no pixel cue separates fakes from severe."""
+        def energy(img):
+            gray = img.mean(axis=2)
+            return np.abs(np.diff(gray, axis=0)).mean()
+
+        fakes = [energy(make_fake(i, DamageLabel.NO_DAMAGE, rng)[0]) for i in range(40)]
+        severes = [
+            energy(make_regular(i, DamageLabel.SEVERE, rng)[0]) for i in range(40)
+        ]
+        # Means within each other's spread: same rendering distribution.
+        assert abs(np.mean(fakes) - np.mean(severes)) < 2 * np.std(severes)
+
+
+class TestCloseup:
+    def test_labels(self, rng):
+        _, meta = make_closeup(2, DamageLabel.NO_DAMAGE, rng)
+        assert meta.true_label is DamageLabel.NO_DAMAGE
+        assert meta.apparent_label is DamageLabel.SEVERE
+        assert not meta.is_fake
+        assert meta.is_deceptive
+
+
+class TestLowResolution:
+    def test_label_preserved(self, rng):
+        _, meta = make_low_resolution(3, DamageLabel.MODERATE, rng)
+        assert meta.true_label is DamageLabel.MODERATE
+        assert meta.apparent_label is DamageLabel.MODERATE
+        assert not meta.is_deceptive
+
+    def test_pixels_are_blocky(self, rng):
+        pixels, _ = make_low_resolution(4, DamageLabel.SEVERE, rng)
+        # 8x8 blocks: within-block variance is only the added noise.
+        block = pixels[:8, :8, 0]
+        full = pixels[:, :, 0]
+        assert block.std() < full.std()
+
+    def test_degrades_high_frequency_content(self, rng):
+        def hf_energy(img):
+            gray = img.mean(axis=2)
+            return np.abs(np.diff(gray, axis=1)).mean()
+
+        sharp = np.mean(
+            [hf_energy(make_regular(i, DamageLabel.SEVERE, rng)[0]) for i in range(20)]
+        )
+        # Low-res keeps only noise-level high frequencies inside blocks.
+        blurred = np.mean(
+            [
+                hf_energy(make_low_resolution(i, DamageLabel.SEVERE, rng)[0])
+                for i in range(20)
+            ]
+        )
+        assert blurred < sharp
+
+
+class TestImplicit:
+    def test_labels(self, rng):
+        _, meta = make_implicit(5, DamageLabel.SEVERE, rng)
+        assert meta.true_label is DamageLabel.SEVERE
+        assert meta.apparent_label is DamageLabel.NO_DAMAGE
+        assert meta.people_in_danger
+        assert meta.is_deceptive
+
+
+class TestMakers:
+    def test_registry_covers_all_archetypes(self):
+        assert set(ARCHETYPE_MAKERS) == set(FailureArchetype)
+
+    def test_all_makers_produce_valid_output(self, rng):
+        for i, (archetype, maker) in enumerate(ARCHETYPE_MAKERS.items()):
+            pixels, meta = maker(i, DamageLabel.SEVERE, rng)
+            assert meta.archetype is archetype
+            assert pixels.min() >= 0.0 and pixels.max() <= 1.0
+            assert meta.image_id == i

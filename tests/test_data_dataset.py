@@ -1,0 +1,126 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import (
+    DisasterDataset,
+    build_dataset,
+    train_test_split,
+)
+from repro.data.metadata import DamageLabel, FailureArchetype
+
+
+class TestBuildDataset:
+    def test_total_count(self, small_dataset):
+        assert len(small_dataset) == 90
+
+    def test_classes_roughly_balanced(self, small_dataset):
+        counts = small_dataset.class_counts()
+        values = list(counts.values())
+        assert max(values) - min(values) <= 8
+
+    def test_paper_scale_balance(self):
+        dataset = build_dataset(n_images=960, rng=np.random.default_rng(0))
+        counts = dataset.class_counts()
+        for count in counts.values():
+            assert abs(count - 320) <= 20
+
+    def test_archetypes_present(self, small_dataset):
+        counts = small_dataset.archetype_counts()
+        assert counts[FailureArchetype.FAKE] > 0
+        assert counts[FailureArchetype.LOW_RESOLUTION] > 0
+        assert counts[FailureArchetype.NONE] > counts[FailureArchetype.FAKE]
+
+    def test_archetype_fraction_respected(self):
+        dataset = build_dataset(
+            n_images=200, archetype_fraction=0.3, rng=np.random.default_rng(1)
+        )
+        counts = dataset.archetype_counts()
+        n_arch = sum(v for k, v in counts.items() if k is not FailureArchetype.NONE)
+        assert n_arch == pytest.approx(60, abs=4)
+
+    def test_zero_archetypes(self):
+        dataset = build_dataset(
+            n_images=60, archetype_fraction=0.0, rng=np.random.default_rng(2)
+        )
+        counts = dataset.archetype_counts()
+        assert counts[FailureArchetype.NONE] == 60
+
+    def test_unique_image_ids(self, small_dataset):
+        ids = [img.image_id for img in small_dataset]
+        assert len(set(ids)) == len(ids)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            build_dataset(n_images=50, archetype_fraction=0.9)
+
+    def test_too_few_images_raises(self):
+        with pytest.raises(ValueError):
+            build_dataset(n_images=2)
+
+    def test_deterministic_given_seed(self):
+        a = build_dataset(n_images=30, rng=np.random.default_rng(5))
+        b = build_dataset(n_images=30, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.labels(), b.labels())
+        np.testing.assert_allclose(a[0].pixels, b[0].pixels)
+
+
+class TestDatasetContainer:
+    def test_pixels_nchw_shape(self, small_dataset):
+        batch = small_dataset.pixels_nchw()
+        assert batch.shape == (90, 3, 32, 32)
+
+    def test_pixels_hwc_shape(self, small_dataset):
+        batch = small_dataset.pixels_hwc()
+        assert batch.shape == (90, 32, 32, 3)
+
+    def test_nchw_hwc_consistent(self, small_dataset):
+        nchw = small_dataset.pixels_nchw()
+        hwc = small_dataset.pixels_hwc()
+        np.testing.assert_array_equal(nchw.transpose(0, 2, 3, 1), hwc)
+
+    def test_labels_align_with_metadata(self, small_dataset):
+        labels = small_dataset.labels()
+        for i, meta in enumerate(small_dataset.metadata()):
+            assert labels[i] == int(meta.true_label)
+
+    def test_subset_preserves_order(self, small_dataset):
+        sub = small_dataset.subset([5, 2, 9])
+        assert [img.image_id for img in sub] == [
+            small_dataset[5].image_id,
+            small_dataset[2].image_id,
+            small_dataset[9].image_id,
+        ]
+
+    def test_empty_dataset_pixel_access_raises(self):
+        with pytest.raises(ValueError):
+            DisasterDataset([]).pixels_nchw()
+
+
+class TestTrainTestSplit:
+    def test_sizes_exact(self, small_dataset, rng):
+        train, test = train_test_split(small_dataset, n_train=60, rng=rng)
+        assert len(train) == 60
+        assert len(test) == 30
+
+    def test_no_overlap_full_coverage(self, small_dataset, rng):
+        train, test = train_test_split(small_dataset, n_train=60, rng=rng)
+        train_ids = {img.image_id for img in train}
+        test_ids = {img.image_id for img in test}
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == 90
+
+    def test_stratified(self, rng):
+        dataset = build_dataset(n_images=300, rng=rng)
+        train, test = train_test_split(dataset, n_train=200, rng=rng)
+        for label in DamageLabel:
+            total = dataset.class_counts()[label]
+            in_train = train.class_counts()[label]
+            assert in_train == pytest.approx(total * 2 / 3, abs=6)
+
+    def test_invalid_n_train_raises(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            train_test_split(small_dataset, n_train=0, rng=rng)
+        with pytest.raises(ValueError):
+            train_test_split(small_dataset, n_train=90, rng=rng)

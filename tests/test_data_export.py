@@ -1,0 +1,72 @@
+"""Tests for repro.data.export (PPM image export)."""
+
+import numpy as np
+import pytest
+
+from repro.data.export import export_dataset_sample, save_ppm, to_ppm
+from repro.data.metadata import FailureArchetype
+
+
+class TestToPpm:
+    def test_header_and_size(self, rng):
+        image = rng.random((8, 6, 3))
+        data = to_ppm(image)
+        assert data.startswith(b"P6\n6 8\n255\n")
+        header_len = len(b"P6\n6 8\n255\n")
+        assert len(data) == header_len + 8 * 6 * 3
+
+    def test_pixel_values_scaled(self):
+        image = np.zeros((1, 2, 3))
+        image[0, 1] = 1.0
+        data = to_ppm(image)
+        pixels = data.split(b"255\n", 1)[1]
+        assert pixels == bytes([0, 0, 0, 255, 255, 255])
+
+    def test_out_of_range_clipped(self):
+        image = np.full((1, 1, 3), 2.0)
+        pixels = to_ppm(image).split(b"255\n", 1)[1]
+        assert pixels == bytes([255, 255, 255])
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            to_ppm(np.zeros((4, 4)))
+
+    def test_nan_raises(self):
+        image = np.zeros((2, 2, 3))
+        image[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            to_ppm(image)
+
+
+class TestSavePpm:
+    def test_writes_file(self, rng, tmp_path):
+        path = save_ppm(rng.random((4, 4, 3)), tmp_path / "img.ppm")
+        assert path.exists()
+        assert path.read_bytes().startswith(b"P6\n")
+
+
+class TestExportDatasetSample:
+    def test_exports_per_archetype(self, small_dataset, tmp_path):
+        written = export_dataset_sample(small_dataset, tmp_path, per_group=2)
+        assert written
+        names = [p.name for p in written]
+        # At most 2 per archetype, and the honest group is represented.
+        for archetype in FailureArchetype:
+            matching = [n for n in names if n.startswith(archetype.value)]
+            assert len(matching) <= 2
+        assert any(n.startswith("none_") for n in names)
+
+    def test_filenames_carry_labels(self, small_dataset, tmp_path):
+        written = export_dataset_sample(small_dataset, tmp_path, per_group=1)
+        for path in written:
+            stem_parts = path.stem.split("_")
+            assert stem_parts[-1].isdigit()
+
+    def test_invalid_per_group_raises(self, small_dataset, tmp_path):
+        with pytest.raises(ValueError):
+            export_dataset_sample(small_dataset, tmp_path, per_group=0)
+
+    def test_creates_directory(self, small_dataset, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_dataset_sample(small_dataset, target, per_group=1)
+        assert target.is_dir()

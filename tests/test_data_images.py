@@ -1,0 +1,93 @@
+"""Tests for repro.data.images — the synthetic scene renderer."""
+
+import numpy as np
+import pytest
+
+from repro.data.images import IMAGE_SIZE, render_scene
+from repro.data.metadata import DamageLabel, SceneType
+
+
+def edge_energy(image):
+    """Mean absolute finite-difference — a texture/damage proxy."""
+    gray = image.mean(axis=2)
+    gx = np.abs(np.diff(gray, axis=1)).mean()
+    gy = np.abs(np.diff(gray, axis=0)).mean()
+    return gx + gy
+
+
+class TestRenderScene:
+    def test_shape_and_range(self, rng):
+        image = render_scene(DamageLabel.SEVERE, SceneType.ROAD, rng)
+        assert image.shape == (IMAGE_SIZE, IMAGE_SIZE, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_custom_size(self, rng):
+        image = render_scene(DamageLabel.NO_DAMAGE, SceneType.ROAD, rng, size=16)
+        assert image.shape == (16, 16, 3)
+
+    def test_too_small_size_raises(self, rng):
+        with pytest.raises(ValueError):
+            render_scene(DamageLabel.NO_DAMAGE, SceneType.ROAD, rng, size=4)
+
+    def test_severity_increases_texture(self, rng):
+        """The class signal the AI experts learn: texture grows with damage."""
+        energies = {}
+        for label in DamageLabel:
+            energies[label] = np.mean(
+                [
+                    edge_energy(render_scene(label, SceneType.BUILDING, rng))
+                    for _ in range(25)
+                ]
+            )
+        assert (
+            energies[DamageLabel.NO_DAMAGE]
+            < energies[DamageLabel.MODERATE]
+            < energies[DamageLabel.SEVERE]
+        )
+
+    def test_classes_overlap_at_boundary(self, rng):
+        """Adjacent severities must genuinely overlap (no trivial separation)."""
+        moderate = [
+            edge_energy(render_scene(DamageLabel.MODERATE, SceneType.ROAD, rng))
+            for _ in range(40)
+        ]
+        severe = [
+            edge_energy(render_scene(DamageLabel.SEVERE, SceneType.ROAD, rng))
+            for _ in range(40)
+        ]
+        assert max(moderate) > min(severe)
+
+    def test_images_vary(self, rng):
+        a = render_scene(DamageLabel.SEVERE, SceneType.ROAD, rng)
+        b = render_scene(DamageLabel.SEVERE, SceneType.ROAD, rng)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_rng_state(self):
+        a = render_scene(
+            DamageLabel.MODERATE, SceneType.BRIDGE, np.random.default_rng(3)
+        )
+        b = render_scene(
+            DamageLabel.MODERATE, SceneType.BRIDGE, np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_scene_types_render(self, rng):
+        for scene in SceneType:
+            image = render_scene(DamageLabel.MODERATE, scene, rng)
+            assert np.isfinite(image).all()
+
+    def test_severe_is_darker_than_intact(self, rng):
+        """Dust desaturation dims severe scenes on average."""
+        intact = np.mean(
+            [
+                render_scene(DamageLabel.NO_DAMAGE, SceneType.BUILDING, rng).mean()
+                for _ in range(25)
+            ]
+        )
+        severe = np.mean(
+            [
+                render_scene(DamageLabel.SEVERE, SceneType.BUILDING, rng).mean()
+                for _ in range(25)
+            ]
+        )
+        assert severe < intact

@@ -1,0 +1,107 @@
+"""Tests for repro.data.metadata."""
+
+import pytest
+
+from repro.data.metadata import (
+    DamageLabel,
+    FailureArchetype,
+    ImageMetadata,
+    SceneType,
+)
+
+
+class TestDamageLabel:
+    def test_three_classes(self):
+        assert DamageLabel.count() == 3
+
+    def test_severity_ordering(self):
+        assert DamageLabel.NO_DAMAGE < DamageLabel.MODERATE < DamageLabel.SEVERE
+
+    def test_int_values(self):
+        assert int(DamageLabel.NO_DAMAGE) == 0
+        assert int(DamageLabel.SEVERE) == 2
+
+
+class TestFailureArchetype:
+    def test_deceptive_set(self):
+        deceptive = FailureArchetype.deceptive()
+        assert FailureArchetype.FAKE in deceptive
+        assert FailureArchetype.CLOSEUP in deceptive
+        assert FailureArchetype.IMPLICIT in deceptive
+        assert FailureArchetype.LOW_RESOLUTION not in deceptive
+        assert FailureArchetype.NONE not in deceptive
+
+
+class TestImageMetadata:
+    def test_valid_honest(self):
+        meta = ImageMetadata(
+            image_id=0,
+            true_label=DamageLabel.MODERATE,
+            archetype=FailureArchetype.NONE,
+            scene=SceneType.ROAD,
+            is_fake=False,
+            people_in_danger=False,
+            apparent_label=DamageLabel.MODERATE,
+        )
+        assert not meta.is_deceptive
+
+    def test_fake_must_set_flag(self):
+        with pytest.raises(ValueError):
+            ImageMetadata(
+                image_id=0,
+                true_label=DamageLabel.NO_DAMAGE,
+                archetype=FailureArchetype.FAKE,
+                scene=SceneType.ROAD,
+                is_fake=False,  # inconsistent
+                people_in_danger=False,
+                apparent_label=DamageLabel.SEVERE,
+            )
+
+    def test_non_fake_cannot_set_flag(self):
+        with pytest.raises(ValueError):
+            ImageMetadata(
+                image_id=0,
+                true_label=DamageLabel.NO_DAMAGE,
+                archetype=FailureArchetype.NONE,
+                scene=SceneType.ROAD,
+                is_fake=True,
+                people_in_danger=False,
+                apparent_label=DamageLabel.NO_DAMAGE,
+            )
+
+    def test_honest_apparent_must_match_true(self):
+        with pytest.raises(ValueError):
+            ImageMetadata(
+                image_id=0,
+                true_label=DamageLabel.NO_DAMAGE,
+                archetype=FailureArchetype.NONE,
+                scene=SceneType.ROAD,
+                is_fake=False,
+                people_in_danger=False,
+                apparent_label=DamageLabel.SEVERE,
+            )
+
+    def test_deceptive_property(self):
+        meta = ImageMetadata(
+            image_id=0,
+            true_label=DamageLabel.SEVERE,
+            archetype=FailureArchetype.IMPLICIT,
+            scene=SceneType.PEOPLE,
+            is_fake=False,
+            people_in_danger=True,
+            apparent_label=DamageLabel.NO_DAMAGE,
+        )
+        assert meta.is_deceptive
+
+    def test_frozen(self):
+        meta = ImageMetadata(
+            image_id=0,
+            true_label=DamageLabel.MODERATE,
+            archetype=FailureArchetype.NONE,
+            scene=SceneType.ROAD,
+            is_fake=False,
+            people_in_danger=False,
+            apparent_label=DamageLabel.MODERATE,
+        )
+        with pytest.raises(AttributeError):
+            meta.image_id = 5

@@ -1,0 +1,102 @@
+"""Tests for repro.data.stream."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import SensingCycleStream
+from repro.utils.clock import TemporalContext
+
+
+@pytest.fixture
+def stream(small_dataset, rng):
+    return SensingCycleStream(
+        small_dataset,
+        n_cycles=8,
+        images_per_cycle=5,
+        cycles_per_context=2,
+        rng=rng,
+    )
+
+
+class TestSensingCycleStream:
+    def test_length(self, stream):
+        assert len(stream) == 8
+
+    def test_cycle_sizes(self, stream):
+        for cycle in stream:
+            assert len(cycle) == 5
+
+    def test_contexts_in_paper_order(self, stream):
+        contexts = [cycle.context for cycle in stream]
+        expected = [
+            TemporalContext.MORNING,
+            TemporalContext.MORNING,
+            TemporalContext.AFTERNOON,
+            TemporalContext.AFTERNOON,
+            TemporalContext.EVENING,
+            TemporalContext.EVENING,
+            TemporalContext.MIDNIGHT,
+            TemporalContext.MIDNIGHT,
+        ]
+        assert contexts == expected
+
+    def test_context_wraps_past_four_blocks(self, small_dataset, rng):
+        stream = SensingCycleStream(
+            small_dataset,
+            n_cycles=10,
+            images_per_cycle=2,
+            cycles_per_context=2,
+            rng=rng,
+        )
+        assert stream.context_of_cycle(8) is TemporalContext.MORNING
+
+    def test_no_image_repeats(self, stream):
+        seen = set()
+        for cycle in stream:
+            for image in cycle.images:
+                assert image.image_id not in seen
+                seen.add(image.image_id)
+
+    def test_cycle_indexing_matches_iteration(self, stream):
+        for i, cycle in enumerate(stream):
+            assert cycle.index == i
+            direct = stream.cycle(i)
+            assert [img.image_id for img in direct.images] == [
+                img.image_id for img in cycle.images
+            ]
+
+    def test_all_images_dataset(self, stream):
+        dataset = stream.all_images()
+        assert len(dataset) == 40
+
+    def test_cycle_dataset_conversion(self, stream):
+        cycle = stream.cycle(0)
+        dataset = cycle.dataset()
+        assert len(dataset) == 5
+
+    def test_insufficient_test_set_raises(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            SensingCycleStream(
+                small_dataset, n_cycles=100, images_per_cycle=10, rng=rng
+            )
+
+    def test_out_of_range_cycle_raises(self, stream):
+        with pytest.raises(IndexError):
+            stream.cycle(8)
+
+    def test_invalid_sizes_raise(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            SensingCycleStream(small_dataset, n_cycles=0, rng=rng)
+
+    def test_shuffled_by_rng(self, small_dataset):
+        a = SensingCycleStream(
+            small_dataset, n_cycles=4, images_per_cycle=5,
+            rng=np.random.default_rng(1),
+        )
+        b = SensingCycleStream(
+            small_dataset, n_cycles=4, images_per_cycle=5,
+            rng=np.random.default_rng(2),
+        )
+        ids_a = [img.image_id for img in a.all_images()]
+        ids_b = [img.image_id for img in b.all_images()]
+        assert ids_a != ids_b

@@ -1,0 +1,152 @@
+"""Tests for repro.eval.baselines (fast mode)."""
+
+import numpy as np
+import pytest
+
+from repro.core.committee import Committee
+from repro.eval.baselines import (
+    AIOnlyScheme,
+    EnsembleScheme,
+    HybridALScheme,
+    HybridParaScheme,
+)
+from repro.eval.runner import prepare
+from repro.metrics.classification import accuracy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=5, fast=True)
+
+
+class TestAIOnlyScheme:
+    def test_result_alignment(self, setup):
+        scheme = AIOnlyScheme(setup.base_committee.experts[0])
+        result = scheme.run(setup.make_stream("aionly"))
+        n = setup.config.n_cycles * setup.config.images_per_cycle
+        assert result.y_true.shape == (n,)
+        assert result.y_pred.shape == (n,)
+        assert result.scores.shape == (n, 3)
+        assert result.mean_crowd_delay() is None
+        assert result.cost_cents == 0.0
+
+    def test_name_defaults_to_model(self, setup):
+        scheme = AIOnlyScheme(setup.base_committee.experts[0])
+        assert scheme.name == setup.base_committee.experts[0].name
+
+
+class TestEnsembleScheme:
+    def test_predictions_normalized(self, setup):
+        scheme = EnsembleScheme(setup.base_committee.experts, setup.train_set)
+        result = scheme.run(setup.make_stream("ens"))
+        np.testing.assert_allclose(result.scores.sum(axis=1), 1.0)
+
+    def test_at_least_near_best_member(self, setup):
+        stream_name = "ens-cmp"
+        ensemble = EnsembleScheme(setup.base_committee.experts, setup.train_set)
+        ens_result = ensemble.run(setup.make_stream(stream_name))
+        ens_acc = accuracy(ens_result.y_true, ens_result.y_pred)
+        member_accs = []
+        for expert in setup.base_committee.experts:
+            r = AIOnlyScheme(expert).run(setup.make_stream(stream_name))
+            member_accs.append(accuracy(r.y_true, r.y_pred))
+        assert ens_acc >= max(member_accs) - 0.15
+
+    def test_requires_models(self, setup):
+        with pytest.raises(ValueError):
+            EnsembleScheme([], setup.train_set)
+
+
+class TestHybridParaScheme:
+    def test_records_crowd_delays(self, setup):
+        vgg = setup.base_committee.experts[0]
+        scheme = HybridParaScheme(
+            model=vgg,
+            platform=setup.make_platform("para-test"),
+            incentive_cents=8.0,
+            queries_per_cycle=2,
+            rng=setup.seeds.get("para-test"),
+        )
+        result = scheme.run(setup.make_stream("para-test"))
+        assert len(result.crowd_delays) == setup.config.n_cycles
+        assert result.cost_cents == pytest.approx(
+            8.0 * 2 * setup.config.n_cycles
+        )
+
+    def test_zero_queries_is_pure_ai(self, setup):
+        vgg = setup.base_committee.experts[0]
+        scheme = HybridParaScheme(
+            model=vgg,
+            platform=setup.make_platform("para-zero"),
+            incentive_cents=8.0,
+            queries_per_cycle=0,
+            rng=setup.seeds.get("para-zero"),
+        )
+        result = scheme.run(setup.make_stream("para-zero"))
+        assert result.cost_cents == 0.0
+        assert not result.crowd_delays
+
+    def test_threshold_one_keeps_all_ai_labels(self, setup):
+        vgg = setup.base_committee.experts[0]
+        pure = AIOnlyScheme(vgg).run(setup.make_stream("para-thresh"))
+        scheme = HybridParaScheme(
+            model=vgg,
+            platform=setup.make_platform("para-thresh"),
+            incentive_cents=8.0,
+            queries_per_cycle=3,
+            rng=setup.seeds.get("para-thresh"),
+            complexity_threshold=1.0,
+        )
+        result = scheme.run(setup.make_stream("para-thresh"))
+        # Normalized entropy < 1 almost surely, so the crowd never overrides.
+        assert accuracy(result.y_true, result.y_pred) == pytest.approx(
+            accuracy(pure.y_true, pure.y_pred), abs=0.05
+        )
+
+    def test_invalid_params_raise(self, setup):
+        vgg = setup.base_committee.experts[0]
+        platform = setup.make_platform("para-bad")
+        rng = setup.seeds.get("para-bad")
+        with pytest.raises(ValueError):
+            HybridParaScheme(vgg, platform, 0.0, 2, rng)
+        with pytest.raises(ValueError):
+            HybridParaScheme(vgg, platform, 8.0, -1, rng)
+        with pytest.raises(ValueError):
+            HybridParaScheme(vgg, platform, 8.0, 2, rng, complexity_threshold=2.0)
+
+
+class TestHybridALScheme:
+    def test_accumulates_pool_and_retrains(self, setup):
+        committee = Committee([setup.clone_committee().experts[0]])
+        scheme = HybridALScheme(
+            committee=committee,
+            platform=setup.make_platform("al-test"),
+            incentive_cents=8.0,
+            queries_per_cycle=2,
+            replay_pool=setup.train_set,
+            rng=setup.seeds.get("al-test"),
+            replay_size=5,
+        )
+        result = scheme.run(setup.make_stream("al-test"))
+        expected_pool = 2 * setup.config.n_cycles
+        assert len(scheme._pool_images) == expected_pool
+        assert len(result.crowd_delays) == setup.config.n_cycles
+
+    def test_sets_retrain_epochs_to_one(self, setup):
+        committee = Committee([setup.clone_committee().experts[0]])
+        HybridALScheme(
+            committee=committee,
+            platform=setup.make_platform("al-epochs"),
+            incentive_cents=8.0,
+            queries_per_cycle=1,
+            replay_pool=setup.train_set,
+            rng=setup.seeds.get("al-epochs"),
+        )
+        assert committee.experts[0].retrain_epochs == 1
+
+    def test_invalid_params_raise(self, setup):
+        committee = Committee([setup.clone_committee().experts[0]])
+        platform = setup.make_platform("al-bad")
+        rng = setup.seeds.get("al-bad")
+        with pytest.raises(ValueError):
+            HybridALScheme(committee, platform, -1.0, 2, setup.train_set, rng)

@@ -1,0 +1,52 @@
+"""Tests for repro.eval.delay_model."""
+
+import pytest
+
+from repro.eval.delay_model import AlgorithmDelayModel
+
+
+@pytest.fixture
+def model():
+    return AlgorithmDelayModel()
+
+
+class TestAlgorithmDelayModel:
+    def test_expert_costs_anchor_to_paper(self, model):
+        assert model.expert_cost("VGG16") == pytest.approx(47.83)
+        assert model.expert_cost("BoVW") == pytest.approx(37.55)
+        assert model.expert_cost("DDM") == pytest.approx(52.57)
+
+    def test_table3_ordering_preserved(self, model):
+        """The paper's Table III ordering must hold."""
+        costs = {
+            name: model.scheme_cost(name)
+            for name in (
+                "BoVW", "VGG16", "DDM", "CrowdLearn", "Ensemble", "Hybrid-Para",
+                "Hybrid-AL",
+            )
+        }
+        assert costs["BoVW"] < costs["VGG16"] < costs["DDM"]
+        assert costs["DDM"] < costs["CrowdLearn"] < costs["Ensemble"]
+        assert costs["Ensemble"] < costs["Hybrid-Para"]
+        assert costs["VGG16"] < costs["Hybrid-AL"] < costs["CrowdLearn"] + 10
+
+    def test_crowdlearn_runs_committee_concurrently(self, model):
+        assert model.crowdlearn_cost() < sum(model.expert_costs.values())
+        assert model.crowdlearn_cost() > max(model.expert_costs.values())
+
+    def test_hybrid_al_is_expert_plus_retraining(self, model):
+        assert model.hybrid_al_cost() > model.expert_cost("VGG16")
+
+    def test_custom_costs(self):
+        model = AlgorithmDelayModel({"A": 1.0, "B": 2.0})
+        assert model.ensemble_cost() == pytest.approx(3.0 * 0.6 + 2.0)
+
+    def test_unknown_names_raise(self, model):
+        with pytest.raises(KeyError):
+            model.expert_cost("nope")
+        with pytest.raises(KeyError):
+            model.scheme_cost("nope")
+
+    def test_invalid_costs_raise(self):
+        with pytest.raises(ValueError):
+            AlgorithmDelayModel({"A": 0.0})

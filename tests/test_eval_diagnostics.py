@@ -1,0 +1,102 @@
+"""Tests for repro.eval.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DisasterDataset
+from repro.data.metadata import DamageLabel, FailureArchetype
+from repro.eval.diagnostics import diagnose
+
+
+class OracleOnPixelsModel:
+    """Predicts the *apparent* label perfectly — the idealized pixel-only AI.
+
+    Honest images come out right; deceptive archetypes come out confidently
+    wrong, which is exactly the paper's Figure 1 failure pattern.
+    """
+
+    name = "pixel-oracle"
+
+    def predict_proba(self, dataset):
+        probs = np.full((len(dataset), DamageLabel.count()), 0.02)
+        for i, meta in enumerate(dataset.metadata()):
+            probs[i, int(meta.apparent_label)] = 0.96
+        return probs / probs.sum(axis=1, keepdims=True)
+
+
+class UncertainModel:
+    """Always near-uniform: wrong often, but never confidently."""
+
+    name = "uncertain"
+
+    def predict_proba(self, dataset):
+        probs = np.full((len(dataset), 3), 1 / 3)
+        probs[:, 0] += 0.01
+        return probs / probs.sum(axis=1, keepdims=True)
+
+
+class TestDiagnose:
+    def test_pixel_oracle_fails_on_deceptive_archetypes(self, small_dataset):
+        report = diagnose(OracleOnPixelsModel(), small_dataset)
+        for archetype in FailureArchetype.deceptive():
+            diagnosis = report.diagnoses[archetype]
+            if diagnosis.n_images:
+                assert diagnosis.accuracy == 0.0
+                assert diagnosis.confidently_wrong_rate == 1.0
+        honest = report.diagnoses[FailureArchetype.NONE]
+        assert honest.accuracy == 1.0
+        assert honest.confidently_wrong_rate == 0.0
+
+    def test_innate_failures_detected(self, small_dataset):
+        report = diagnose(OracleOnPixelsModel(), small_dataset)
+        innate = report.innate_failure_archetypes()
+        for archetype in FailureArchetype.deceptive():
+            if report.diagnoses[archetype].n_images:
+                assert archetype in innate
+        assert FailureArchetype.NONE not in innate
+
+    def test_uncertain_model_not_confidently_wrong(self, small_dataset):
+        report = diagnose(UncertainModel(), small_dataset)
+        for diagnosis in report.diagnoses.values():
+            assert diagnosis.confidently_wrong_rate == 0.0
+        assert report.innate_failure_archetypes() == []
+
+    def test_overall_accuracy_weighted(self, small_dataset):
+        report = diagnose(OracleOnPixelsModel(), small_dataset)
+        expected = float(
+            np.mean(
+                [
+                    int(m.apparent_label) == int(m.true_label)
+                    for m in small_dataset.metadata()
+                ]
+            )
+        )
+        assert report.overall_accuracy() == pytest.approx(expected)
+
+    def test_predicted_distribution_sums_to_one(self, small_dataset):
+        report = diagnose(OracleOnPixelsModel(), small_dataset)
+        for diagnosis in report.diagnoses.values():
+            if diagnosis.n_images:
+                assert diagnosis.predicted_distribution.sum() == pytest.approx(1.0)
+
+    def test_render_contains_archetypes(self, small_dataset):
+        text = diagnose(OracleOnPixelsModel(), small_dataset).render()
+        assert "pixel-oracle" in text
+        assert "fake" in text
+
+    def test_real_expert_diagnosis(self, small_split):
+        """A real (tiny) CNN shows the innate-failure fingerprint."""
+        from repro.models.vgg import VGGModel
+
+        train, test = small_split
+        model = VGGModel(epochs=3, width=4)
+        model.fit(train, np.random.default_rng(0))
+        report = diagnose(model, test)
+        assert 0.0 <= report.overall_accuracy() <= 1.0
+        assert "Failure report" in report.render()
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            diagnose(OracleOnPixelsModel(), small_dataset, confidence_threshold=0.0)
+        with pytest.raises(ValueError):
+            diagnose(OracleOnPixelsModel(), DisasterDataset([]))

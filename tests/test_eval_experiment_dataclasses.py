@@ -1,0 +1,116 @@
+"""Unit tests for the experiment data classes' rendering (no heavy compute)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments.fig8 import Fig8Data
+from repro.eval.experiments.fig9 import Fig9Data
+from repro.eval.experiments.fig10_11 import BudgetSweepData
+from repro.eval.experiments.pilot_experiments import Fig5Data, Fig6Data
+from repro.eval.experiments.table1 import Table1Data
+from repro.eval.experiments.table2 import Fig7Data, Table2Data, Table3Data
+from repro.metrics.classification import ClassificationReport
+from repro.metrics.roc import RocCurve
+from repro.utils.clock import TemporalContext
+
+
+class TestFig5Data:
+    def test_render_contains_all_contexts(self):
+        data = Fig5Data(
+            incentive_levels=(1.0, 4.0),
+            delays={c: [500.0, 300.0] for c in TemporalContext.ordered()},
+        )
+        text = data.render()
+        for context in TemporalContext.ordered():
+            assert context.value in text
+        assert "500.0" in text
+
+
+class TestFig6Data:
+    def test_render(self):
+        data = Fig6Data(incentive_levels=(1.0, 4.0), quality=[0.65, 0.8])
+        assert "0.650" in data.render()
+
+
+class TestTable1Data:
+    def test_overall_and_render(self):
+        accuracy = {
+            "CQC": {c.value: 0.9 for c in TemporalContext.ordered()},
+            "Voting": {c.value: 0.8 for c in TemporalContext.ordered()},
+        }
+        data = Table1Data(accuracy=accuracy)
+        assert data.overall("CQC") == pytest.approx(0.9)
+        text = data.render()
+        assert "Overall" in text and "CQC" in text
+
+
+class TestTable2Data:
+    def test_render_orders_schemes(self):
+        reports = {
+            "CrowdLearn": ClassificationReport(0.9, 0.9, 0.9, 0.9),
+            "BoVW": ClassificationReport(0.6, 0.6, 0.6, 0.6),
+        }
+        text = Table2Data(reports=reports).render()
+        lines = text.splitlines()
+        crowdlearn_line = next(i for i, l in enumerate(lines) if "CrowdLearn" in l)
+        bovw_line = next(i for i, l in enumerate(lines) if "BoVW" in l)
+        assert crowdlearn_line < bovw_line  # paper row order
+
+    def test_render_skips_missing_schemes(self):
+        reports = {"CrowdLearn": ClassificationReport(0.9, 0.9, 0.9, 0.9)}
+        text = Table2Data(reports=reports).render()
+        assert "VGG16" not in text
+
+
+class TestFig7Data:
+    def test_render(self):
+        curve = RocCurve(
+            fpr=np.array([0.0, 1.0]), tpr=np.array([0.0, 1.0]), auc=0.5
+        )
+        text = Fig7Data(curves={"CrowdLearn": curve}).render()
+        assert "macro-AUC" in text and "0.500" in text
+
+
+class TestTable3Data:
+    def test_na_rendering(self):
+        data = Table3Data(
+            algorithm_delay={"CrowdLearn": 55.0, "VGG16": 47.0},
+            crowd_delay={"CrowdLearn": 340.0, "VGG16": None},
+        )
+        text = data.render()
+        assert "N/A" in text
+        assert "340.00" in text
+
+
+class TestFig8Data:
+    def test_render(self):
+        delays = {
+            "CrowdLearn (IPD)": {c: 300.0 for c in TemporalContext.ordered()},
+            "Fixed": {c: 450.0 for c in TemporalContext.ordered()},
+        }
+        text = Fig8Data(delays=delays).render()
+        assert "CrowdLearn (IPD)" in text and "morning" in text
+
+
+class TestFig9Data:
+    def test_render(self):
+        data = Fig9Data(
+            fractions=(0.0, 1.0),
+            f1={"CrowdLearn": [0.8, 0.9], "Ensemble": [0.8, 0.8]},
+        )
+        text = data.render()
+        assert "query_fraction" in text
+
+    def test_mismatched_series_raises(self):
+        data = Fig9Data(fractions=(0.0, 1.0), f1={"CrowdLearn": [0.8]})
+        with pytest.raises(ValueError):
+            data.render()
+
+
+class TestBudgetSweepData:
+    def test_renders_both_figures(self):
+        data = BudgetSweepData(
+            budgets_usd=(2.0, 40.0), f1=[0.7, 0.9], crowd_delay=[500.0, 300.0]
+        )
+        assert "Figure 10" in data.render_fig10()
+        assert "Figure 11" in data.render_fig11()

@@ -1,0 +1,98 @@
+"""Tests for repro.eval.persistence (JSON result archiving)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.baselines import SchemeResult
+from repro.eval.persistence import (
+    load_results,
+    save_results,
+    scheme_result_from_dict,
+    scheme_result_to_dict,
+)
+from repro.utils.clock import TemporalContext
+
+
+@pytest.fixture
+def sample_result(rng):
+    n = 20
+    scores = rng.dirichlet(np.ones(3), size=n)
+    return SchemeResult(
+        name="CrowdLearn",
+        y_true=rng.integers(0, 3, size=n),
+        y_pred=rng.integers(0, 3, size=n),
+        scores=scores,
+        crowd_delays=[300.0, 420.5],
+        crowd_delay_contexts=[TemporalContext.MORNING, TemporalContext.EVENING],
+        cost_cents=123.5,
+    )
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_exact(self, sample_result):
+        restored = scheme_result_from_dict(scheme_result_to_dict(sample_result))
+        assert restored.name == sample_result.name
+        np.testing.assert_array_equal(restored.y_true, sample_result.y_true)
+        np.testing.assert_array_equal(restored.y_pred, sample_result.y_pred)
+        np.testing.assert_allclose(restored.scores, sample_result.scores)
+        assert restored.crowd_delays == sample_result.crowd_delays
+        assert restored.crowd_delay_contexts == sample_result.crowd_delay_contexts
+        assert restored.cost_cents == sample_result.cost_cents
+
+    def test_dict_is_json_safe(self, sample_result):
+        json.dumps(scheme_result_to_dict(sample_result))
+
+    def test_missing_field_raises(self, sample_result):
+        data = scheme_result_to_dict(sample_result)
+        del data["scores"]
+        with pytest.raises(ValueError, match="missing field"):
+            scheme_result_from_dict(data)
+
+    def test_metrics_survive_roundtrip(self, sample_result):
+        from repro.metrics.classification import classification_report
+
+        restored = scheme_result_from_dict(scheme_result_to_dict(sample_result))
+        original = classification_report(sample_result.y_true, sample_result.y_pred)
+        after = classification_report(restored.y_true, restored.y_pred)
+        assert original == after
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, sample_result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(
+            {"CrowdLearn": sample_result},
+            path,
+            metadata={"seed": 1, "note": "unit test"},
+        )
+        results, metadata = load_results(path)
+        assert set(results) == {"CrowdLearn"}
+        assert metadata["seed"] == 1
+        np.testing.assert_array_equal(
+            results["CrowdLearn"].y_true, sample_result.y_true
+        )
+
+    def test_empty_metadata_default(self, sample_result, tmp_path):
+        path = save_results({"x": sample_result}, tmp_path / "r.json")
+        _, metadata = load_results(path)
+        assert metadata == {}
+
+    def test_version_mismatch_rejected(self, sample_result, tmp_path):
+        path = tmp_path / "r.json"
+        save_results({"x": sample_result}, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_results(path)
+
+    def test_multiple_schemes(self, sample_result, tmp_path):
+        other = scheme_result_from_dict(scheme_result_to_dict(sample_result))
+        other.name = "VGG16"
+        path = save_results(
+            {"CrowdLearn": sample_result, "VGG16": other}, tmp_path / "r.json"
+        )
+        results, _ = load_results(path)
+        assert set(results) == {"CrowdLearn", "VGG16"}

@@ -1,0 +1,70 @@
+"""Tests for repro.eval.reporting."""
+
+import pytest
+
+from repro.eval.reporting import format_context_table, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["Name", "Score"], [["alpha", 0.5], ["b", 1.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1] and "Score" in lines[1]
+        assert "alpha" in lines[3]
+        assert "0.500" in lines[3]
+
+    def test_column_alignment(self):
+        text = format_table(["A", "B"], [["xxxx", 1.0], ["y", 2.0]])
+        lines = text.splitlines()
+        # Separator line matches header width.
+        assert len(lines[1]) == len(lines[0])
+
+    def test_float_format_respected(self):
+        text = format_table(["V"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in text and "0.123" not in text
+
+    def test_non_floats_stringified(self):
+        text = format_table(["V"], [[7]])
+        assert "7" in text
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series(
+            "x", [1, 2, 3], {"s1": [0.1, 0.2, 0.3], "s2": [1.0, 2.0, 3.0]}
+        )
+        assert len(text.splitlines()) == 2 + 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [0.1]})
+
+
+class TestFormatContextTable:
+    def test_overall_column_is_mean(self):
+        rows = {"CQC": {"m": 0.9, "e": 0.7}}
+        text = format_context_table("Scheme", rows, ["m", "e"])
+        assert "0.800" in text  # (0.9 + 0.7) / 2
+
+    def test_multiple_schemes(self):
+        rows = {
+            "A": {"m": 1.0, "e": 1.0},
+            "B": {"m": 0.0, "e": 0.0},
+        }
+        text = format_context_table("Scheme", rows, ["m", "e"])
+        assert "A" in text and "B" in text

@@ -1,0 +1,96 @@
+"""Tests for repro.eval.robustness (multi-seed aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.baselines import SchemeResult
+from repro.eval.robustness import (
+    RobustnessStudy,
+    run_robustness_study,
+    summarize_across_seeds,
+)
+
+
+def make_result(name, accuracy, n=40, rng=None, delay=None):
+    """A synthetic result with a chosen accuracy."""
+    rng = rng or np.random.default_rng(0)
+    y_true = rng.integers(0, 3, size=n)
+    y_pred = y_true.copy()
+    n_wrong = int(round((1 - accuracy) * n))
+    flip = rng.choice(n, size=n_wrong, replace=False)
+    y_pred[flip] = (y_true[flip] + 1) % 3
+    return SchemeResult(
+        name=name,
+        y_true=y_true,
+        y_pred=y_pred,
+        scores=np.full((n, 3), 1 / 3),
+        crowd_delays=[delay] if delay is not None else [],
+        crowd_delay_contexts=[],
+        cost_cents=0.0,
+    )
+
+
+@pytest.fixture
+def two_seed_results(rng):
+    return {
+        1: {
+            "CrowdLearn": make_result("CrowdLearn", 0.9, rng=rng, delay=300.0),
+            "VGG16": make_result("VGG16", 0.7, rng=rng),
+        },
+        2: {
+            "CrowdLearn": make_result("CrowdLearn", 0.85, rng=rng, delay=350.0),
+            "VGG16": make_result("VGG16", 0.75, rng=rng),
+        },
+    }
+
+
+class TestSummarize:
+    def test_means_and_stds(self, two_seed_results):
+        study = summarize_across_seeds(two_seed_results)
+        assert study.seeds == (1, 2)
+        assert study.mean("CrowdLearn", "accuracy") == pytest.approx(
+            0.875, abs=0.02
+        )
+        assert study.std("CrowdLearn", "accuracy") > 0
+
+    def test_win_rate(self, two_seed_results):
+        study = summarize_across_seeds(two_seed_results)
+        assert study.win_rate("CrowdLearn") == 1.0
+        assert study.win_rate("VGG16") == 0.0
+
+    def test_crowd_delay_nan_for_ai_only(self, two_seed_results):
+        study = summarize_across_seeds(two_seed_results)
+        assert np.isnan(study.values["VGG16"]["crowd_delay"]).all()
+        assert study.mean("CrowdLearn", "crowd_delay") == pytest.approx(325.0)
+
+    def test_render_contains_schemes(self, two_seed_results):
+        text = summarize_across_seeds(two_seed_results).render()
+        assert "CrowdLearn" in text and "Win rate" in text and "±" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_across_seeds({})
+
+    def test_mismatched_schemes_raise(self, two_seed_results):
+        del two_seed_results[2]["VGG16"]
+        with pytest.raises(ValueError, match="different scheme set"):
+            summarize_across_seeds(two_seed_results)
+
+
+class TestRunStudy:
+    def test_fast_two_seed_study(self):
+        """End to end at smoke scale: the study runs and aggregates."""
+        study = run_robustness_study(seeds=(51, 52), fast=True)
+        assert study.seeds == (51, 52)
+        assert set(study.values) == {
+            "CrowdLearn", "VGG16", "BoVW", "DDM", "Ensemble",
+            "Hybrid-Para", "Hybrid-AL",
+        }
+        for scheme in study.values:
+            assert len(study.values[scheme]["accuracy"]) == 2
+            assert 0.0 <= study.mean(scheme, "accuracy") <= 1.0
+        assert "Robustness over seeds" in study.render()
+
+    def test_no_seeds_raises(self):
+        with pytest.raises(ValueError):
+            run_robustness_study(seeds=())

@@ -1,0 +1,94 @@
+"""Tests for repro.eval.runner (fast mode)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import (
+    build_crowdlearn,
+    fast_config,
+    prepare,
+    scheme_result_from_run,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=9, fast=True)
+
+
+class TestPrepare:
+    def test_split_sizes(self, setup):
+        assert len(setup.train_set) == 120
+        assert len(setup.test_set) == 60
+
+    def test_committee_trained(self, setup):
+        probs = setup.base_committee.experts[0].predict_proba(setup.test_set)
+        assert probs.shape == (60, 3)
+
+    def test_pilot_complete(self, setup):
+        results, labels = setup.pilot.all_labeled_results()
+        expected = len(setup.config.incentive_levels) * 4 * 4  # 4 per cell fast
+        assert len(results) == expected
+        assert len(labels) == expected
+
+    def test_test_set_feeds_stream(self, setup):
+        stream = setup.make_stream("check")
+        assert len(stream.all_images()) == (
+            setup.config.n_cycles * setup.config.images_per_cycle
+        )
+
+    def test_rejects_oversized_stream(self):
+        from repro.core.config import CrowdLearnConfig
+
+        config = CrowdLearnConfig(n_cycles=400, images_per_cycle=10)
+        with pytest.raises(ValueError):
+            prepare(seed=0, config=config, n_images=100, n_train=50)
+
+    def test_fixed_incentive_is_budget_over_queries(self, setup):
+        config = setup.config
+        expected = config.budget_cents / config.total_queries
+        assert setup.fixed_incentive_cents() == pytest.approx(expected)
+
+
+class TestCloneCommittee:
+    def test_clone_is_independent(self, setup):
+        clone = setup.clone_committee()
+        clone.set_weights(np.array([1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(setup.base_committee.weights, 1 / 3)
+
+    def test_clone_predicts_identically(self, setup):
+        clone = setup.clone_committee()
+        a = setup.base_committee.committee_vote(setup.test_set)
+        b = clone.committee_vote(setup.test_set)
+        np.testing.assert_allclose(a, b)
+
+
+class TestBuildCrowdlearn:
+    def test_uses_shared_pilot(self, setup):
+        system = build_crowdlearn(setup)
+        assert system.cqc.is_fitted
+
+    def test_custom_config_override(self, setup):
+        import dataclasses
+
+        config = dataclasses.replace(setup.config, budget_usd=1.0)
+        system = build_crowdlearn(setup, config=config)
+        assert system.ledger.total == 100.0
+
+
+class TestSchemeResultFromRun:
+    def test_conversion(self, setup):
+        system = build_crowdlearn(setup)
+        outcome = system.run(setup.make_stream("convert"))
+        result = scheme_result_from_run("CrowdLearn", outcome)
+        assert result.name == "CrowdLearn"
+        np.testing.assert_array_equal(result.y_true, outcome.y_true())
+        assert result.cost_cents == pytest.approx(outcome.total_cost_cents())
+        assert len(result.crowd_delays) <= setup.config.n_cycles
+
+
+class TestFastConfig:
+    def test_small_but_valid(self):
+        config = fast_config()
+        assert config.n_cycles * config.images_per_cycle <= 60
+        assert config.total_queries > 0

@@ -1,0 +1,101 @@
+"""Tests for GBT feature importances and CQC's explanation surface."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.gbt import GradientBoostedClassifier
+from repro.boosting.tree import RegressionTree
+
+
+class TestTreeSplitCounts:
+    def test_counts_splits(self, rng):
+        x = np.column_stack([rng.normal(size=200), np.linspace(0, 1, 200)])
+        grad = np.where(x[:, 1] > 0.5, 1.0, -1.0)
+        tree = RegressionTree(max_depth=2).fit(x, grad)
+        counts = tree.feature_split_counts()
+        assert counts.shape == (2,)
+        assert counts[1] >= 1  # the informative feature is used
+        assert counts.sum() == tree.n_leaves() - 1  # binary tree identity
+
+    def test_stump_no_splits(self, rng):
+        tree = RegressionTree(max_depth=0).fit(
+            rng.normal(size=(10, 3)), rng.normal(size=10)
+        )
+        np.testing.assert_array_equal(tree.feature_split_counts(), 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().feature_split_counts()
+
+
+class TestGbtImportances:
+    def test_informative_feature_dominates(self, rng):
+        # Feature 1 fully determines the label; feature 0 is pure noise.
+        x = np.column_stack([rng.normal(size=300), rng.uniform(0, 1, 300)])
+        y = (x[:, 1] > 0.5).astype(np.int64)
+        model = GradientBoostedClassifier(n_estimators=15, max_depth=2)
+        model.fit(x, y, rng=rng)
+        importances = model.feature_importances()
+        assert importances.shape == (2,)
+        assert importances.sum() == pytest.approx(1.0)
+        assert importances[1] > 0.8
+
+    def test_degenerate_fit_uniform(self, rng):
+        # Constant labels: trees never split; importances fall back uniform.
+        x = rng.normal(size=(30, 4))
+        y = np.zeros(30, dtype=np.int64)
+        model = GradientBoostedClassifier(n_estimators=2, max_depth=2)
+        model.fit(x, y, rng=rng)
+        np.testing.assert_allclose(model.feature_importances(), 0.25)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedClassifier().feature_importances()
+
+
+class TestCqcExplanation:
+    @pytest.fixture(scope="class")
+    def fitted_cqc(self, population):
+        from repro.core.cqc import CrowdQualityControl
+        from repro.crowd.delay import DelayModel
+        from repro.crowd.platform import CrowdsourcingPlatform
+        from repro.crowd.quality import QualityModel
+        from repro.data.dataset import build_dataset
+        from repro.utils.clock import TemporalContext
+
+        rng = np.random.default_rng(55)
+        platform = CrowdsourcingPlatform(
+            population=population,
+            delay_model=DelayModel(),
+            quality_model=QualityModel(),
+            rng=rng,
+            workers_per_query=5,
+        )
+        dataset = build_dataset(n_images=120, archetype_fraction=0.3, rng=rng)
+        results = [
+            platform.post_query(img.metadata, 8.0, TemporalContext.EVENING)
+            for img in dataset
+        ]
+        cqc = CrowdQualityControl()
+        cqc.fit(results, dataset.labels(), rng=rng)
+        return cqc
+
+    def test_importances_named_and_normalized(self, fitted_cqc):
+        importances = fitted_cqc.feature_importances()
+        assert sum(importances.values()) == pytest.approx(1.0)
+        assert "frac_says_fake" in importances
+        assert "label_frac_severe" in importances
+
+    def test_label_votes_matter(self, fitted_cqc):
+        """The label-vote fractions must carry real weight."""
+        importances = fitted_cqc.feature_importances()
+        label_mass = sum(
+            v for k, v in importances.items() if k.startswith("label_frac")
+        )
+        assert label_mass > 0.2
+
+    def test_unfitted_raises(self):
+        from repro.core.cqc import CrowdQualityControl
+
+        with pytest.raises(RuntimeError):
+            CrowdQualityControl().feature_importances()

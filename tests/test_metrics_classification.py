@@ -1,0 +1,90 @@
+"""Tests for repro.metrics.classification."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    macro_f1,
+    macro_precision,
+    macro_recall,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_are_diagonal(self):
+        y = np.array([0, 1, 2, 1, 0])
+        matrix = confusion_matrix(y, y)
+        assert matrix.sum() == 5
+        np.testing.assert_array_equal(matrix, np.diag([2, 2, 1]))
+
+    def test_rows_are_true_labels(self):
+        matrix = confusion_matrix([0, 0], [1, 1], n_classes=2)
+        assert matrix[0, 1] == 2
+        assert matrix[1, 0] == 0
+
+    def test_explicit_n_classes_pads(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert matrix.shape == (3, 3)
+
+    def test_label_exceeding_n_classes_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([3], [0], n_classes=2)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+    def test_negative_labels_raise(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([-1], [0])
+
+
+class TestScalarMetrics:
+    def test_accuracy(self):
+        assert accuracy([0, 1, 2, 0], [0, 1, 1, 0]) == pytest.approx(0.75)
+
+    def test_macro_metrics_on_known_case(self):
+        # Class 0: P=1, R=0.5; class 1: P=0.5, R=1.
+        y_true = [0, 0, 1]
+        y_pred = [0, 1, 1]
+        assert macro_precision(y_true, y_pred) == pytest.approx(0.75)
+        assert macro_recall(y_true, y_pred) == pytest.approx(0.75)
+        # F1: class0 2*1*.5/1.5 = 2/3; class1 2*.5*1/1.5 = 2/3.
+        assert macro_f1(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_perfect_scores(self):
+        y = [0, 1, 2]
+        assert accuracy(y, y) == 1.0
+        assert macro_f1(y, y) == 1.0
+
+    def test_absent_predicted_class_gets_zero_precision(self):
+        # Class 2 is never predicted: its precision counts as 0.
+        y_true = [0, 1, 2]
+        y_pred = [0, 1, 0]
+        assert macro_precision(y_true, y_pred) == pytest.approx((0.5 + 1.0 + 0.0) / 3)
+
+
+class TestClassificationReport:
+    def test_matches_individual_metrics(self, rng):
+        y_true = rng.integers(0, 3, size=100)
+        y_pred = rng.integers(0, 3, size=100)
+        report = classification_report(y_true, y_pred)
+        assert report.accuracy == pytest.approx(accuracy(y_true, y_pred))
+        assert report.precision == pytest.approx(macro_precision(y_true, y_pred))
+        assert report.recall == pytest.approx(macro_recall(y_true, y_pred))
+        assert report.f1 == pytest.approx(macro_f1(y_true, y_pred))
+
+    def test_as_row_order(self):
+        report = classification_report([0, 1], [0, 1])
+        assert report.as_row() == (1.0, 1.0, 1.0, 1.0)
+
+    def test_str_contains_values(self):
+        text = str(classification_report([0, 1], [0, 1]))
+        assert "acc=1.000" in text

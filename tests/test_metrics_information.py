@@ -1,0 +1,105 @@
+"""Tests for repro.metrics.information."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.information import (
+    bounded_divergence,
+    entropy,
+    kl_divergence,
+    normalized_entropy,
+    symmetric_kl,
+)
+
+
+class TestEntropy:
+    def test_uniform_is_log_k(self):
+        assert entropy([0.25] * 4) == pytest.approx(np.log(4))
+
+    def test_point_mass_is_zero(self):
+        assert entropy([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_base_2(self):
+        assert entropy([0.5, 0.5], base=2) == pytest.approx(1.0)
+
+    def test_renormalizes_unnormalized_input(self):
+        assert entropy([2.0, 2.0]) == pytest.approx(np.log(2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy([-0.1, 1.1])
+
+    def test_rejects_empty_and_zero_mass(self):
+        with pytest.raises(ValueError):
+            entropy([])
+        with pytest.raises(ValueError):
+            entropy([0.0, 0.0])
+
+    def test_normalized_entropy_bounds(self, rng):
+        for _ in range(20):
+            p = rng.random(5)
+            assert 0.0 <= normalized_entropy(p) <= 1.0 + 1e-12
+
+    def test_normalized_entropy_uniform_is_one(self):
+        assert normalized_entropy([1 / 3] * 3) == pytest.approx(1.0)
+
+    def test_normalized_entropy_single_class(self):
+        assert normalized_entropy([1.0]) == 0.0
+
+
+class TestKLDivergence:
+    def test_identical_distributions_zero(self):
+        p = [0.2, 0.3, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_negative(self, rng):
+        for _ in range(30):
+            p = rng.dirichlet(np.ones(4))
+            q = rng.dirichlet(np.ones(4))
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_asymmetric(self):
+        p = [0.9, 0.1]
+        q = [0.5, 0.5]
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_known_value(self):
+        value = kl_divergence([0.5, 0.5], [0.25, 0.75])
+        expected = 0.5 * np.log(2) + 0.5 * np.log(0.5 / 0.75)
+        assert value == pytest.approx(expected, rel=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kl_divergence([0.5, 0.5], [1 / 3] * 3)
+
+    def test_zero_entries_stay_finite(self):
+        assert np.isfinite(kl_divergence([1.0, 0.0], [0.5, 0.5]))
+        assert np.isfinite(kl_divergence([0.5, 0.5], [1.0, 0.0]))
+
+
+class TestSymmetricKL:
+    def test_symmetric(self, rng):
+        p = rng.dirichlet(np.ones(3))
+        q = rng.dirichlet(np.ones(3))
+        assert symmetric_kl(p, q) == pytest.approx(symmetric_kl(q, p))
+
+    def test_zero_iff_equal(self):
+        assert symmetric_kl([0.3, 0.7], [0.3, 0.7]) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBoundedDivergence:
+    def test_in_unit_interval(self, rng):
+        for _ in range(30):
+            p = rng.dirichlet(np.ones(3))
+            q = rng.dirichlet(np.ones(3))
+            assert 0.0 <= bounded_divergence(p, q) < 1.0
+
+    def test_monotone_in_divergence(self):
+        close = bounded_divergence([0.5, 0.5], [0.55, 0.45])
+        far = bounded_divergence([0.99, 0.01], [0.01, 0.99])
+        assert far > close
+
+    def test_identical_is_zero(self):
+        assert bounded_divergence([0.4, 0.6], [0.4, 0.6]) == pytest.approx(
+            0.0, abs=1e-9
+        )

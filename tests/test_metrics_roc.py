@@ -1,0 +1,100 @@
+"""Tests for repro.metrics.roc."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.roc import auc, binary_roc, macro_average_roc
+
+
+class TestBinaryRoc:
+    def test_perfect_separation_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        curve = binary_roc(y, scores)
+        assert curve.auc == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert binary_roc(y, scores).auc == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert binary_roc(y, scores).auc == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        y = np.array([0, 1, 0, 1])
+        curve = binary_roc(y, np.array([0.3, 0.6, 0.5, 0.2]))
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=50)
+        curve = binary_roc(y, rng.random(50))
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+
+    def test_tied_scores_collapse(self):
+        y = np.array([0, 1, 0, 1])
+        curve = binary_roc(y, np.array([0.5, 0.5, 0.5, 0.5]))
+        # All tied: the only operating points are (0,0) and (1,1).
+        assert curve.auc == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            binary_roc(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binary_roc(np.array([0, 1]), np.array([0.5]))
+
+
+class TestAuc:
+    def test_unit_square_diagonal(self):
+        grid = np.linspace(0, 1, 11)
+        assert auc(grid, grid) == pytest.approx(0.5)
+
+    def test_step_function(self):
+        assert auc(np.array([0.0, 0.0, 1.0]), np.array([0.0, 1.0, 1.0])) == (
+            pytest.approx(1.0)
+        )
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.5]), np.array([0.5]))
+
+
+class TestMacroAverageRoc:
+    def test_perfect_classifier(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        scores = np.eye(3)[y]
+        curve = macro_average_roc(y, scores)
+        assert curve.auc == pytest.approx(1.0, abs=0.02)
+
+    def test_uniform_scores_near_half(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 3, size=3000)
+        scores = rng.random((3000, 3))
+        curve = macro_average_roc(y, scores)
+        assert curve.auc == pytest.approx(0.5, abs=0.05)
+
+    def test_skips_absent_class(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array(
+            [[0.8, 0.1, 0.1], [0.1, 0.8, 0.1], [0.7, 0.2, 0.1], [0.2, 0.7, 0.1]]
+        )
+        curve = macro_average_roc(y, scores)  # class 2 absent
+        assert curve.auc == pytest.approx(1.0, abs=0.02)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            macro_average_roc(np.array([0, 1]), np.array([0.5, 0.5]))
+
+    def test_grid_size_controls_resolution(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4], [0.3, 0.7]])
+        curve = macro_average_roc(y, scores, grid_size=21)
+        assert curve.fpr.shape == (21,)

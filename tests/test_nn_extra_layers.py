@@ -1,0 +1,108 @@
+"""Tests for the extended layer set: AvgPool2D, GlobalAveragePool,
+Sigmoid, Tanh — including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AvgPool2D, GlobalAveragePool, Sigmoid, Tanh
+from tests.test_nn_layers import check_input_gradient
+
+
+class TestAvgPool2D:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(AvgPool2D(2), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_gradient_spreads_uniformly(self):
+        layer = AvgPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[4.0]]]]))
+        np.testing.assert_allclose(grad, 1.0)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(3).forward(np.ones((1, 1, 4, 4)))
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            AvgPool2D(2).backward(np.ones((1, 1, 2, 2)))
+
+
+class TestGlobalAveragePool:
+    def test_forward_shape_and_value(self, rng):
+        x = rng.normal(size=(3, 5, 4, 4))
+        out = GlobalAveragePool().forward(x)
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(GlobalAveragePool(), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            GlobalAveragePool().forward(rng.normal(size=(2, 3)))
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = Sigmoid().forward(rng.normal(0, 10, size=(5, 5)))
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_midpoint(self):
+        assert Sigmoid().forward(np.zeros((1, 1)))[0, 0] == pytest.approx(0.5)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Sigmoid(), rng.normal(size=(3, 4)))
+
+    def test_stable_for_extreme_inputs(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.isfinite(out).all()
+
+
+class TestTanh:
+    def test_range_and_odd_symmetry(self, rng):
+        x = rng.normal(size=(4, 4))
+        layer = Tanh()
+        out = layer.forward(x)
+        assert (np.abs(out) < 1).all()
+        np.testing.assert_allclose(layer.forward(-x), -out)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Tanh(), rng.normal(size=(3, 4)))
+
+
+class TestInModel:
+    def test_gap_head_trains(self, rng):
+        """A conv + GAP classifier head must train end to end."""
+        from repro.nn.layers import Conv2D, Dense, ReLU
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.model import Sequential
+        from repro.nn.optim import Adam
+        from repro.nn.trainer import Trainer
+
+        model = Sequential(
+            [
+                Conv2D(1, 4, kernel=3, rng=rng, pad=1),
+                ReLU(),
+                GlobalAveragePool(),
+                Dense(4, 2, rng),
+            ]
+        )
+        optimizer = Adam(model.params(), model.grads(), lr=0.02)
+        trainer = Trainer(model, SoftmaxCrossEntropy(), optimizer, rng)
+        # Bright vs dark images: a trivially learnable task.
+        x = np.concatenate(
+            [rng.uniform(0.7, 1.0, (30, 1, 8, 8)), rng.uniform(0.0, 0.3, (30, 1, 8, 8))]
+        )
+        y = np.array([0] * 30 + [1] * 30)
+        history = trainer.fit(x, y, epochs=20)
+        assert history.train_accuracy[-1] > 0.9

@@ -1,0 +1,56 @@
+"""Tests for repro.nn.init (weight initializers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import glorot_uniform, he_normal, zeros
+
+
+class TestGlorotUniform:
+    def test_dense_shape_and_bounds(self, rng):
+        w = glorot_uniform((64, 32), rng)
+        assert w.shape == (64, 32)
+        limit = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(w).max() <= limit
+
+    def test_conv_shape_fans(self, rng):
+        w = glorot_uniform((8, 4, 3, 3), rng)
+        fan_in = 4 * 9
+        fan_out = 8 * 9
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.abs(w).max() <= limit
+
+    def test_roughly_zero_mean(self, rng):
+        w = glorot_uniform((200, 200), rng)
+        assert abs(w.mean()) < 0.01
+
+
+class TestHeNormal:
+    def test_std_matches_fan_in(self, rng):
+        w = he_normal((400, 100), rng)
+        expected_std = np.sqrt(2.0 / 400)
+        assert w.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_conv_fan_in(self, rng):
+        w = he_normal((16, 8, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (8 * 9))
+        assert w.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_1d_shape(self, rng):
+        w = he_normal((10,), rng)
+        assert w.shape == (10,)
+
+
+class TestZeros:
+    def test_all_zero(self, rng):
+        np.testing.assert_array_equal(zeros((3, 4), rng), 0.0)
+
+    def test_dtype(self, rng):
+        assert zeros((2,), rng).dtype == np.float64
+
+
+class TestDeterminism:
+    def test_same_rng_state_same_weights(self):
+        a = glorot_uniform((5, 5), np.random.default_rng(3))
+        b = glorot_uniform((5, 5), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

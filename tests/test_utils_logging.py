@@ -1,0 +1,57 @@
+"""Tests for repro.utils.logging."""
+
+from repro.utils.logging import RunLog, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        logger = get_logger("crowd")
+        assert logger.name == "repro.crowd"
+
+    def test_same_name_same_logger(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestRunLog:
+    def test_record_and_len(self):
+        log = RunLog()
+        log.record("cycle", index=0, delay=1.5)
+        log.record("cycle", index=1, delay=2.5)
+        log.record("query", index=0)
+        assert len(log) == 3
+
+    def test_by_event_filters(self):
+        log = RunLog()
+        log.record("a", v=1)
+        log.record("b", v=2)
+        assert [r["v"] for r in log.by_event("a")] == [1]
+
+    def test_values_extracts_key(self):
+        log = RunLog()
+        log.record("cycle", delay=1.0)
+        log.record("cycle", delay=3.0)
+        log.record("cycle", other=5)  # missing key skipped
+        assert log.values("cycle", "delay") == [1.0, 3.0]
+
+    def test_group_by(self):
+        log = RunLog()
+        log.record("cycle", context="morning", delay=1)
+        log.record("cycle", context="morning", delay=2)
+        log.record("cycle", context="evening", delay=3)
+        groups = log.group_by("cycle", "context")
+        assert len(groups["morning"]) == 2
+        assert len(groups["evening"]) == 1
+
+    def test_extend_and_clear(self):
+        a, b = RunLog(), RunLog()
+        a.record("x")
+        b.record("y")
+        a.extend(b)
+        assert len(a) == 2
+        a.clear()
+        assert len(a) == 0
+
+    def test_iteration(self):
+        log = RunLog()
+        log.record("x", v=1)
+        assert [r["event"] for r in log] == ["x"]

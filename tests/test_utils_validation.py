@@ -1,0 +1,90 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_float_array,
+    check_array_shape,
+    check_distribution,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestScalarChecks:
+    def test_probability_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        assert check_probability(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ValueError, match="must be in"):
+            check_probability(bad, name="p")
+
+    def test_positive(self):
+        assert check_positive(0.1) == 0.1
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        with pytest.raises(ValueError):
+            check_positive(-1.0)
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9)
+
+    def test_in_range(self):
+        assert check_in_range(5, 0, 10) == 5.0
+        with pytest.raises(ValueError):
+            check_in_range(11, 0, 10)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            check_probability(2.0, name="epsilon")
+
+
+class TestArrayChecks:
+    def test_shape_match(self):
+        arr = check_array_shape(np.zeros((3, 4)), (3, 4))
+        assert arr.shape == (3, 4)
+
+    def test_shape_wildcard(self):
+        check_array_shape(np.zeros((7, 4)), (None, 4))
+
+    def test_shape_rank_mismatch(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_array_shape(np.zeros(3), (3, 1))
+
+    def test_shape_axis_mismatch(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_array_shape(np.zeros((3, 4)), (3, 5))
+
+    def test_distribution_valid(self):
+        dist = check_distribution(np.array([0.25, 0.75]))
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_distribution_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_distribution(np.array([1.2, -0.2]))
+
+    def test_distribution_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_distribution(np.array([0.5, 0.4]))
+
+    def test_distribution_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            check_distribution(np.array([]))
+        with pytest.raises(ValueError):
+            check_distribution(np.ones((2, 2)) / 4)
+
+    def test_as_float_array_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_float_array([1.0, np.nan])
+
+    def test_as_float_array_converts(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64

@@ -1,0 +1,72 @@
+"""Tests for repro.vision.bovw."""
+
+import numpy as np
+import pytest
+
+from repro.vision.bovw import BoVWEncoder
+
+
+@pytest.fixture(scope="module")
+def fitted_encoder():
+    rng = np.random.default_rng(3)
+    images = rng.random((10, 32, 32, 3))
+    encoder = BoVWEncoder(vocabulary_size=8, include_global=False)
+    encoder.fit(images, rng)
+    return encoder
+
+
+class TestBoVWEncoder:
+    def test_fit_marks_fitted(self, fitted_encoder):
+        assert fitted_encoder.is_fitted
+
+    def test_unfitted_encode_raises(self, rng):
+        encoder = BoVWEncoder(vocabulary_size=4)
+        with pytest.raises(RuntimeError):
+            encoder.encode(rng.random((32, 32, 3)))
+
+    def test_encode_is_normalized_histogram(self, fitted_encoder, rng):
+        features = fitted_encoder.encode(rng.random((32, 32, 3)))
+        assert features.shape == (8,)
+        assert features.sum() == pytest.approx(1.0)
+        assert np.all(features >= 0)
+
+    def test_encode_batch_stacks(self, fitted_encoder, rng):
+        batch = fitted_encoder.encode_batch(rng.random((3, 32, 32, 3)))
+        assert batch.shape == (3, 8)
+
+    def test_feature_dim_property(self, fitted_encoder):
+        assert fitted_encoder.feature_dim == 8
+
+    def test_feature_dim_none_before_fit(self):
+        assert BoVWEncoder(vocabulary_size=4).feature_dim is None
+
+    def test_global_features_appended(self, rng):
+        images = rng.random((8, 32, 32, 3))
+        encoder = BoVWEncoder(vocabulary_size=4, include_global=True)
+        encoder.fit(images, rng)
+        features = encoder.encode(images[0])
+        assert features.shape[0] == encoder.feature_dim
+        assert features.shape[0] > 4
+
+    def test_deterministic_encoding(self, fitted_encoder, rng):
+        image = rng.random((32, 32, 3))
+        np.testing.assert_array_equal(
+            fitted_encoder.encode(image), fitted_encoder.encode(image)
+        )
+
+    def test_invalid_vocabulary_raises(self):
+        with pytest.raises(ValueError):
+            BoVWEncoder(vocabulary_size=0)
+
+    def test_vocabulary_larger_than_patches_raises(self, rng):
+        # One 32x32 image yields 49 patches < 64 words.
+        encoder = BoVWEncoder(vocabulary_size=64)
+        with pytest.raises(ValueError):
+            encoder.fit(rng.random((1, 32, 32, 3)), rng)
+
+    def test_different_textures_encode_differently(self, fitted_encoder, rng):
+        smooth = np.full((32, 32, 3), 0.5)
+        noisy = rng.random((32, 32, 3))
+        assert not np.allclose(
+            fitted_encoder.encode(smooth), fitted_encoder.encode(noisy)
+        )

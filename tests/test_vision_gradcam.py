@@ -1,0 +1,78 @@
+"""Tests for repro.vision.gradcam."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+from repro.vision.gradcam import GradCAM
+
+
+@pytest.fixture
+def cnn(rng):
+    return Sequential(
+        [
+            Conv2D(3, 4, kernel=3, rng=rng, pad=1),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(4, 6, kernel=3, rng=rng, pad=1),
+            ReLU(),
+            Flatten(),
+            Dense(6 * 8 * 8, 3, rng),
+        ]
+    )
+
+
+class TestGradCAM:
+    def test_default_targets_last_conv(self, cnn):
+        cam = GradCAM(cnn)
+        assert cam.target_layer == 3
+
+    def test_heatmap_shape_matches_target_layer(self, cnn, rng):
+        cam = GradCAM(cnn)
+        x = rng.random((2, 3, 16, 16))
+        maps = cam.heatmaps(x, np.array([0, 1]))
+        assert maps.shape == (2, 8, 8)  # after the 2x pool
+
+    def test_heatmaps_in_unit_range(self, cnn, rng):
+        cam = GradCAM(cnn)
+        maps = cam.heatmaps(rng.random((3, 3, 16, 16)), np.array([0, 1, 2]))
+        assert maps.min() >= 0.0
+        assert maps.max() <= 1.0 + 1e-9
+
+    def test_heatmap_mass_bounds(self, cnn, rng):
+        cam = GradCAM(cnn)
+        mass = cam.heatmap_mass(rng.random((2, 3, 16, 16)), np.array([0, 0]))
+        assert mass.shape == (2,)
+        assert np.all((0.0 <= mass) & (mass <= 1.0))
+
+    def test_explicit_target_layer(self, cnn, rng):
+        cam = GradCAM(cnn, target_layer=0)
+        maps = cam.heatmaps(rng.random((1, 3, 16, 16)), np.array([0]))
+        assert maps.shape == (1, 16, 16)
+
+    def test_no_conv_model_raises(self, rng):
+        mlp = Sequential([Dense(4, 3, rng)])
+        with pytest.raises(ValueError):
+            GradCAM(mlp)
+
+    def test_out_of_range_target_raises(self, cnn):
+        with pytest.raises(ValueError):
+            GradCAM(cnn, target_layer=99)
+
+    def test_class_idx_length_mismatch_raises(self, cnn, rng):
+        cam = GradCAM(cnn)
+        with pytest.raises(ValueError):
+            cam.heatmaps(rng.random((2, 3, 16, 16)), np.array([0]))
+
+    def test_class_idx_out_of_range_raises(self, cnn, rng):
+        cam = GradCAM(cnn)
+        with pytest.raises(ValueError):
+            cam.heatmaps(rng.random((1, 3, 16, 16)), np.array([7]))
+
+    def test_different_classes_give_different_maps(self, cnn, rng):
+        cam = GradCAM(cnn)
+        x = rng.random((1, 3, 16, 16))
+        a = cam.heatmaps(x, np.array([0]))
+        b = cam.heatmaps(x, np.array([1]))
+        assert not np.allclose(a, b)

@@ -1,0 +1,72 @@
+"""Tests for repro.vision.histograms."""
+
+import numpy as np
+import pytest
+
+from repro.vision.histograms import (
+    color_histogram,
+    grayscale_histogram,
+    joint_color_histogram,
+)
+
+
+class TestGrayscaleHistogram:
+    def test_sums_to_one(self, rng):
+        hist = grayscale_histogram(rng.random((16, 16)), n_bins=8)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_constant_image_single_bin(self):
+        hist = grayscale_histogram(np.full((8, 8), 0.05), n_bins=10)
+        assert hist[0] == pytest.approx(1.0)
+
+    def test_out_of_range_values_uniform_fallback(self):
+        # All mass outside the range: histogram falls back to uniform.
+        hist = grayscale_histogram(np.full((4, 4), 5.0), n_bins=4)
+        np.testing.assert_allclose(hist, 0.25)
+
+    def test_invalid_bins_raise(self):
+        with pytest.raises(ValueError):
+            grayscale_histogram(np.zeros((4, 4)), n_bins=0)
+
+
+class TestColorHistogram:
+    def test_length_three_channels(self, rng):
+        hist = color_histogram(rng.random((8, 8, 3)), n_bins=8)
+        assert hist.shape == (24,)
+
+    def test_each_channel_normalized(self, rng):
+        hist = color_histogram(rng.random((8, 8, 3)), n_bins=8)
+        for c in range(3):
+            assert hist[c * 8 : (c + 1) * 8].sum() == pytest.approx(1.0)
+
+    def test_grayscale_passthrough(self, rng):
+        hist = color_histogram(rng.random((8, 8)), n_bins=8)
+        assert hist.shape == (8,)
+
+    def test_distinguishes_red_from_blue(self):
+        red = np.zeros((4, 4, 3))
+        red[:, :, 0] = 1.0
+        blue = np.zeros((4, 4, 3))
+        blue[:, :, 2] = 1.0
+        assert not np.allclose(color_histogram(red), color_histogram(blue))
+
+
+class TestJointColorHistogram:
+    def test_length(self, rng):
+        hist = joint_color_histogram(rng.random((8, 8, 3)), bins_per_channel=4)
+        assert hist.shape == (64,)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_constant_color_single_cell(self):
+        image = np.full((4, 4, 3), 0.1)
+        hist = joint_color_histogram(image, bins_per_channel=2)
+        assert hist.max() == pytest.approx(1.0)
+        assert (hist > 0).sum() == 1
+
+    def test_requires_rgb(self):
+        with pytest.raises(ValueError):
+            joint_color_histogram(np.zeros((4, 4)))
+
+    def test_invalid_bins_raise(self):
+        with pytest.raises(ValueError):
+            joint_color_histogram(np.zeros((4, 4, 3)), bins_per_channel=0)

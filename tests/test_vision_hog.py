@@ -1,0 +1,74 @@
+"""Tests for repro.vision.hog."""
+
+import numpy as np
+import pytest
+
+from repro.vision.hog import gradient_magnitude_orientation, hog_descriptor
+
+
+class TestGradients:
+    def test_flat_image_zero_magnitude(self):
+        magnitude, _ = gradient_magnitude_orientation(np.full((8, 8), 0.5))
+        np.testing.assert_allclose(magnitude, 0.0)
+
+    def test_vertical_edge_has_horizontal_gradient(self):
+        image = np.zeros((8, 8))
+        image[:, 4:] = 1.0
+        magnitude, orientation = gradient_magnitude_orientation(image)
+        # Strongest response at the edge columns.
+        assert magnitude[:, 3:5].mean() > magnitude[:, :2].mean()
+        # Gradient along x: orientation ~ 0 (mod pi) at the edge.
+        edge_orientations = orientation[:, 3]
+        np.testing.assert_allclose(edge_orientations % np.pi, 0.0, atol=1e-6)
+
+    def test_horizontal_edge_orientation(self):
+        image = np.zeros((8, 8))
+        image[4:, :] = 1.0
+        magnitude, orientation = gradient_magnitude_orientation(image)
+        assert orientation[3, 2] == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_rgb_input_converted(self, rng):
+        rgb = rng.random((8, 8, 3))
+        magnitude, _ = gradient_magnitude_orientation(rgb)
+        assert magnitude.shape == (8, 8)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            gradient_magnitude_orientation(np.zeros((4, 4, 2)))
+
+
+class TestHogDescriptor:
+    def test_output_length(self, rng):
+        desc = hog_descriptor(rng.random((32, 32)), cell_size=8, n_bins=9, block_size=2)
+        # 4x4 cells -> 3x3 blocks of 2x2 cells x 9 bins.
+        assert desc.shape == (3 * 3 * 2 * 2 * 9,)
+
+    def test_blocks_are_l2_normalized(self, rng):
+        desc = hog_descriptor(rng.random((16, 16)), cell_size=8, n_bins=9, block_size=1)
+        # block_size=1: each block is one 9-bin cell, L2 norm <= 1.
+        blocks = desc.reshape(-1, 9)
+        norms = np.linalg.norm(blocks, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_textured_beats_flat(self, rng):
+        flat = hog_descriptor(np.full((32, 32), 0.5))
+        textured = hog_descriptor(rng.random((32, 32)))
+        assert np.abs(textured).sum() > np.abs(flat).sum()
+
+    def test_invariant_to_brightness_shift(self, rng):
+        image = rng.random((32, 32)) * 0.5
+        a = hog_descriptor(image)
+        b = hog_descriptor(image + 0.3)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_indivisible_image_raises(self):
+        with pytest.raises(ValueError):
+            hog_descriptor(np.zeros((30, 30)), cell_size=8)
+
+    def test_too_small_for_block_raises(self):
+        with pytest.raises(ValueError):
+            hog_descriptor(np.zeros((8, 8)), cell_size=8, block_size=2)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            hog_descriptor(np.zeros((16, 16)), cell_size=0)

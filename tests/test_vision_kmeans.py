@@ -1,0 +1,92 @@
+"""Tests for repro.vision.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.vision.kmeans import KMeans, kmeans_plus_plus_init
+
+
+def three_blobs(rng, n_per=50, spread=0.1):
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+    points = np.concatenate(
+        [rng.normal(c, spread, size=(n_per, 2)) for c in centers]
+    )
+    return points, centers
+
+
+class TestKMeansPlusPlusInit:
+    def test_returns_k_centers(self, rng):
+        data, _ = three_blobs(rng)
+        centers = kmeans_plus_plus_init(data, 3, rng)
+        assert centers.shape == (3, 2)
+
+    def test_centers_are_data_points(self, rng):
+        data, _ = three_blobs(rng)
+        centers = kmeans_plus_plus_init(data, 3, rng)
+        for c in centers:
+            assert np.min(np.sum((data - c) ** 2, axis=1)) == pytest.approx(0.0)
+
+    def test_duplicate_points_handled(self, rng):
+        data = np.zeros((10, 2))
+        centers = kmeans_plus_plus_init(data, 3, rng)
+        assert centers.shape == (3, 2)
+
+    def test_invalid_k_raises(self, rng):
+        data, _ = three_blobs(rng)
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(data, 0, rng)
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(data, len(data) + 1, rng)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, rng):
+        data, true_centers = three_blobs(rng)
+        model = KMeans(n_clusters=3).fit(data, rng)
+        # Every true center has a fitted center nearby.
+        for c in true_centers:
+            distances = np.sqrt(np.sum((model.centers - c) ** 2, axis=1))
+            assert distances.min() < 0.5
+
+    def test_predict_assigns_to_nearest(self, rng):
+        data, _ = three_blobs(rng)
+        model = KMeans(n_clusters=3).fit(data, rng)
+        labels = model.predict(data)
+        assert labels.shape == (len(data),)
+        # Points in the same blob share labels.
+        assert len(set(labels[:50])) == 1
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        data, _ = three_blobs(rng, spread=1.0)
+        inertia_2 = KMeans(n_clusters=2).fit(data, rng).inertia
+        inertia_6 = KMeans(n_clusters=6).fit(data, rng).inertia
+        assert inertia_6 < inertia_2
+
+    def test_k_equals_n(self, rng):
+        data = rng.normal(size=(5, 2))
+        model = KMeans(n_clusters=5).fit(data, rng)
+        assert model.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+    def test_too_few_samples_raise(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)), rng)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, max_iter=0)
+
+    def test_1d_data_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.zeros(10), rng)
+
+    def test_deterministic_given_rng(self):
+        data, _ = three_blobs(np.random.default_rng(0))
+        a = KMeans(n_clusters=3).fit(data, np.random.default_rng(42))
+        b = KMeans(n_clusters=3).fit(data, np.random.default_rng(42))
+        np.testing.assert_allclose(a.centers, b.centers)

@@ -1,0 +1,78 @@
+"""Tests for repro.vision.patches."""
+
+import numpy as np
+import pytest
+
+from repro.vision.patches import (
+    dense_patches,
+    describe_image_patches,
+    patch_descriptor,
+)
+
+
+class TestDensePatches:
+    def test_count_and_shape(self, rng):
+        patches = dense_patches(rng.random((32, 32)), patch_size=8, stride=4)
+        # (32-8)/4+1 = 7 positions per axis.
+        assert patches.shape == (49, 8, 8)
+
+    def test_rgb_patches_keep_channels(self, rng):
+        patches = dense_patches(rng.random((16, 16, 3)), patch_size=8, stride=8)
+        assert patches.shape == (4, 8, 8, 3)
+
+    def test_patch_content_matches_source(self, rng):
+        image = rng.random((16, 16))
+        patches = dense_patches(image, patch_size=8, stride=8)
+        np.testing.assert_array_equal(patches[0], image[:8, :8])
+        np.testing.assert_array_equal(patches[3], image[8:, 8:])
+
+    def test_image_smaller_than_patch_raises(self):
+        with pytest.raises(ValueError):
+            dense_patches(np.zeros((4, 4)), patch_size=8)
+
+    def test_invalid_stride_raises(self):
+        with pytest.raises(ValueError):
+            dense_patches(np.zeros((16, 16)), patch_size=8, stride=0)
+
+
+class TestPatchDescriptor:
+    def test_length(self, rng):
+        desc = patch_descriptor(rng.random((8, 8)), n_bins=8)
+        assert desc.shape == (10,)
+
+    def test_histogram_part_normalized(self, rng):
+        desc = patch_descriptor(rng.random((8, 8)), n_bins=8)
+        assert np.linalg.norm(desc[:8]) <= 1.0 + 1e-6
+
+    def test_flat_patch_zero_histogram(self):
+        desc = patch_descriptor(np.full((8, 8), 0.3), n_bins=8)
+        np.testing.assert_allclose(desc[:8], 0.0, atol=1e-6)
+        assert desc[8] == pytest.approx(0.3)  # mean intensity retained
+        assert desc[9] == pytest.approx(0.0)  # zero std
+
+    def test_distinguishes_edge_orientations(self):
+        vertical = np.zeros((8, 8))
+        vertical[:, 4:] = 1.0
+        horizontal = np.zeros((8, 8))
+        horizontal[4:, :] = 1.0
+        dv = patch_descriptor(vertical)
+        dh = patch_descriptor(horizontal)
+        assert not np.allclose(dv[:8], dh[:8])
+
+    def test_invalid_bins_raise(self):
+        with pytest.raises(ValueError):
+            patch_descriptor(np.zeros((8, 8)), n_bins=0)
+
+
+class TestDescribeImagePatches:
+    def test_shape(self, rng):
+        descs = describe_image_patches(
+            rng.random((32, 32, 3)), patch_size=8, stride=4, n_bins=8
+        )
+        assert descs.shape == (49, 10)
+
+    def test_deterministic(self, rng):
+        image = rng.random((16, 16))
+        a = describe_image_patches(image)
+        b = describe_image_patches(image)
+        np.testing.assert_array_equal(a, b)
