@@ -1,0 +1,84 @@
+"""Chaos benchmark: graceful degradation under injected platform faults.
+
+Expected shape: the resilient closed loop completes every sensing cycle at
+every fault intensity and retains most of its fault-free F1 at the moderate
+intensity (20% abandonment, spam/adversarial workers, one outage window),
+while the naive (pre-resilience) loop is truncated by the first unhandled
+fault.  Under a full-deployment platform blackout the resilient system
+degrades to committee-only labels — finishing the run with zero crowd spend
+and an F1 in the AI-only Ensemble's ballpark — instead of crashing.
+"""
+
+from repro.crowd.faults import FaultInjector, FaultPlan
+from repro.eval.baselines import EnsembleScheme
+from repro.eval.experiments import run_chaos
+from repro.eval.runner import build_crowdlearn
+from repro.metrics.classification import macro_f1
+
+
+def test_chaos_degradation_curve(benchmark, setup_full, save_artifact, full_scale):
+    data = benchmark.pedantic(
+        run_chaos, args=(setup_full,), rounds=1, iterations=1
+    )
+    save_artifact("chaos_degradation", data.render())
+
+    n_cycles = setup_full.config.n_cycles
+    # The resilient loop completes the whole deployment at every intensity.
+    assert all(c == n_cycles for c in data.cycles_completed["CrowdLearn"])
+    # No faults at intensity zero; faults actually fire at the top intensity.
+    assert data.fault_events[0] == 0
+    assert data.fault_events[-1] > 0
+    # The naive loop is truncated by the outage window.
+    assert data.cycles_completed["CrowdLearn-naive"][-1] < n_cycles
+    # The resilient run logged interventions (retries or drops) at the top.
+    top = data.resilience[-1]
+    assert top["retries"] + top["dropped_queries"] + top["fallbacks"] > 0
+    if not full_scale:
+        return
+
+    # Moderate faults cost the resilient loop at most 10% of fault-free F1.
+    fault_free = data.f1["CrowdLearn"][0]
+    assert data.f1["CrowdLearn"][-1] >= 0.9 * fault_free
+    # Resilience pays: more of the deployment survives than under naive.
+    assert (
+        data.cycles_completed["CrowdLearn"][-1]
+        > data.cycles_completed["CrowdLearn-naive"][-1]
+    )
+
+
+def test_chaos_total_blackout(setup_full, save_artifact, full_scale):
+    plan = FaultPlan(outage_windows=((0, 10**9),))
+    injector = FaultInjector(plan, rng=setup_full.seeds.get("blackout-faults"))
+    system = build_crowdlearn(
+        setup_full, faults=injector, platform_name="blackout"
+    )
+    outcome = system.run(setup_full.make_stream("blackout"))
+
+    ensemble = EnsembleScheme(setup_full.base_committee.experts, setup_full.train_set)
+    ensemble_result = ensemble.run(setup_full.make_stream("blackout-ensemble"))
+    ensemble_f1 = macro_f1(ensemble_result.y_true, ensemble_result.y_pred)
+    blackout_f1 = macro_f1(outcome.y_true(), outcome.y_pred())
+
+    totals = outcome.resilience_totals()
+    save_artifact(
+        "chaos_blackout",
+        "Chaos: full-deployment platform blackout\n"
+        f"cycles completed : {len(outcome.cycles)}/{setup_full.config.n_cycles}\n"
+        f"macro-F1         : {blackout_f1:.3f} (Ensemble {ensemble_f1:.3f})\n"
+        f"crowd spend      : {system.ledger.spent:.2f} cents\n"
+        f"queries dropped  : {totals.dropped_queries}\n"
+        f"outages hit      : {totals.outages_hit}",
+    )
+
+    # The run survives a 100% outage: every cycle completes, nothing is
+    # charged, every query is dropped back to the AI.
+    assert len(outcome.cycles) == setup_full.config.n_cycles
+    assert system.ledger.spent == 0.0
+    assert totals.dropped_queries > 0
+    assert not any(c.query_indices.size for c in outcome.cycles)
+    if not full_scale:
+        return
+
+    # Committee-only labels stay in the AI-only Ensemble's ballpark
+    # (matching it up to noise) — degraded, not broken.
+    assert blackout_f1 >= ensemble_f1 - 0.03

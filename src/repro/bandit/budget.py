@@ -2,10 +2,15 @@
 
 The paper gives the application a total budget ``B`` for crowd queries
 (Eq. 1/Eq. 4).  The ledger enforces the constraint and exposes the
-remaining-budget signal the constrained bandit plans against.
+remaining-budget signal the constrained bandit plans against.  Charges can
+be partially returned via :meth:`BudgetLedger.refund` — when a query fails
+(platform outage, total worker abandonment) the money flows back into the
+bandit's planning signal instead of silently vanishing.
 """
 
 from __future__ import annotations
+
+import math
 
 __all__ = ["BudgetExhausted", "BudgetLedger"]
 
@@ -20,15 +25,18 @@ class BudgetLedger:
     Parameters
     ----------
     total:
-        Total budget in cents; must be positive.
+        Total budget in cents; must be positive and finite.
     """
 
     def __init__(self, total: float) -> None:
+        if not math.isfinite(total):
+            raise ValueError(f"total budget must be finite, got {total}")
         if total <= 0:
             raise ValueError(f"total budget must be positive, got {total}")
         self._total = float(total)
         self._spent = 0.0
         self._charges: list[float] = []
+        self._refunds: list[float] = []
 
     @property
     def total(self) -> float:
@@ -37,7 +45,7 @@ class BudgetLedger:
 
     @property
     def spent(self) -> float:
-        """Total amount charged so far."""
+        """Total amount charged so far, net of refunds."""
         return self._spent
 
     @property
@@ -50,8 +58,29 @@ class BudgetLedger:
         """Number of individual charges recorded."""
         return len(self._charges)
 
+    @property
+    def n_refunds(self) -> int:
+        """Number of individual refunds recorded."""
+        return len(self._refunds)
+
+    @property
+    def total_refunded(self) -> float:
+        """Total amount returned via :meth:`refund`."""
+        return float(sum(self._refunds))
+
     def can_afford(self, amount: float) -> bool:
-        """Whether ``amount`` fits in the remaining budget."""
+        """Whether ``amount`` fits in the remaining budget.
+
+        Raises
+        ------
+        ValueError
+            If ``amount`` is NaN or infinite — a non-finite amount is a
+            caller bug, not an affordability question.
+        """
+        if not math.isfinite(amount):
+            raise ValueError(
+                f"cannot evaluate affordability of a non-finite amount: {amount}"
+            )
         return 0 <= amount <= self.remaining + 1e-9
 
     def charge(self, amount: float) -> float:
@@ -62,8 +91,10 @@ class BudgetLedger:
         BudgetExhausted
             If the charge exceeds the remaining budget.
         ValueError
-            If the amount is negative.
+            If the amount is negative, NaN or infinite.
         """
+        if not math.isfinite(amount):
+            raise ValueError(f"cannot charge a non-finite amount: {amount}")
         if amount < 0:
             raise ValueError(f"cannot charge a negative amount: {amount}")
         if not self.can_afford(amount):
@@ -73,6 +104,30 @@ class BudgetLedger:
             )
         self._spent += float(amount)
         self._charges.append(float(amount))
+        return self.remaining
+
+    def refund(self, amount: float) -> float:
+        """Return ``amount`` cents to the budget; returns the new remaining.
+
+        Used when a charged query fails (platform outage mid-flight, every
+        worker abandoning): the money re-enters the remaining budget so the
+        bandit's pacing signal reflects what is actually still spendable.
+
+        Raises
+        ------
+        ValueError
+            If the amount is negative, non-finite, or exceeds net spending.
+        """
+        if not math.isfinite(amount):
+            raise ValueError(f"cannot refund a non-finite amount: {amount}")
+        if amount < 0:
+            raise ValueError(f"cannot refund a negative amount: {amount}")
+        if amount > self._spent + 1e-9:
+            raise ValueError(
+                f"refund of {amount:.2f} exceeds net spending {self._spent:.2f}"
+            )
+        self._spent = max(0.0, self._spent - float(amount))
+        self._refunds.append(float(amount))
         return self.remaining
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -9,6 +9,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro fig8       # regenerate Figure 8
     python -m repro fig9       # regenerate Figure 9
     python -m repro budget     # regenerate Figures 10 & 11
+    python -m repro chaos      # degradation curves under injected faults
     python -m repro diagnose   # per-archetype failure report of each expert
 
 All commands run the miniature (fast) deployment by default; pass ``--full``
@@ -122,6 +123,14 @@ def cmd_budget(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.eval.experiments import run_chaos
+
+    setup = _prepare(args)
+    print(run_chaos(setup).render())
+    return 0
+
+
 def cmd_diagnose(args) -> int:
     from repro.eval.diagnostics import diagnose
 
@@ -147,6 +156,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig8": (cmd_fig8, "regenerate Figure 8 (IPD vs fixed vs random)"),
     "fig9": (cmd_fig9, "regenerate Figure 9 (query-set size sweep)"),
     "budget": (cmd_budget, "regenerate Figures 10 & 11 (budget sweep)"),
+    "chaos": (cmd_chaos, "degradation curves under injected platform faults"),
     "diagnose": (cmd_diagnose, "per-archetype failure report of each expert"),
 }
 

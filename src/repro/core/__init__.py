@@ -6,6 +6,7 @@ from repro.core.cqc import CrowdQualityControl
 from repro.core.ipd import IncentivePolicyDesigner
 from repro.core.mic import MachineIntelligenceCalibrator
 from repro.core.qss import AdaptiveQuerySetSelector, QuerySetSelector
+from repro.core.resilience import ResilienceCounters, ResiliencePolicy
 from repro.core.system import CrowdLearnSystem, CycleOutcome, RunOutcome
 
 __all__ = [
@@ -16,6 +17,8 @@ __all__ = [
     "MachineIntelligenceCalibrator",
     "AdaptiveQuerySetSelector",
     "QuerySetSelector",
+    "ResilienceCounters",
+    "ResiliencePolicy",
     "CrowdLearnSystem",
     "CycleOutcome",
     "RunOutcome",

@@ -49,9 +49,17 @@ class CrowdQualityControl:
         )
         self._fitted = False
 
+    def _feature_dim(self) -> int:
+        from repro.data.metadata import SceneType
+
+        n = DamageLabel.count() + 1 + len(SceneType) + 1 + 1
+        return n if self.use_questionnaire else DamageLabel.count() + 1
+
     def _features(self, results: list[QueryResult]) -> np.ndarray:
         if not results:
-            raise ValueError("no query results to encode")
+            # A faulty platform can leave a cycle with zero usable queries;
+            # encode that as an empty matrix rather than crashing.
+            return np.empty((0, self._feature_dim()))
         rows = np.stack([encode_query_features(r) for r in results])
         if self.use_questionnaire:
             return rows
@@ -66,6 +74,8 @@ class CrowdQualityControl:
         rng: np.random.Generator | None = None,
     ) -> "CrowdQualityControl":
         """Train on queries with known golden labels (pilot data)."""
+        if not results:
+            raise ValueError("cannot fit CQC on zero query results")
         golden_labels = np.asarray(golden_labels, dtype=np.int64).ravel()
         if golden_labels.shape[0] != len(results):
             raise ValueError("one golden label per query result is required")
@@ -74,15 +84,23 @@ class CrowdQualityControl:
         return self
 
     def truthful_labels(self, results: list[QueryResult]) -> np.ndarray:
-        """The truthful label TL for each query."""
+        """The truthful label TL for each query (empty input → empty output)."""
         if not self._fitted:
             raise RuntimeError("CrowdQualityControl used before fit()")
+        if not results:
+            return np.empty(0, dtype=np.int64)
         return self._classifier.predict(self._features(results))
 
     def label_distributions(self, results: list[QueryResult]) -> np.ndarray:
-        """Probabilistic truthful-label distributions D(TL) (for Eq. 5)."""
+        """Probabilistic truthful-label distributions D(TL) (for Eq. 5).
+
+        Empty input yields an empty ``(0, n_classes)`` matrix — no NaNs ever
+        flow downstream from a cycle whose queries all failed.
+        """
         if not self._fitted:
             raise RuntimeError("CrowdQualityControl used before fit()")
+        if not results:
+            return np.empty((0, DamageLabel.count()))
         return self._classifier.predict_proba(self._features(results))
 
     @property

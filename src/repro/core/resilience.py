@@ -1,0 +1,131 @@
+"""Resilience policies for the closed loop (graceful degradation).
+
+CrowdLearn is pitched as a *real-time disaster response* system; production
+means surviving the faults of :mod:`repro.crowd.faults` rather than crashing
+or silently corrupting state.  :class:`ResiliencePolicy` configures how
+:meth:`~repro.core.system.CrowdLearnSystem.run_cycle` reacts when the crowd
+platform misbehaves:
+
+- **retry with backoff** — a post that hits a platform outage is retried a
+  bounded number of times (optionally at an escalated incentive) before the
+  image is left with the AI;
+- **refunds** — a charged query that yields zero usable responses returns
+  its incentive to the :class:`~repro.bandit.budget.BudgetLedger`, keeping
+  the bandit's pacing signal honest;
+- **committee fallback** — images whose query produced nothing usable keep
+  the reweighted committee's label instead of poisoning CQC/MIC/IPD with
+  empty response sets.
+
+:class:`ResilienceCounters` records every such intervention so a run's
+degradation is observable, not inferred (surfaced per cycle in
+:class:`~repro.core.system.CycleOutcome` and aggregated in
+:class:`~repro.core.system.RunOutcome`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["ResiliencePolicy", "ResilienceCounters"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the closed loop degrades when the crowd platform misbehaves.
+
+    The default policy is fully resilient; on a fault-free platform none of
+    its branches ever trigger, so enabling it leaves the reproduced runs
+    byte-identical.  :meth:`naive` reproduces the pre-resilience behaviour
+    (crash on outage, NaN-prone empty-response handling) for chaos-benchmark
+    comparisons.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Disabled, ``run_cycle`` behaves exactly as the
+        original reproduction: platform faults propagate to the caller.
+    max_retries:
+        Bounded retries after a :class:`~repro.crowd.faults.PlatformUnavailable`
+        post (0 = give up immediately).
+    backoff_base_seconds:
+        Simulated wait before the first retry; doubles per further retry.
+        Recorded in the counters (the simulator has no wall clock to spend).
+    escalate_incentive, escalation_factor, max_incentive_cents:
+        When escalating, each retry multiplies the offered incentive by the
+        factor (capped) — paying the crowd more to come back after a fault.
+    refund_failed:
+        Refund the ledger for charged queries with zero usable responses.
+    fallback_to_committee:
+        Keep the reweighted committee's label for images whose query
+        produced no usable responses (instead of crashing on them).
+    """
+
+    enabled: bool = True
+    max_retries: int = 2
+    backoff_base_seconds: float = 30.0
+    escalate_incentive: bool = False
+    escalation_factor: float = 1.5
+    max_incentive_cents: float = 20.0
+    refund_failed: bool = True
+    fallback_to_committee: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_seconds < 0:
+            raise ValueError(
+                f"backoff_base_seconds must be >= 0, got {self.backoff_base_seconds}"
+            )
+        if self.escalation_factor < 1.0:
+            raise ValueError(
+                f"escalation_factor must be >= 1, got {self.escalation_factor}"
+            )
+        if self.max_incentive_cents <= 0:
+            raise ValueError(
+                f"max_incentive_cents must be positive, got {self.max_incentive_cents}"
+            )
+
+    @staticmethod
+    def naive() -> "ResiliencePolicy":
+        """The pre-resilience behaviour: no retries, no refunds, no fallback."""
+        return ResiliencePolicy(
+            enabled=False,
+            max_retries=0,
+            refund_failed=False,
+            fallback_to_committee=False,
+        )
+
+
+@dataclass
+class ResilienceCounters:
+    """Structured counters of every resilience intervention in a run/cycle."""
+
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    refunds: int = 0
+    refunded_cents: float = 0.0
+    fallbacks: int = 0
+    dropped_queries: int = 0
+    outages_hit: int = 0
+
+    def merge(self, other: "ResilienceCounters") -> "ResilienceCounters":
+        """Accumulate ``other`` into this instance (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def any(self) -> bool:
+        """Whether any intervention happened at all."""
+        return any(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe mapping of counter name to value."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ResilienceCounters":
+        """Inverse of :meth:`as_dict` (ignores unknown keys)."""
+        known = {f.name for f in fields(ResilienceCounters)}
+        return ResilienceCounters(
+            **{k: v for k, v in data.items() if k in known}
+        )

@@ -12,6 +12,7 @@ overridden by the crowd.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -22,6 +23,8 @@ from repro.core.cqc import CrowdQualityControl
 from repro.core.ipd import IncentivePolicyDesigner
 from repro.core.mic import MachineIntelligenceCalibrator
 from repro.core.qss import AdaptiveQuerySetSelector, QuerySetSelector
+from repro.core.resilience import ResilienceCounters, ResiliencePolicy
+from repro.crowd.faults import PlatformUnavailable
 from repro.crowd.pilot import PilotResult, run_pilot_study
 from repro.crowd.platform import CrowdsourcingPlatform
 from repro.crowd.tasks import QueryResult
@@ -48,6 +51,7 @@ class CycleOutcome:
     crowd_delay: float  # mean per-query delay; 0.0 when nothing was queried
     cost_cents: float
     expert_weights: np.ndarray
+    resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
 
 
 @dataclass
@@ -115,6 +119,13 @@ class RunOutcome:
         """Cumulative crowd spend after each cycle (cents)."""
         return np.cumsum([c.cost_cents for c in self.cycles])
 
+    def resilience_totals(self) -> ResilienceCounters:
+        """Aggregated resilience counters over the whole deployment."""
+        totals = ResilienceCounters()
+        for c in self.cycles:
+            totals.merge(c.resilience)
+        return totals
+
 
 class CrowdLearnSystem:
     """The assembled CrowdLearn pipeline.
@@ -136,6 +147,7 @@ class CrowdLearnSystem:
         replay_pool: DisasterDataset,
         config: CrowdLearnConfig,
         rng: np.random.Generator,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         self.committee = committee
         self.platform = platform
@@ -147,6 +159,7 @@ class CrowdLearnSystem:
         self.replay_pool = replay_pool
         self.config = config
         self.rng = rng
+        self.resilience = resilience or ResiliencePolicy()
 
     @classmethod
     def build(
@@ -157,6 +170,7 @@ class CrowdLearnSystem:
         committee: Committee | None = None,
         platform: CrowdsourcingPlatform | None = None,
         pilot: PilotResult | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> "CrowdLearnSystem":
         """Assemble and pre-train the full system as the paper deploys it.
 
@@ -231,12 +245,61 @@ class CrowdLearnSystem:
             replay_pool=training_set,
             config=config,
             rng=seeds.get("system"),
+            resilience=resilience,
         )
 
+    def _post_with_retries(
+        self,
+        metadata,
+        incentive: float,
+        context: TemporalContext,
+        counters: ResilienceCounters,
+    ) -> tuple[QueryResult, float]:
+        """Post one query, retrying outages per the resilience policy.
+
+        Returns ``(result, paid_incentive)``.  Re-raises
+        :class:`PlatformUnavailable` once the retry budget is exhausted
+        (immediately when resilience is disabled) and lets
+        :class:`BudgetExhausted` propagate untouched.
+        """
+        policy = self.resilience
+        attempts = policy.max_retries + 1 if policy.enabled else 1
+        paid = incentive
+        for attempt in range(attempts):
+            if attempt:
+                counters.retries += 1
+                counters.backoff_seconds += (
+                    policy.backoff_base_seconds * 2 ** (attempt - 1)
+                )
+                if policy.escalate_incentive:
+                    paid = min(
+                        paid * policy.escalation_factor,
+                        policy.max_incentive_cents,
+                    )
+            try:
+                result = self.platform.post_query(
+                    metadata, paid, context, ledger=self.ledger
+                )
+                return result, paid
+            except PlatformUnavailable:
+                counters.outages_hit += 1
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def run_cycle(self, cycle: SensingCycle) -> CycleOutcome:
-        """Execute the full CrowdLearn loop on one sensing cycle."""
+        """Execute the full CrowdLearn loop on one sensing cycle.
+
+        Resilience (see :class:`~repro.core.resilience.ResiliencePolicy`):
+        posts that hit a platform outage are retried with backoff and, once
+        the retry budget is gone, the image is *dropped* back to the AI;
+        charged queries that yield zero usable responses are refunded and
+        fall back to the reweighted committee's label.  Every intervention
+        is tallied in the outcome's :class:`ResilienceCounters`.
+        """
         dataset = cycle.dataset()
         true_labels = dataset.labels()
+        policy = self.resilience
 
         # ① committee votes and query selection.
         votes = self.committee.expert_votes(dataset)
@@ -244,6 +307,7 @@ class CrowdLearnSystem:
         query_size = min(self.config.queries_per_cycle, len(dataset))
         query_indices = self.qss.select(entropy, query_size, self.rng)
 
+        counters = ResilienceCounters()
         incentives: list[float] = []
         results: list[QueryResult] = []
         arms: list[int] = []
@@ -253,16 +317,33 @@ class CrowdLearnSystem:
             arm, incentive = self.ipd.price_query(cycle.context)
             metadata = dataset[int(index)].metadata
             try:
-                result = self.platform.post_query(
-                    metadata, incentive, cycle.context, ledger=self.ledger
+                result, paid = self._post_with_retries(
+                    metadata, incentive, cycle.context, counters
                 )
             except BudgetExhausted:
                 break  # budget gone: remaining images stay with the AI
-            incentives.append(incentive)
+            except PlatformUnavailable:
+                if not policy.enabled:
+                    raise
+                counters.dropped_queries += 1
+                continue  # this image stays with the AI
+            if not result.responses and policy.enabled:
+                # Charged, but nothing usable came back (abandonment or a
+                # tight deadline): refund and keep the committee's label.
+                if policy.refund_failed:
+                    self.ledger.refund(paid)
+                    counters.refunds += 1
+                    counters.refunded_cents += paid
+                else:
+                    cost += paid
+                if policy.fallback_to_committee:
+                    counters.fallbacks += 1
+                continue
+            incentives.append(paid)
             arms.append(arm)
             results.append(result)
             posted_indices.append(int(index))
-            cost += incentive
+            cost += paid
         query_indices = np.array(posted_indices, dtype=np.int64)
 
         # ③ quality control + ④ calibration (only if anything was queried).
@@ -323,11 +404,69 @@ class CrowdLearnSystem:
             crowd_delay=crowd_delay,
             cost_cents=cost,
             expert_weights=self.committee.weights,
+            resilience=counters,
         )
 
-    def run(self, stream: SensingCycleStream) -> RunOutcome:
-        """Run the system over an entire sensing-cycle stream."""
-        outcome = RunOutcome()
-        for cycle in stream:
-            outcome.append(self.run_cycle(cycle))
+    def run(
+        self,
+        stream: SensingCycleStream,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+    ) -> RunOutcome:
+        """Run the system over an entire sensing-cycle stream.
+
+        With ``checkpoint_path`` set, the full deployment state (system,
+        stream, completed outcomes) is snapshotted after every
+        ``checkpoint_every`` completed cycles via
+        :func:`repro.eval.persistence.save_checkpoint`, so a crashed run
+        can continue from the last completed cycle with
+        :meth:`resume_from_checkpoint` and produce the same final outcome
+        as an uninterrupted run.
+        """
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            outcome = RunOutcome()
+            for cycle in stream:
+                outcome.append(self.run_cycle(cycle))
+            return outcome
+        return self._run_from(stream, RunOutcome(), 0, checkpoint_path,
+                              checkpoint_every)
+
+    def _run_from(
+        self,
+        stream: SensingCycleStream,
+        outcome: RunOutcome,
+        start_cycle: int,
+        checkpoint_path: str | Path,
+        checkpoint_every: int,
+    ) -> RunOutcome:
+        from repro.eval.persistence import save_checkpoint
+
+        for t in range(start_cycle, len(stream)):
+            outcome.append(self.run_cycle(stream.cycle(t)))
+            if (t + 1) % checkpoint_every == 0 or t == len(stream) - 1:
+                save_checkpoint(checkpoint_path, self, stream, outcome, t + 1)
         return outcome
+
+    @classmethod
+    def resume_from_checkpoint(
+        cls,
+        checkpoint_path: str | Path,
+        checkpoint_every: int = 1,
+    ) -> RunOutcome:
+        """Continue a checkpointed deployment from its last completed cycle.
+
+        Because every stochastic component's state (platform and system
+        RNGs, bandit posteriors, committee weights and parameters, ledger)
+        is part of the snapshot, the resumed run reproduces exactly the
+        outcome the uninterrupted run would have produced.
+        """
+        from repro.eval.persistence import load_checkpoint
+
+        system, stream, outcome, next_cycle = load_checkpoint(checkpoint_path)
+        return system._run_from(
+            stream, outcome, next_cycle, checkpoint_path, checkpoint_every
+        )

@@ -7,6 +7,12 @@ and fixed-form questionnaire evidence.
 """
 
 from repro.crowd.delay import INCENTIVE_LEVELS, DelayModel
+from repro.crowd.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    PlatformUnavailable,
+)
 from repro.crowd.pilot import PilotCell, PilotResult, run_pilot_study
 from repro.crowd.platform import CrowdsourcingPlatform, WorkerHistoryEntry
 from repro.crowd.population import WorkerPopulation
@@ -23,6 +29,10 @@ from repro.crowd.worker import Worker
 __all__ = [
     "INCENTIVE_LEVELS",
     "DelayModel",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "PlatformUnavailable",
     "PilotCell",
     "PilotResult",
     "run_pilot_study",

@@ -1,0 +1,279 @@
+"""Fault injection for the crowd–AI closed loop (chaos engineering).
+
+The reproduction's default platform is perfectly behaved: every posted query
+returns exactly ``workers_per_query`` responses, on time, every time.  Real
+crowdsourcing deployments are not — workers abandon HITs mid-task, spammers
+answer at random, adversaries answer *wrong on purpose*, response times
+spike, the platform itself goes down.  This module makes those conditions
+reproducible: a declarative :class:`FaultPlan` describes *what* goes wrong
+and a stateful :class:`FaultInjector` (with its own RNG, so the fault-free
+draw sequence is untouched) decides *when*.
+
+The injector plugs into :class:`~repro.crowd.platform.CrowdsourcingPlatform`
+via its optional ``faults`` field; with ``faults=None`` (the default) the
+platform's behaviour is bit-for-bit what it was before this module existed.
+
+Fault taxonomy (see ``docs/FAULT_MODEL.md``):
+
+==================  ========================================================
+fault               effect on one posted query
+==================  ========================================================
+outage window       :class:`PlatformUnavailable` raised before any charge
+abandonment         a sampled worker never submits a response
+spam                a response's label and questionnaire are random noise
+adversarial         a response is deliberately wrong (label and evidence)
+delay spike         a response's delay is multiplied by a large factor
+duplicate           a response is submitted twice (double bookkeeping)
+malformed           a response arrives unattributable (``worker_id = -1``)
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crowd.tasks import QuestionnaireAnswers, WorkerResponse
+from repro.data.metadata import DamageLabel, ImageMetadata, SceneType
+
+__all__ = ["PlatformUnavailable", "FaultPlan", "FaultInjector"]
+
+#: Names of the per-fault event counters a :class:`FaultInjector` keeps.
+FAULT_KINDS: tuple[str, ...] = (
+    "outages",
+    "abandonments",
+    "spam",
+    "adversarial",
+    "delay_spikes",
+    "duplicates",
+    "malformed",
+)
+
+
+class PlatformUnavailable(RuntimeError):
+    """Raised when a query is posted during a platform outage window.
+
+    Raised *before* the ledger is charged — an unreachable platform cannot
+    take your money — so the caller can retry or give up without refunding.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject.
+
+    All rates are independent per-event probabilities in ``[0, 1]``.
+    ``outage_windows`` are half-open ``[start, end)`` intervals counted in
+    *post attempts* (every :meth:`CrowdsourcingPlatform.post_query` call,
+    including ones that fail): a plan can take the platform down for a
+    stretch of the deployment and bring it back.
+
+    Parameters
+    ----------
+    abandonment_rate:
+        Probability a sampled worker abandons the HIT (no response).
+    spam_rate:
+        Probability a response is replaced with uniform-random noise.
+    adversarial_rate:
+        Probability a response is deliberately wrong: a non-true label and
+        inverted questionnaire evidence.
+    delay_spike_rate, delay_spike_factor:
+        Probability a response's delay is multiplied by the factor.
+    duplicate_rate:
+        Probability a response is submitted twice.
+    malformed_rate:
+        Probability a response arrives unattributable: ``worker_id = -1``
+        and a uniform-random label (broken client / dropped metadata).
+    outage_windows:
+        ``[start, end)`` post-attempt intervals during which every post
+        raises :class:`PlatformUnavailable`.
+    """
+
+    abandonment_rate: float = 0.0
+    spam_rate: float = 0.0
+    adversarial_rate: float = 0.0
+    delay_spike_rate: float = 0.0
+    delay_spike_factor: float = 5.0
+    duplicate_rate: float = 0.0
+    malformed_rate: float = 0.0
+    outage_windows: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "abandonment_rate",
+            "spam_rate",
+            "adversarial_rate",
+            "delay_spike_rate",
+            "duplicate_rate",
+            "malformed_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_spike_factor < 1.0:
+            raise ValueError(
+                f"delay_spike_factor must be >= 1, got {self.delay_spike_factor}"
+            )
+        for window in self.outage_windows:
+            if len(window) != 2:
+                raise ValueError(f"outage window must be (start, end): {window}")
+            start, end = window
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"outage window must satisfy 0 <= start < end: {window}"
+                )
+
+    def is_noop(self) -> bool:
+        """Whether this plan injects nothing at all."""
+        return (
+            self.abandonment_rate == 0.0
+            and self.spam_rate == 0.0
+            and self.adversarial_rate == 0.0
+            and self.delay_spike_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.malformed_rate == 0.0
+            and not self.outage_windows
+        )
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """This plan with every rate multiplied by ``intensity`` (clipped).
+
+        Outage windows are kept as-is for any positive intensity and
+        dropped at zero — a window either exists or it does not.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        clip = lambda r: float(min(1.0, r * intensity))  # noqa: E731
+        return dataclasses.replace(
+            self,
+            abandonment_rate=clip(self.abandonment_rate),
+            spam_rate=clip(self.spam_rate),
+            adversarial_rate=clip(self.adversarial_rate),
+            delay_spike_rate=clip(self.delay_spike_rate),
+            duplicate_rate=clip(self.duplicate_rate),
+            malformed_rate=clip(self.malformed_rate),
+            outage_windows=self.outage_windows if intensity > 0 else (),
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a platform's query traffic.
+
+    The injector draws from its *own* generator: a no-op plan consumes no
+    randomness, so wiring an injector into a platform does not perturb the
+    fault-free response sequence.
+
+    Parameters
+    ----------
+    plan:
+        What to inject.
+    rng:
+        Randomness source for fault decisions (independent of the
+        platform's worker/delay draws).
+    """
+
+    plan: FaultPlan
+    rng: np.random.Generator
+    counters: dict[str, int] = field(init=False)
+    _attempts: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.counters = {kind: 0 for kind in FAULT_KINDS}
+
+    @property
+    def attempts(self) -> int:
+        """Post attempts seen so far (including ones that hit an outage)."""
+        return self._attempts
+
+    def on_post_attempt(self) -> None:
+        """Advance the attempt clock; raise during an outage window."""
+        attempt = self._attempts
+        self._attempts += 1
+        for start, end in self.plan.outage_windows:
+            if start <= attempt < end:
+                self.counters["outages"] += 1
+                raise PlatformUnavailable(
+                    f"platform outage at post attempt {attempt} "
+                    f"(window [{start}, {end}))"
+                )
+
+    def worker_abandons(self) -> bool:
+        """Whether the next sampled worker abandons the HIT."""
+        if self.plan.abandonment_rate <= 0.0:
+            return False
+        if self.rng.random() < self.plan.abandonment_rate:
+            self.counters["abandonments"] += 1
+            return True
+        return False
+
+    def transform_response(
+        self, response: WorkerResponse, metadata: ImageMetadata
+    ) -> list[WorkerResponse]:
+        """Apply response-level faults; returns the response(s) that arrive.
+
+        Spam, adversarial and malformed corruptions are mutually exclusive
+        (first matching draw wins); delay spikes and duplication then apply
+        independently on top of whatever survived.
+        """
+        plan = self.plan
+        if plan.spam_rate > 0.0 and self.rng.random() < plan.spam_rate:
+            self.counters["spam"] += 1
+            response = dataclasses.replace(
+                response,
+                label=self._random_label(),
+                questionnaire=self._random_questionnaire(),
+            )
+        elif (
+            plan.adversarial_rate > 0.0
+            and self.rng.random() < plan.adversarial_rate
+        ):
+            self.counters["adversarial"] += 1
+            response = dataclasses.replace(
+                response,
+                label=self._wrong_label(metadata.true_label),
+                questionnaire=QuestionnaireAnswers(
+                    says_fake=not metadata.is_fake,
+                    scene=self._wrong_scene(metadata.scene),
+                    says_people_in_danger=not metadata.people_in_danger,
+                ),
+            )
+        elif plan.malformed_rate > 0.0 and self.rng.random() < plan.malformed_rate:
+            self.counters["malformed"] += 1
+            response = dataclasses.replace(
+                response, worker_id=-1, label=self._random_label()
+            )
+        if plan.delay_spike_rate > 0.0 and self.rng.random() < plan.delay_spike_rate:
+            self.counters["delay_spikes"] += 1
+            response = dataclasses.replace(
+                response,
+                delay_seconds=response.delay_seconds * plan.delay_spike_factor,
+            )
+        if plan.duplicate_rate > 0.0 and self.rng.random() < plan.duplicate_rate:
+            self.counters["duplicates"] += 1
+            return [response, dataclasses.replace(response)]
+        return [response]
+
+    def total_events(self) -> int:
+        """Total fault events injected so far."""
+        return sum(self.counters.values())
+
+    def _random_label(self) -> DamageLabel:
+        return list(DamageLabel)[int(self.rng.integers(DamageLabel.count()))]
+
+    def _wrong_label(self, true_label: DamageLabel) -> DamageLabel:
+        others = [label for label in DamageLabel if label != true_label]
+        return others[int(self.rng.integers(len(others)))]
+
+    def _wrong_scene(self, true_scene: SceneType) -> SceneType:
+        others = [scene for scene in SceneType if scene != true_scene]
+        return others[int(self.rng.integers(len(others)))]
+
+    def _random_questionnaire(self) -> QuestionnaireAnswers:
+        return QuestionnaireAnswers(
+            says_fake=bool(self.rng.random() < 0.5),
+            scene=list(SceneType)[int(self.rng.integers(len(SceneType)))],
+            says_people_in_danger=bool(self.rng.random() < 0.5),
+        )

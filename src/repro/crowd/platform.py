@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.bandit.budget import BudgetLedger
 from repro.crowd.delay import DelayModel
+from repro.crowd.faults import FaultInjector
 from repro.crowd.population import WorkerPopulation
 from repro.crowd.quality import QualityModel
 from repro.crowd.tasks import CrowdQuery, QueryResult, WorkerResponse
@@ -53,6 +54,9 @@ class CrowdsourcingPlatform:
         Randomness source for worker draws and response noise.
     workers_per_query:
         HIT assignments per query (the paper uses 5).
+    faults:
+        Optional chaos-engineering hook (see :mod:`repro.crowd.faults`).
+        ``None`` (default) leaves every code path exactly as it was.
     """
 
     population: WorkerPopulation
@@ -60,8 +64,12 @@ class CrowdsourcingPlatform:
     quality_model: QualityModel
     rng: np.random.Generator
     workers_per_query: int = 5
+    faults: FaultInjector | None = None
     _next_query_id: int = field(default=0, init=False)
     _history: list[WorkerHistoryEntry] = field(default_factory=list, init=False)
+    _history_by_query: dict[int, list[int]] = field(
+        default_factory=dict, init=False
+    )
 
     def __post_init__(self) -> None:
         if self.workers_per_query <= 0:
@@ -88,11 +96,18 @@ class CrowdsourcingPlatform:
         crowds waste money, which is exactly why IPD exists.  ``None``
         (default) waits for everyone, matching the paper's evaluation,
         which measures delays rather than truncating them.
+
+        Under fault injection the query may additionally raise
+        :class:`~repro.crowd.faults.PlatformUnavailable` (before any
+        charge), lose workers to abandonment, or return corrupted,
+        duplicated or unattributable responses — possibly none at all.
         """
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError(
                 f"deadline must be positive, got {deadline_seconds}"
             )
+        if self.faults is not None:
+            self.faults.on_post_attempt()  # may raise PlatformUnavailable
         if ledger is not None:
             ledger.charge(incentive_cents)
         query = CrowdQuery(
@@ -107,6 +122,8 @@ class CrowdsourcingPlatform:
         )
         result = QueryResult(query=query)
         for worker in workers:
+            if self.faults is not None and self.faults.worker_abandons():
+                continue  # the HIT was accepted but never submitted
             label = worker.answer_label(
                 metadata, incentive_cents, self.quality_model, self.rng
             )
@@ -118,23 +135,34 @@ class CrowdsourcingPlatform:
             )
             if deadline_seconds is not None and delay > deadline_seconds:
                 continue  # this worker's answer never arrives in time
-            result.responses.append(
-                WorkerResponse(
-                    worker_id=worker.worker_id,
-                    label=label,
-                    questionnaire=questionnaire,
-                    delay_seconds=delay,
-                )
+            response = WorkerResponse(
+                worker_id=worker.worker_id,
+                label=label,
+                questionnaire=questionnaire,
+                delay_seconds=delay,
             )
-            self._history.append(
-                WorkerHistoryEntry(
-                    worker_id=worker.worker_id,
-                    query_id=query.query_id,
-                    label=int(label),
-                    correct=None,
-                )
+            arrived = (
+                [response]
+                if self.faults is None
+                else self.faults.transform_response(response, metadata)
             )
+            for response in arrived:
+                result.responses.append(response)
+                self._record_history(
+                    WorkerHistoryEntry(
+                        worker_id=response.worker_id,
+                        query_id=query.query_id,
+                        label=int(response.label),
+                        correct=None,
+                    )
+                )
         return result
+
+    def _record_history(self, entry: WorkerHistoryEntry) -> None:
+        self._history_by_query.setdefault(entry.query_id, []).append(
+            len(self._history)
+        )
+        self._history.append(entry)
 
     def post_queries(
         self,
@@ -154,15 +182,17 @@ class CrowdsourcingPlatform:
 
         Called by quality-control schemes once a truthful label is known, so
         worker track records accumulate (used by the Filtering baseline).
+        History entries are indexed by query id, so grading stays O(workers
+        per query) rather than rescanning the whole deployment's history.
         """
-        for i, entry in enumerate(self._history):
-            if entry.query_id == query_id:
-                self._history[i] = WorkerHistoryEntry(
-                    worker_id=entry.worker_id,
-                    query_id=entry.query_id,
-                    label=entry.label,
-                    correct=entry.label == int(true_label),
-                )
+        for i in self._history_by_query.get(query_id, ()):
+            entry = self._history[i]
+            self._history[i] = WorkerHistoryEntry(
+                worker_id=entry.worker_id,
+                query_id=entry.query_id,
+                label=entry.label,
+                correct=entry.label == int(true_label),
+            )
 
     def worker_track_record(self, worker_id: int) -> tuple[int, int]:
         """(graded responses, correct responses) for one worker."""

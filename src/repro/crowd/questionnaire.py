@@ -33,9 +33,13 @@ def encode_query_features(result: QueryResult) -> np.ndarray:
     - 5: fraction choosing each scene type;
     - 1: fraction answering "people in danger";
     - 1: label vote margin (top fraction minus runner-up), a confidence cue.
+
+    A query with no responses (total abandonment, platform fault) encodes
+    as the all-zero vector: no votes, no evidence, zero margin — a valid,
+    finite input rather than a crash or NaN.
     """
     if not result.responses:
-        raise ValueError("cannot encode a query with no responses")
+        return np.zeros(DamageLabel.count() + 1 + len(SceneType) + 1 + 1)
     n = len(result.responses)
     label_votes = np.zeros(DamageLabel.count())
     scene_votes = np.zeros(len(SceneType))

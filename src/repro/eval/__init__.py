@@ -11,7 +11,13 @@ from repro.eval.baselines import (
 from repro.eval.delay_model import AlgorithmDelayModel
 from repro.eval.diagnostics import ArchetypeDiagnosis, FailureReport, diagnose
 from repro.eval.persistence import (
+    cycle_outcome_from_dict,
+    cycle_outcome_to_dict,
+    load_checkpoint,
     load_results,
+    run_outcome_from_dict,
+    run_outcome_to_dict,
+    save_checkpoint,
     save_results,
     scheme_result_from_dict,
     scheme_result_to_dict,
@@ -42,7 +48,13 @@ __all__ = [
     "ArchetypeDiagnosis",
     "FailureReport",
     "diagnose",
+    "cycle_outcome_from_dict",
+    "cycle_outcome_to_dict",
+    "load_checkpoint",
     "load_results",
+    "run_outcome_from_dict",
+    "run_outcome_to_dict",
+    "save_checkpoint",
     "save_results",
     "scheme_result_from_dict",
     "scheme_result_to_dict",

@@ -1,5 +1,11 @@
 """Per-table/figure experiment drivers (see DESIGN.md's experiment index)."""
 
+from repro.eval.experiments.chaos import (
+    DEFAULT_INTENSITIES,
+    ChaosData,
+    default_chaos_plan,
+    run_chaos,
+)
 from repro.eval.experiments.fig8 import Fig8Data, run_fig8
 from repro.eval.experiments.fig9 import DEFAULT_FRACTIONS, Fig9Data, run_fig9
 from repro.eval.experiments.fig10_11 import (
@@ -23,6 +29,10 @@ from repro.eval.experiments.table2 import (
 )
 
 __all__ = [
+    "DEFAULT_INTENSITIES",
+    "ChaosData",
+    "default_chaos_plan",
+    "run_chaos",
     "Fig8Data",
     "run_fig8",
     "DEFAULT_FRACTIONS",

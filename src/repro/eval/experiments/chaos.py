@@ -1,0 +1,209 @@
+"""Degradation curves under injected crowd-platform faults.
+
+The chaos experiment answers the robustness question the paper never poses:
+*how gracefully does the closed loop degrade when the crowd misbehaves?*
+It sweeps a fault intensity knob from 0 (fault-free) upward, scaling a base
+:class:`~repro.crowd.faults.FaultPlan` (worker abandonment, spam and
+adversarial workers, delay spikes, duplicates, malformed responses, one
+platform outage window), and compares three schemes at each intensity:
+
+- **CrowdLearn** — the resilient closed loop (default
+  :class:`~repro.core.resilience.ResiliencePolicy`): retries outages with
+  backoff, refunds failed queries, falls back to committee labels;
+- **CrowdLearn-naive** — the same loop with resilience disabled
+  (:meth:`ResiliencePolicy.naive`): the first unhandled platform fault
+  truncates its deployment, exactly as the pre-resilience reproduction
+  would have crashed;
+- **Ensemble** — the best AI-only baseline, fault-independent by
+  construction (a flat reference line).
+
+Reported per intensity: macro-F1, mean crowd delay, sensing cycles
+completed, injected fault events and the resilient run's intervention
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resilience import ResiliencePolicy
+from repro.core.system import RunOutcome
+from repro.crowd.faults import FaultInjector, FaultPlan, PlatformUnavailable
+from repro.eval.baselines import EnsembleScheme
+from repro.eval.reporting import format_series, format_table
+from repro.eval.runner import ExperimentSetup, build_crowdlearn
+from repro.metrics.classification import macro_f1
+
+__all__ = ["ChaosData", "default_chaos_plan", "run_chaos", "DEFAULT_INTENSITIES"]
+
+DEFAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Chaos-run schemes, in reporting order.
+CHAOS_SCHEMES: tuple[str, ...] = ("CrowdLearn", "CrowdLearn-naive", "Ensemble")
+
+
+@dataclass(frozen=True)
+class ChaosData:
+    """Degradation curves: per-scheme metrics over fault intensities."""
+
+    intensities: tuple[float, ...]
+    f1: dict[str, list[float]]
+    crowd_delay: dict[str, list[float]]
+    cycles_completed: dict[str, list[int]]
+    n_cycles: int
+    fault_events: list[int]
+    resilience: list[dict[str, float]]
+
+    def render(self) -> str:
+        parts = [
+            format_series(
+                "fault_intensity",
+                list(self.intensities),
+                self.f1,
+                title="Chaos: classification performance (macro-F1) vs fault intensity",
+            ),
+            format_series(
+                "fault_intensity",
+                list(self.intensities),
+                self.crowd_delay,
+                title="Chaos: mean crowd delay (s) vs fault intensity",
+            ),
+        ]
+        counter_names = sorted(self.resilience[0]) if self.resilience else []
+        rows = [
+            [
+                float(intensity),
+                self.cycles_completed["CrowdLearn"][i],
+                self.cycles_completed["CrowdLearn-naive"][i],
+                self.fault_events[i],
+                *[float(self.resilience[i][name]) for name in counter_names],
+            ]
+            for i, intensity in enumerate(self.intensities)
+        ]
+        parts.append(
+            format_table(
+                ["intensity", "cycles(resilient)", "cycles(naive)",
+                 "fault_events", *counter_names],
+                rows,
+                title=(
+                    f"Chaos: completion (of {self.n_cycles} cycles) and "
+                    "resilience interventions"
+                ),
+            )
+        )
+        return "\n\n".join(parts)
+
+
+def default_chaos_plan(setup: ExperimentSetup) -> FaultPlan:
+    """The base fault plan the intensity knob scales.
+
+    At intensity 1.0: 20% worker abandonment, 10% spam, 5% adversarial,
+    10% delay spikes (5x), 5% duplicates, 5% malformed, and one platform
+    outage window covering roughly two sensing cycles' worth of posts a
+    quarter of the way into the deployment.
+    """
+    per_cycle = max(setup.config.queries_per_cycle, 1)
+    start = (setup.config.n_cycles // 4) * per_cycle
+    return FaultPlan(
+        abandonment_rate=0.2,
+        spam_rate=0.1,
+        adversarial_rate=0.05,
+        delay_spike_rate=0.1,
+        delay_spike_factor=5.0,
+        duplicate_rate=0.05,
+        malformed_rate=0.05,
+        outage_windows=((start, start + 2 * per_cycle),),
+    )
+
+
+def _run_naive(system, stream) -> RunOutcome:
+    """Run a non-resilient system until its first unhandled fault.
+
+    The naive policy lets :class:`PlatformUnavailable` propagate out of
+    ``run_cycle`` and feeds empty response sets into delay bookkeeping
+    (``QueryResult.mean_delay`` raises on them), so a faulty platform
+    truncates the deployment at the first bad cycle — precisely the
+    behaviour the resilient policy exists to avoid.
+    """
+    outcome = RunOutcome()
+    for cycle in stream:
+        try:
+            outcome.append(system.run_cycle(cycle))
+        except (PlatformUnavailable, ValueError):
+            break
+    return outcome
+
+
+def _metrics(outcome: RunOutcome) -> tuple[float, float, int]:
+    """(macro-F1, mean crowd delay, cycles completed) of a possibly-partial run."""
+    if not outcome.cycles:
+        return 0.0, 0.0, 0
+    f1 = macro_f1(outcome.y_true(), outcome.y_pred())
+    return f1, outcome.mean_crowd_delay(), len(outcome.cycles)
+
+
+def run_chaos(
+    setup: ExperimentSetup,
+    intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
+    plan: FaultPlan | None = None,
+) -> ChaosData:
+    """Sweep fault intensity and measure each scheme's degradation curve."""
+    if setup.fast and len(intensities) > 3:
+        intensities = (0.0, 0.5, 1.0)
+    base_plan = plan if plan is not None else default_chaos_plan(setup)
+
+    ensemble = EnsembleScheme(setup.base_committee.experts, setup.train_set)
+    ensemble_result = ensemble.run(setup.make_stream("chaos-ensemble"))
+    ensemble_f1 = macro_f1(ensemble_result.y_true, ensemble_result.y_pred)
+
+    f1: dict[str, list[float]] = {name: [] for name in CHAOS_SCHEMES}
+    delay: dict[str, list[float]] = {name: [] for name in CHAOS_SCHEMES}
+    completed: dict[str, list[int]] = {
+        name: [] for name in CHAOS_SCHEMES if name != "Ensemble"
+    }
+    fault_events: list[int] = []
+    resilience: list[dict[str, float]] = []
+
+    for intensity in intensities:
+        scaled = base_plan.scaled(intensity)
+        tag = f"chaos-{intensity:.2f}"
+
+        injector = FaultInjector(scaled, rng=setup.seeds.get(f"{tag}-faults"))
+        system = build_crowdlearn(
+            setup, faults=injector, platform_name=f"{tag}-resilient"
+        )
+        outcome = system.run(setup.make_stream(f"{tag}-resilient"))
+        res_f1, res_delay, res_cycles = _metrics(outcome)
+        f1["CrowdLearn"].append(res_f1)
+        delay["CrowdLearn"].append(res_delay)
+        completed["CrowdLearn"].append(res_cycles)
+        fault_events.append(injector.total_events())
+        resilience.append(outcome.resilience_totals().as_dict())
+
+        naive_injector = FaultInjector(
+            scaled, rng=setup.seeds.get(f"{tag}-naive-faults")
+        )
+        naive = build_crowdlearn(
+            setup,
+            resilience=ResiliencePolicy.naive(),
+            faults=naive_injector,
+            platform_name=f"{tag}-naive",
+        )
+        naive_outcome = _run_naive(naive, setup.make_stream(f"{tag}-naive"))
+        nai_f1, nai_delay, nai_cycles = _metrics(naive_outcome)
+        f1["CrowdLearn-naive"].append(nai_f1)
+        delay["CrowdLearn-naive"].append(nai_delay)
+        completed["CrowdLearn-naive"].append(nai_cycles)
+
+        f1["Ensemble"].append(ensemble_f1)
+        delay["Ensemble"].append(0.0)
+
+    return ChaosData(
+        intensities=tuple(intensities),
+        f1=f1,
+        crowd_delay=delay,
+        cycles_completed=completed,
+        n_cycles=setup.config.n_cycles,
+        fault_events=fault_events,
+        resilience=resilience,
+    )

@@ -1,26 +1,49 @@
-"""JSON persistence for experiment results.
+"""Persistence for experiment results and deployment state.
 
 Long benchmark runs deserve durable, diffable artifacts.  This module
 serializes :class:`~repro.eval.baselines.SchemeResult` collections (the
-output of :func:`~repro.eval.runner.run_all_schemes`) to plain JSON and back,
+output of :func:`~repro.eval.runner.run_all_schemes`) and per-cycle
+:class:`~repro.core.system.CycleOutcome` records to plain JSON and back,
 so runs can be archived, compared across seeds, or post-processed without
 re-running anything.
+
+It also provides *deployment checkpoints*: a binary snapshot of a live
+:class:`~repro.core.system.CrowdLearnSystem` mid-run (committee parameters,
+bandit posteriors, ledger, every RNG state, completed outcomes), written
+atomically after each sensing cycle so a crashed deployment resumes from the
+last completed cycle and reproduces the uninterrupted run bit-for-bit.
+Checkpoints use :mod:`pickle` — they capture live numpy generator state,
+which JSON cannot represent faithfully — and are therefore a same-version
+crash-recovery format, not an archival one; use the JSON helpers for
+archival.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import pickle
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.resilience import ResilienceCounters
 from repro.eval.baselines import SchemeResult
 from repro.utils.clock import TemporalContext
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports eval)
+    from repro.core.system import CrowdLearnSystem, CycleOutcome, RunOutcome
+    from repro.data.stream import SensingCycleStream
+
 __all__ = ["scheme_result_to_dict", "scheme_result_from_dict",
-           "save_results", "load_results"]
+           "save_results", "load_results",
+           "cycle_outcome_to_dict", "cycle_outcome_from_dict",
+           "run_outcome_to_dict", "run_outcome_from_dict",
+           "save_checkpoint", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
 def scheme_result_to_dict(result: SchemeResult) -> dict:
@@ -91,3 +114,117 @@ def load_results(path: str | Path) -> tuple[dict[str, SchemeResult], dict]:
         for name, data in payload["results"].items()
     }
     return results, payload.get("metadata", {})
+
+
+def cycle_outcome_to_dict(outcome: "CycleOutcome") -> dict:
+    """A JSON-safe dict capturing one sensing cycle's full outcome."""
+    return {
+        "cycle_index": outcome.cycle_index,
+        "context": outcome.context.value,
+        "true_labels": outcome.true_labels.tolist(),
+        "final_labels": outcome.final_labels.tolist(),
+        "final_scores": outcome.final_scores.tolist(),
+        "query_indices": outcome.query_indices.tolist(),
+        "incentives_cents": outcome.incentives_cents.tolist(),
+        "crowd_delay": outcome.crowd_delay,
+        "cost_cents": outcome.cost_cents,
+        "expert_weights": outcome.expert_weights.tolist(),
+        "resilience": outcome.resilience.as_dict(),
+    }
+
+
+def cycle_outcome_from_dict(data: dict) -> "CycleOutcome":
+    """Inverse of :func:`cycle_outcome_to_dict`."""
+    from repro.core.system import CycleOutcome
+
+    try:
+        return CycleOutcome(
+            cycle_index=int(data["cycle_index"]),
+            context=TemporalContext(data["context"]),
+            true_labels=np.asarray(data["true_labels"], dtype=np.int64),
+            final_labels=np.asarray(data["final_labels"], dtype=np.int64),
+            final_scores=np.asarray(data["final_scores"], dtype=np.float64),
+            query_indices=np.asarray(data["query_indices"], dtype=np.int64),
+            incentives_cents=np.asarray(
+                data["incentives_cents"], dtype=np.float64
+            ),
+            crowd_delay=float(data["crowd_delay"]),
+            cost_cents=float(data["cost_cents"]),
+            expert_weights=np.asarray(data["expert_weights"], dtype=np.float64),
+            resilience=ResilienceCounters.from_dict(data.get("resilience", {})),
+        )
+    except KeyError as missing:
+        raise ValueError(f"cycle dict is missing field {missing}") from None
+
+
+def run_outcome_to_dict(outcome: "RunOutcome") -> dict:
+    """A JSON-safe dict capturing a whole deployment's outcomes."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "cycles": [cycle_outcome_to_dict(c) for c in outcome.cycles],
+    }
+
+
+def run_outcome_from_dict(data: dict) -> "RunOutcome":
+    """Inverse of :func:`run_outcome_to_dict`."""
+    from repro.core.system import RunOutcome
+
+    return RunOutcome(
+        cycles=[cycle_outcome_from_dict(c) for c in data.get("cycles", [])]
+    )
+
+
+def save_checkpoint(
+    path: str | Path,
+    system: "CrowdLearnSystem",
+    stream: "SensingCycleStream",
+    outcome: "RunOutcome",
+    next_cycle: int,
+) -> Path:
+    """Atomically snapshot a live deployment after a completed cycle.
+
+    The snapshot contains everything a resumed run needs to be
+    deterministic: the system (with all RNG states, bandit posteriors,
+    committee parameters and the ledger), the stream, the outcomes of the
+    ``next_cycle`` completed cycles, and the resume index.  The write goes
+    through a temporary file + rename, so a crash mid-checkpoint leaves the
+    previous checkpoint intact.
+    """
+    if next_cycle < 0:
+        raise ValueError(f"next_cycle must be >= 0, got {next_cycle}")
+    path = Path(path)
+    payload = {
+        "checkpoint_version": _CHECKPOINT_VERSION,
+        "next_cycle": int(next_cycle),
+        "system": system,
+        "stream": stream,
+        "outcome": outcome,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(
+    path: str | Path,
+) -> tuple["CrowdLearnSystem", "SensingCycleStream", "RunOutcome", int]:
+    """Load ``(system, stream, outcome, next_cycle)`` from a checkpoint."""
+    try:
+        payload = pickle.loads(Path(path).read_bytes())
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise ValueError(f"corrupt checkpoint file {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"corrupt checkpoint file {path}: not a snapshot")
+    version = payload.get("checkpoint_version")
+    if version != _CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {_CHECKPOINT_VERSION})"
+        )
+    return (
+        payload["system"],
+        payload["stream"],
+        payload["outcome"],
+        int(payload["next_cycle"]),
+    )

@@ -18,8 +18,10 @@ from dataclasses import dataclass
 
 from repro.core.committee import Committee
 from repro.core.config import CrowdLearnConfig
+from repro.core.resilience import ResiliencePolicy
 from repro.core.system import CrowdLearnSystem, RunOutcome
 from repro.crowd.delay import DelayModel
+from repro.crowd.faults import FaultInjector
 from repro.crowd.pilot import PilotResult, run_pilot_study
 from repro.crowd.platform import CrowdsourcingPlatform
 from repro.crowd.population import WorkerPopulation
@@ -192,16 +194,30 @@ def scheme_result_from_run(name: str, outcome: RunOutcome) -> SchemeResult:
 
 
 def build_crowdlearn(
-    setup: ExperimentSetup, config: CrowdLearnConfig | None = None
+    setup: ExperimentSetup,
+    config: CrowdLearnConfig | None = None,
+    resilience: ResiliencePolicy | None = None,
+    faults: FaultInjector | None = None,
+    platform_name: str = "crowdlearn",
 ) -> CrowdLearnSystem:
-    """Assemble a CrowdLearn system from the shared setup."""
+    """Assemble a CrowdLearn system from the shared setup.
+
+    ``faults`` attaches a :class:`~repro.crowd.faults.FaultInjector` to the
+    system's (fresh) platform and ``resilience`` selects the degradation
+    policy — both used by the chaos experiments; the defaults reproduce the
+    original fault-free, fully-resilient (but never-triggered) deployment.
+    """
+    platform = setup.make_platform(platform_name)
+    if faults is not None:
+        platform.faults = faults
     return CrowdLearnSystem.build(
         training_set=setup.train_set,
         config=config or setup.config,
         seed=setup.seed,
         committee=setup.clone_committee(),
-        platform=setup.make_platform("crowdlearn"),
+        platform=platform,
         pilot=setup.pilot,
+        resilience=resilience,
     )
 
 

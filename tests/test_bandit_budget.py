@@ -64,3 +64,66 @@ class TestBudgetLedger:
         ledger.charge(0.1)
         ledger.charge(0.1)  # 0.1*3 > 0.3 in floats; tolerance must absorb it
         assert ledger.remaining == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNonFiniteAmounts:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_charge_rejects(self, bad):
+        ledger = BudgetLedger(10.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            ledger.charge(bad)
+        assert ledger.spent == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_can_afford_rejects(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            BudgetLedger(10.0).can_afford(bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_refund_rejects(self, bad):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(5.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            ledger.refund(bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_total_rejects(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            BudgetLedger(bad)
+
+
+class TestRefund:
+    def test_refund_restores_remaining(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(6.0)
+        assert ledger.refund(4.0) == pytest.approx(8.0)
+        assert ledger.spent == pytest.approx(2.0)
+        assert ledger.n_refunds == 1
+        assert ledger.total_refunded == pytest.approx(4.0)
+
+    def test_refunded_budget_is_spendable_again(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(10.0)
+        with pytest.raises(BudgetExhausted):
+            ledger.charge(1.0)
+        ledger.refund(5.0)
+        ledger.charge(5.0)  # the returned money can be re-spent
+        assert ledger.remaining == pytest.approx(0.0)
+
+    def test_refund_more_than_spent_raises(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(3.0)
+        with pytest.raises(ValueError, match="exceeds net spending"):
+            ledger.refund(4.0)
+
+    def test_negative_refund_raises(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(10.0).refund(-1.0)
+
+    def test_full_refund_leaves_clean_slate(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(7.0)
+        ledger.refund(7.0)
+        assert ledger.spent == pytest.approx(0.0)
+        assert ledger.remaining == pytest.approx(10.0)
+        assert ledger.n_charges == 1  # history is kept, spending is net

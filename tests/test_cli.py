@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "run", "pilot", "table1", "table2", "fig8", "fig9",
-            "budget", "diagnose",
+            "budget", "chaos", "diagnose",
         ):
             args = parser.parse_args([command, "--seed", "5"])
             assert args.seed == 5
@@ -50,6 +50,12 @@ class TestCommands:
     def test_fig8(self, capsys):
         assert main(["fig8", "--seed", "61"]) == 0
         assert "Figure 8" in capsys.readouterr().out
+
+    def test_chaos(self, capsys):
+        assert main(["chaos", "--seed", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "fault intensity" in out
+        assert "CrowdLearn-naive" in out
 
     def test_diagnose(self, capsys):
         assert main(["diagnose", "--seed", "61"]) == 0

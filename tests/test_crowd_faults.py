@@ -1,0 +1,218 @@
+"""Tests for repro.crowd.faults (chaos-engineering layer)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.delay import DelayModel
+from repro.crowd.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    PlatformUnavailable,
+)
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.quality import QualityModel
+from repro.data.metadata import (
+    DamageLabel,
+    FailureArchetype,
+    ImageMetadata,
+    SceneType,
+)
+from repro.utils.clock import TemporalContext
+
+
+def meta(image_id=0, label=DamageLabel.SEVERE):
+    return ImageMetadata(
+        image_id=image_id,
+        true_label=label,
+        archetype=FailureArchetype.NONE,
+        scene=SceneType.BUILDING,
+        is_fake=False,
+        people_in_danger=False,
+        apparent_label=label,
+    )
+
+
+def make_platform(population, seed=0, faults=None):
+    return CrowdsourcingPlatform(
+        population=population,
+        delay_model=DelayModel(),
+        quality_model=QualityModel(),
+        rng=np.random.default_rng(seed),
+        workers_per_query=5,
+        faults=faults,
+    )
+
+
+def injector(rng=None, **plan_kwargs):
+    return FaultInjector(
+        FaultPlan(**plan_kwargs), rng=rng or np.random.default_rng(99)
+    )
+
+
+class TestFaultPlan:
+    def test_default_is_noop(self):
+        assert FaultPlan().is_noop()
+
+    def test_any_rate_breaks_noop(self):
+        assert not FaultPlan(spam_rate=0.1).is_noop()
+        assert not FaultPlan(outage_windows=((0, 1),)).is_noop()
+
+    @pytest.mark.parametrize(
+        "field", ["abandonment_rate", "spam_rate", "adversarial_rate",
+                  "delay_spike_rate", "duplicate_rate", "malformed_rate"],
+    )
+    def test_rates_validated(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -0.1})
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+
+    def test_spike_factor_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(delay_spike_factor=0.5)
+
+    def test_outage_windows_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(outage_windows=((5, 5),))
+        with pytest.raises(ValueError):
+            FaultPlan(outage_windows=((-1, 3),))
+
+    def test_scaled_multiplies_and_clips(self):
+        plan = FaultPlan(abandonment_rate=0.4, spam_rate=0.8)
+        half = plan.scaled(0.5)
+        assert half.abandonment_rate == pytest.approx(0.2)
+        double = plan.scaled(2.0)
+        assert double.spam_rate == 1.0
+
+    def test_scaled_zero_drops_windows(self):
+        plan = FaultPlan(abandonment_rate=0.5, outage_windows=((0, 3),))
+        assert plan.scaled(0.0).is_noop()
+        assert plan.scaled(0.1).outage_windows == ((0, 3),)
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(ValueError):
+            FaultPlan().scaled(-1.0)
+
+
+class TestOutageWindows:
+    def test_raises_inside_window_only(self):
+        inj = injector(outage_windows=((1, 3),))
+        inj.on_post_attempt()  # attempt 0: fine
+        with pytest.raises(PlatformUnavailable):
+            inj.on_post_attempt()  # attempt 1
+        with pytest.raises(PlatformUnavailable):
+            inj.on_post_attempt()  # attempt 2
+        inj.on_post_attempt()  # attempt 3: window is half-open
+        assert inj.counters["outages"] == 2
+        assert inj.attempts == 4
+
+    def test_platform_raises_before_charging(self, population):
+        from repro.bandit.budget import BudgetLedger
+
+        platform = make_platform(
+            population, faults=injector(outage_windows=((0, 1),))
+        )
+        ledger = BudgetLedger(100.0)
+        with pytest.raises(PlatformUnavailable):
+            platform.post_query(
+                meta(), 8.0, TemporalContext.EVENING, ledger=ledger
+            )
+        assert ledger.spent == 0.0
+        assert platform.n_queries_posted == 0
+        # The platform recovers once the window has passed.
+        result = platform.post_query(
+            meta(), 8.0, TemporalContext.EVENING, ledger=ledger
+        )
+        assert result.responses
+        assert ledger.spent == pytest.approx(8.0)
+
+
+class TestAbandonment:
+    def test_full_abandonment_returns_no_responses(self, population):
+        platform = make_platform(population, faults=injector(abandonment_rate=1.0))
+        result = platform.post_query(meta(), 8.0, TemporalContext.EVENING)
+        assert result.responses == []
+        assert platform.history == []
+        assert platform.faults.counters["abandonments"] == 5
+
+    def test_zero_rate_draws_nothing(self):
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        inj = FaultInjector(FaultPlan(), rng=rng)
+        assert not inj.worker_abandons()
+        assert rng.bit_generator.state == before
+
+
+class TestResponseFaults:
+    def test_spam_randomizes_label_and_questionnaire(self, population):
+        platform = make_platform(population, faults=injector(spam_rate=1.0))
+        results = [
+            platform.post_query(meta(i), 8.0, TemporalContext.EVENING)
+            for i in range(10)
+        ]
+        labels = {int(r.label) for res in results for r in res.responses}
+        assert len(labels) > 1  # uniform noise, not the true label every time
+        assert platform.faults.counters["spam"] == sum(
+            len(r.responses) for r in results
+        )
+
+    def test_adversarial_is_deliberately_wrong(self, population):
+        platform = make_platform(
+            population, faults=injector(adversarial_rate=1.0)
+        )
+        result = platform.post_query(meta(), 8.0, TemporalContext.EVENING)
+        for response in result.responses:
+            assert response.label != DamageLabel.SEVERE
+            assert response.questionnaire.says_fake is True  # inverted
+            assert response.questionnaire.scene != SceneType.BUILDING
+
+    def test_malformed_unattributable(self, population):
+        platform = make_platform(population, faults=injector(malformed_rate=1.0))
+        result = platform.post_query(meta(), 8.0, TemporalContext.EVENING)
+        assert all(r.worker_id == -1 for r in result.responses)
+        # Malformed entries still land in history (under worker_id -1).
+        assert all(e.worker_id == -1 for e in platform.history)
+
+    def test_delay_spike_multiplies(self):
+        inj = injector(delay_spike_rate=1.0, delay_spike_factor=10.0)
+        from repro.crowd.tasks import QuestionnaireAnswers, WorkerResponse
+
+        response = WorkerResponse(
+            worker_id=3,
+            label=DamageLabel.MODERATE,
+            questionnaire=QuestionnaireAnswers(
+                says_fake=False, scene=SceneType.ROAD,
+                says_people_in_danger=False,
+            ),
+            delay_seconds=50.0,
+        )
+        (out,) = inj.transform_response(response, meta())
+        assert out.delay_seconds == pytest.approx(500.0)
+        assert out.label == DamageLabel.MODERATE  # only the delay changed
+
+    def test_duplicates_double_responses(self, population):
+        platform = make_platform(population, faults=injector(duplicate_rate=1.0))
+        result = platform.post_query(meta(), 8.0, TemporalContext.EVENING)
+        assert len(result.responses) == 10  # 5 workers, each submitted twice
+        assert len(platform.history) == 10
+        assert platform.faults.counters["duplicates"] == 5
+
+    def test_counters_cover_all_kinds(self):
+        inj = injector()
+        assert set(inj.counters) == set(FAULT_KINDS)
+        assert inj.total_events() == 0
+
+
+class TestNoopParity:
+    def test_noop_injector_is_invisible(self, population):
+        """A wired no-op plan leaves the response stream byte-identical."""
+        plain = make_platform(population, seed=7)
+        wired = make_platform(population, seed=7, faults=injector())
+        for i in range(6):
+            a = plain.post_query(meta(i), 6.0, TemporalContext.MORNING)
+            b = wired.post_query(meta(i), 6.0, TemporalContext.MORNING)
+            assert a.responses == b.responses
+            assert a.query == b.query
+        assert plain.history == wired.history
+        assert wired.faults.total_events() == 0

@@ -121,3 +121,57 @@ class TestHistory:
                 rng=rng,
                 workers_per_query=0,
             )
+
+
+class TestHistoryIndex:
+    """Regression tests for the query-id history index behind O(1) grading."""
+
+    def test_index_consistent_with_history(self, platform):
+        results = [
+            platform.post_query(meta(i), 4.0, TemporalContext.EVENING)
+            for i in range(12)
+        ]
+        index = platform._history_by_query
+        # Every history position appears exactly once, under its query id.
+        all_positions = sorted(pos for rows in index.values() for pos in rows)
+        assert all_positions == list(range(len(platform.history)))
+        for result in results:
+            qid = result.query.query_id
+            assert [platform.history[i].query_id for i in index[qid]] == (
+                [qid] * len(result.responses)
+            )
+
+    def test_grading_matches_full_scan(self, platform):
+        """Indexed reveal must agree with a brute-force history scan."""
+        results = [
+            platform.post_query(meta(i), 4.0, TemporalContext.EVENING)
+            for i in range(10)
+        ]
+        for result in results[::2]:  # grade every other query
+            platform.reveal_ground_truth(
+                result.query.query_id, int(DamageLabel.SEVERE)
+            )
+        worker_ids = {e.worker_id for e in platform.history}
+        for worker_id in worker_ids:
+            graded = [
+                e for e in platform.history
+                if e.worker_id == worker_id and e.correct is not None
+            ]
+            expected = (len(graded), sum(1 for e in graded if e.correct))
+            assert platform.worker_track_record(worker_id) == expected
+
+    def test_reveal_unknown_query_is_harmless(self, platform):
+        platform.post_query(meta(), 4.0, TemporalContext.EVENING)
+        before = list(platform.history)
+        platform.reveal_ground_truth(99999, int(DamageLabel.SEVERE))
+        assert platform.history == before
+
+    def test_reveal_only_touches_its_query(self, platform):
+        a = platform.post_query(meta(0), 4.0, TemporalContext.EVENING)
+        platform.post_query(meta(1), 4.0, TemporalContext.EVENING)
+        platform.reveal_ground_truth(a.query.query_id, int(DamageLabel.SEVERE))
+        for entry in platform.history:
+            if entry.query_id == a.query.query_id:
+                assert entry.correct is not None
+            else:
+                assert entry.correct is None

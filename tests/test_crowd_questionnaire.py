@@ -81,10 +81,12 @@ class TestEncodeQueryFeatures:
         features = encode_query_features(result)
         assert features[-1] == pytest.approx(0.0)
 
-    def test_empty_result_raises(self):
+    def test_empty_result_encodes_as_zeros(self):
+        """A starved query (faults, deadlines) is valid input: all zeros."""
         result = QueryResult(query=CrowdQuery(0, 0, 1.0, TemporalContext.MORNING))
-        with pytest.raises(ValueError):
-            encode_query_features(result)
+        features = encode_query_features(result)
+        assert features.shape == (11,)
+        assert np.all(features == 0.0)
 
 
 class TestQuestionnaireDefinition:

@@ -1,0 +1,75 @@
+"""Tests for repro.eval.experiments.chaos (fast-mode structure checks)."""
+
+import pytest
+
+from repro.crowd.faults import FaultPlan
+from repro.eval.experiments import default_chaos_plan, run_chaos
+from repro.eval.runner import prepare
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=7, fast=True)
+
+
+@pytest.fixture(scope="module")
+def data(setup):
+    return run_chaos(setup)
+
+
+class TestDefaultPlan:
+    def test_moderate_rates_and_one_window(self, setup):
+        plan = default_chaos_plan(setup)
+        assert plan.abandonment_rate == pytest.approx(0.2)
+        assert len(plan.outage_windows) == 1
+        start, end = plan.outage_windows[0]
+        assert 0 <= start < end
+
+
+class TestRunChaos:
+    def test_structure(self, data, setup):
+        n = len(data.intensities)
+        assert data.intensities[0] == 0.0
+        for scheme in ("CrowdLearn", "CrowdLearn-naive", "Ensemble"):
+            assert len(data.f1[scheme]) == n
+            assert len(data.crowd_delay[scheme]) == n
+            assert all(0.0 <= v <= 1.0 for v in data.f1[scheme])
+        assert len(data.fault_events) == n
+        assert len(data.resilience) == n
+        assert data.n_cycles == setup.config.n_cycles
+
+    def test_zero_intensity_is_fault_free(self, data):
+        assert data.fault_events[0] == 0
+        assert all(v == 0 for v in data.resilience[0].values())
+        assert data.cycles_completed["CrowdLearn-naive"][0] == data.n_cycles
+
+    def test_resilient_always_completes(self, data):
+        assert all(
+            c == data.n_cycles for c in data.cycles_completed["CrowdLearn"]
+        )
+
+    def test_faults_fire_at_top_intensity(self, data):
+        assert data.fault_events[-1] > 0
+        top = data.resilience[-1]
+        assert top["retries"] + top["dropped_queries"] + top["fallbacks"] > 0
+
+    def test_naive_truncated_by_outage(self, data):
+        assert data.cycles_completed["CrowdLearn-naive"][-1] < data.n_cycles
+
+    def test_ensemble_is_flat(self, data):
+        assert len(set(data.f1["Ensemble"])) == 1
+        assert all(v == 0.0 for v in data.crowd_delay["Ensemble"])
+
+    def test_render_mentions_everything(self, data):
+        text = data.render()
+        assert "macro-F1" in text
+        assert "crowd delay" in text
+        assert "CrowdLearn-naive" in text
+        assert "fault_events" in text
+
+    def test_custom_plan_respected(self, setup):
+        plan = FaultPlan(abandonment_rate=1.0)
+        out = run_chaos(setup, intensities=(1.0,), plan=plan)
+        # Total abandonment: every posted query falls back and is refunded.
+        assert out.resilience[0]["fallbacks"] > 0
+        assert out.cycles_completed["CrowdLearn"] == [setup.config.n_cycles]

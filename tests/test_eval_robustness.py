@@ -76,6 +76,23 @@ class TestSummarize:
         with pytest.raises(ValueError, match="different scheme set"):
             summarize_across_seeds(two_seed_results)
 
+    def test_win_rate_ties_count_for_all_tied_schemes(self, rng):
+        """A seed where two schemes tie for best is a win for both."""
+        shared = make_result("A", 0.9, rng=np.random.default_rng(3))
+        tied = {
+            1: {
+                "A": shared,
+                "B": make_result(  # identical predictions -> identical accuracy
+                    "B", 0.9, rng=np.random.default_rng(3)
+                ),
+                "C": make_result("C", 0.5, rng=rng),
+            },
+        }
+        study = summarize_across_seeds(tied)
+        assert study.win_rate("A") == 1.0
+        assert study.win_rate("B") == 1.0
+        assert study.win_rate("C") == 0.0
+
 
 class TestRunStudy:
     def test_fast_two_seed_study(self):
