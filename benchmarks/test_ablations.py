@@ -10,7 +10,6 @@
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.bandit.budget import BudgetLedger
 from repro.bandit.epsilon import EpsilonGreedyBandit

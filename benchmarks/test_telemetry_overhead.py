@@ -1,0 +1,78 @@
+"""Enabled-telemetry overhead budget: <5% vs the no-op path.
+
+Runs the same seeded CrowdLearn deployment twice — once with the default
+no-op telemetry and once fully instrumented — asserting (a) the outcomes
+are byte-identical (instrumentation must never perturb the closed loop)
+and (b) the instrumented wall time stays within the 5% overhead budget
+the telemetry subsystem promises.
+
+Timing uses interleaved repetitions and takes the minimum per mode, which
+discards scheduler noise rather than averaging it in; a small absolute
+slack keeps the assertion robust on very short smoke-mode runs where a
+single scheduling hiccup exceeds 5% of the total.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_SEED, is_fast
+from repro.eval.runner import build_crowdlearn, prepare
+from repro.telemetry import Telemetry
+
+#: Interleaved repetitions per mode (min is taken).
+REPS = 3
+
+#: Absolute slack (seconds) on top of the 5% budget, for sub-second runs.
+ABS_SLACK_SECONDS = 0.1
+
+
+def _run(setup, telemetry):
+    system = build_crowdlearn(
+        setup, platform_name="tel-overhead", telemetry=telemetry
+    )
+    stream = setup.make_stream("tel-overhead")
+    started = time.perf_counter()
+    outcome = system.run(stream)
+    return time.perf_counter() - started, outcome
+
+
+def test_enabled_overhead_under_5_percent(save_artifact):
+    # A dedicated (fast-sized) world: overhead is a property of the loop
+    # machinery, not of the paper-scale models, and the identical-seed
+    # requirement means both modes must share one setup.
+    setup = prepare(seed=BENCH_SEED, fast=True)
+
+    off_times, on_times = [], []
+    baseline_outcome = enabled_outcome = None
+    for _ in range(REPS):
+        t_off, baseline_outcome = _run(setup, telemetry=None)
+        t_on, enabled_outcome = _run(setup, telemetry=Telemetry())
+        off_times.append(t_off)
+        on_times.append(t_on)
+
+    # (a) instrumentation never changes the computation.
+    assert len(enabled_outcome.cycles) == len(baseline_outcome.cycles)
+    for ca, cb in zip(enabled_outcome.cycles, baseline_outcome.cycles):
+        np.testing.assert_array_equal(ca.final_labels, cb.final_labels)
+        np.testing.assert_array_equal(ca.final_scores, cb.final_scores)
+        assert ca.cost_cents == cb.cost_cents
+
+    # (b) the 5% overhead budget.
+    t_off, t_on = min(off_times), min(on_times)
+    budget = t_off * 1.05 + ABS_SLACK_SECONDS
+    save_artifact(
+        "telemetry_overhead",
+        "Telemetry overhead (identical seeded runs, min of "
+        f"{REPS} interleaved reps{', smoke mode' if is_fast() else ''})\n"
+        f"no-op path:   {t_off:.3f}s\n"
+        f"instrumented: {t_on:.3f}s\n"
+        f"overhead:     {100.0 * (t_on - t_off) / t_off:+.2f}%"
+        f" (budget 5% + {ABS_SLACK_SECONDS:.1f}s slack)",
+    )
+    assert t_on <= budget, (
+        f"telemetry overhead too high: {t_on:.3f}s instrumented vs "
+        f"{t_off:.3f}s no-op ({100.0 * (t_on - t_off) / t_off:.1f}%)"
+    )

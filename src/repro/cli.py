@@ -11,6 +11,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro budget     # regenerate Figures 10 & 11
     python -m repro chaos      # degradation curves under injected faults
     python -m repro diagnose   # per-archetype failure report of each expert
+    python -m repro trace      # telemetry: per-stage wall-time/cost breakdown
 
 All commands run the miniature (fast) deployment by default; pass ``--full``
 for the paper-scale configuration, ``--seed`` for a different world.
@@ -131,6 +132,42 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.eval.runner import build_crowdlearn
+    from repro.telemetry import (
+        Telemetry,
+        export_jsonl,
+        summary_report,
+        to_prometheus,
+        use_telemetry,
+    )
+
+    setup = _prepare(args)
+    telemetry = Telemetry()
+    system = build_crowdlearn(setup, telemetry=telemetry)
+    # The process default covers components that build their own helpers
+    # (e.g. trainers constructed inside models during MIC retraining).
+    with use_telemetry(telemetry):
+        outcome = system.run(setup.make_stream("cli-trace"))
+    print(summary_report(telemetry, title="CrowdLearn trace"))
+    print()
+    print(
+        f"deployment: {len(outcome.cycles)} cycles, "
+        f"spend {outcome.total_cost_cents() / 100:.2f} USD "
+        f"(budget {system.ledger.total / 100:.2f} USD), "
+        f"mean crowd delay {outcome.mean_crowd_delay():.1f}s"
+    )
+    if getattr(args, "jsonl", None):
+        path = export_jsonl(telemetry, args.jsonl)
+        print(f"wrote JSONL event log to {path}", file=sys.stderr)
+    if getattr(args, "prometheus", None):
+        from pathlib import Path
+
+        Path(args.prometheus).write_text(to_prometheus(telemetry.registry))
+        print(f"wrote Prometheus metrics to {args.prometheus}", file=sys.stderr)
+    return 0
+
+
 def cmd_diagnose(args) -> int:
     from repro.eval.diagnostics import diagnose
 
@@ -158,6 +195,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "budget": (cmd_budget, "regenerate Figures 10 & 11 (budget sweep)"),
     "chaos": (cmd_chaos, "degradation curves under injected platform faults"),
     "diagnose": (cmd_diagnose, "per-archetype failure report of each expert"),
+    "trace": (cmd_trace, "run with telemetry: stage wall-time/cost breakdown"),
 }
 
 
@@ -176,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="paper-scale deployment (960 images, 40 cycles)",
         )
         sub.add_argument("--seed", type=int, default=0, help="root seed")
+        if name == "trace":
+            sub.add_argument(
+                "--jsonl", metavar="PATH",
+                help="also export the telemetry event log as JSONL",
+            )
+            sub.add_argument(
+                "--prometheus", metavar="PATH",
+                help="also export metrics in Prometheus text format",
+            )
         sub.set_defaults(func=func)
     return parser
 

@@ -31,6 +31,7 @@ from repro.crowd.tasks import QueryResult
 from repro.data.dataset import DisasterDataset
 from repro.data.stream import SensingCycle, SensingCycleStream
 from repro.models.registry import create_model, default_committee_names
+from repro.telemetry.runtime import Telemetry, get_telemetry
 from repro.utils.clock import TemporalContext
 from repro.utils.rng import SeedSequencer
 
@@ -148,6 +149,7 @@ class CrowdLearnSystem:
         config: CrowdLearnConfig,
         rng: np.random.Generator,
         resilience: ResiliencePolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.committee = committee
         self.platform = platform
@@ -160,6 +162,14 @@ class CrowdLearnSystem:
         self.config = config
         self.rng = rng
         self.resilience = resilience or ResiliencePolicy()
+        #: Telemetry pipeline; ``None`` resolves the process default (the
+        #: no-op singleton unless a trace run swapped one in), so the
+        #: uninstrumented path is unchanged.  Attached telemetry travels
+        #: with checkpoints, keeping a resumed run's history.
+        self.telemetry = telemetry
+
+    def _telemetry(self) -> Telemetry:
+        return self.telemetry if self.telemetry is not None else get_telemetry()
 
     @classmethod
     def build(
@@ -171,6 +181,7 @@ class CrowdLearnSystem:
         platform: CrowdsourcingPlatform | None = None,
         pilot: PilotResult | None = None,
         resilience: ResiliencePolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> "CrowdLearnSystem":
         """Assemble and pre-train the full system as the paper deploys it.
 
@@ -199,6 +210,7 @@ class CrowdLearnSystem:
                 quality_model=QualityModel(),
                 rng=seeds.get("platform"),
                 workers_per_query=config.workers_per_query,
+                telemetry=telemetry,
             )
         if pilot is None:
             pilot = run_pilot_study(
@@ -246,6 +258,7 @@ class CrowdLearnSystem:
             config=config,
             rng=seeds.get("system"),
             resilience=resilience,
+            telemetry=telemetry,
         )
 
     def _post_with_retries(
@@ -296,16 +309,28 @@ class CrowdLearnSystem:
         charged queries that yield zero usable responses are refunded and
         fall back to the reweighted committee's label.  Every intervention
         is tallied in the outcome's :class:`ResilienceCounters`.
+
+        Each stage runs inside a telemetry span (``cycle.qss``,
+        ``cycle.ipd.*``, ``cycle.crowd``, ``cycle.cqc``,
+        ``cycle.mic.*``); with the default no-op telemetry the outcome is
+        byte-identical to an uninstrumented run.
         """
+        tel = self._telemetry()
+        with tel.span("cycle", index=cycle.index, context=cycle.context.value):
+            return self._run_cycle(cycle, tel)
+
+    def _run_cycle(self, cycle: SensingCycle, tel: Telemetry) -> CycleOutcome:
         dataset = cycle.dataset()
         true_labels = dataset.labels()
         policy = self.resilience
 
         # ① committee votes and query selection.
-        votes = self.committee.expert_votes(dataset)
-        entropy = self.committee.committee_entropy(dataset, votes)
-        query_size = min(self.config.queries_per_cycle, len(dataset))
-        query_indices = self.qss.select(entropy, query_size, self.rng)
+        with tel.span("cycle.committee"):
+            votes = self.committee.expert_votes(dataset)
+            entropy = self.committee.committee_entropy(dataset, votes)
+        with tel.span("cycle.qss"):
+            query_size = min(self.config.queries_per_cycle, len(dataset))
+            query_indices = self.qss.select(entropy, query_size, self.rng)
 
         counters = ResilienceCounters()
         incentives: list[float] = []
@@ -313,45 +338,50 @@ class CrowdLearnSystem:
         arms: list[int] = []
         cost = 0.0
         posted_indices: list[int] = []
-        for index in query_indices:
-            arm, incentive = self.ipd.price_query(cycle.context)
-            metadata = dataset[int(index)].metadata
-            try:
-                result, paid = self._post_with_retries(
-                    metadata, incentive, cycle.context, counters
-                )
-            except BudgetExhausted:
-                break  # budget gone: remaining images stay with the AI
-            except PlatformUnavailable:
-                if not policy.enabled:
-                    raise
-                counters.dropped_queries += 1
-                continue  # this image stays with the AI
-            if not result.responses and policy.enabled:
-                # Charged, but nothing usable came back (abandonment or a
-                # tight deadline): refund and keep the committee's label.
-                if policy.refund_failed:
-                    self.ledger.refund(paid)
-                    counters.refunds += 1
-                    counters.refunded_cents += paid
-                else:
-                    cost += paid
-                if policy.fallback_to_committee:
-                    counters.fallbacks += 1
-                continue
-            incentives.append(paid)
-            arms.append(arm)
-            results.append(result)
-            posted_indices.append(int(index))
-            cost += paid
+        with tel.span("cycle.crowd", queries=len(query_indices)):
+            for index in query_indices:
+                with tel.span("cycle.ipd.price"):
+                    arm, incentive = self.ipd.price_query(cycle.context)
+                metadata = dataset[int(index)].metadata
+                try:
+                    result, paid = self._post_with_retries(
+                        metadata, incentive, cycle.context, counters
+                    )
+                except BudgetExhausted:
+                    break  # budget gone: remaining images stay with the AI
+                except PlatformUnavailable:
+                    if not policy.enabled:
+                        raise
+                    counters.dropped_queries += 1
+                    continue  # this image stays with the AI
+                if not result.responses and policy.enabled:
+                    # Charged, but nothing usable came back (abandonment or a
+                    # tight deadline): refund and keep the committee's label.
+                    if policy.refund_failed:
+                        self.ledger.refund(paid)
+                        counters.refunds += 1
+                        counters.refunded_cents += paid
+                    else:
+                        cost += paid
+                    if policy.fallback_to_committee:
+                        counters.fallbacks += 1
+                    continue
+                incentives.append(paid)
+                arms.append(arm)
+                results.append(result)
+                posted_indices.append(int(index))
+                cost += paid
         query_indices = np.array(posted_indices, dtype=np.int64)
 
         # ③ quality control + ④ calibration (only if anything was queried).
         if results:
-            truthful = self.cqc.truthful_labels(results)
-            truth_dists = self.cqc.label_distributions(results)
-            for result, label in zip(results, truthful):
-                self.platform.reveal_ground_truth(result.query.query_id, int(label))
+            with tel.span("cycle.cqc", queries=len(results)):
+                truthful = self.cqc.truthful_labels(results)
+                truth_dists = self.cqc.label_distributions(results)
+                for result, label in zip(results, truthful):
+                    self.platform.reveal_ground_truth(
+                        result.query.query_id, int(label)
+                    )
             query_votes = [v[query_indices] for v in votes]
             # VDBE extension: feed the surprise (mean committee-vs-truth
             # divergence on the query set) back into an adaptive QSS.
@@ -368,16 +398,19 @@ class CrowdLearnSystem:
                     )
                 )
                 self.qss.observe_surprise(surprise)
-            self.mic.update_weights(self.committee, query_votes, truth_dists)
-            self.mic.retrain_experts(
-                self.committee,
-                [dataset[int(i)] for i in query_indices],
-                truthful,
-                self.replay_pool,
-                self.rng,
-            )
-            for result, arm in zip(results, arms):
-                self.ipd.observe(cycle.context, arm, result.mean_delay)
+            with tel.span("cycle.mic.reweight"):
+                self.mic.update_weights(self.committee, query_votes, truth_dists)
+            with tel.span("cycle.mic.retrain"):
+                self.mic.retrain_experts(
+                    self.committee,
+                    [dataset[int(i)] for i in query_indices],
+                    truthful,
+                    self.replay_pool,
+                    self.rng,
+                )
+            with tel.span("cycle.ipd.observe"):
+                for result, arm in zip(results, arms):
+                    self.ipd.observe(cycle.context, arm, result.mean_delay)
             crowd_delay = float(np.mean([r.mean_delay for r in results]))
         else:
             truthful = np.empty(0, dtype=np.int64)
@@ -393,6 +426,37 @@ class CrowdLearnSystem:
         final_scores = self.mic.offload_distributions(
             committee_vote, query_indices, truth_dists
         )
+        if tel.enabled:
+            tel.counter(
+                "cycles_total", help="sensing cycles completed"
+            ).inc()
+            tel.counter(
+                "queries_posted_total", help="crowd queries paid and kept"
+            ).inc(len(results))
+            tel.counter(
+                "responses_total", help="worker responses received"
+            ).inc(sum(len(r.responses) for r in results))
+            tel.counter(
+                "cost_cents_total", help="crowd spend charged (cents)"
+            ).inc(cost)
+            for paid in incentives:
+                tel.histogram(
+                    "incentive_cents", help="paid incentive per query",
+                    buckets=(0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0),
+                ).observe(paid)
+            if crowd_delay:
+                tel.histogram(
+                    "crowd_delay_seconds", help="mean crowd delay per cycle",
+                ).observe(crowd_delay)
+            tel.gauge(
+                "budget_remaining_cents", help="ledger budget left"
+            ).set(self.ledger.remaining)
+            # Bridge the cycle's resilience interventions into the registry.
+            tel.merge_counters(
+                {f"{k}_total": v for k, v in counters.as_dict().items()},
+                prefix="resilience_",
+                help="resilience interventions (see repro.core.resilience)",
+            )
         return CycleOutcome(
             cycle_index=cycle.index,
             context=cycle.context,

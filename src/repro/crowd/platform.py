@@ -25,6 +25,7 @@ from repro.crowd.population import WorkerPopulation
 from repro.crowd.quality import QualityModel
 from repro.crowd.tasks import CrowdQuery, QueryResult, WorkerResponse
 from repro.data.metadata import ImageMetadata
+from repro.telemetry.runtime import Telemetry, get_telemetry
 from repro.utils.clock import TemporalContext
 
 __all__ = ["WorkerHistoryEntry", "CrowdsourcingPlatform"]
@@ -57,6 +58,10 @@ class CrowdsourcingPlatform:
     faults:
         Optional chaos-engineering hook (see :mod:`repro.crowd.faults`).
         ``None`` (default) leaves every code path exactly as it was.
+    telemetry:
+        Optional :class:`~repro.telemetry.runtime.Telemetry` pipeline;
+        ``None`` resolves the process default (the no-op singleton unless
+        a trace run swapped one in).
     """
 
     population: WorkerPopulation
@@ -65,6 +70,7 @@ class CrowdsourcingPlatform:
     rng: np.random.Generator
     workers_per_query: int = 5
     faults: FaultInjector | None = None
+    telemetry: Telemetry | None = None
     _next_query_id: int = field(default=0, init=False)
     _history: list[WorkerHistoryEntry] = field(default_factory=list, init=False)
     _history_by_query: dict[int, list[int]] = field(
@@ -106,56 +112,88 @@ class CrowdsourcingPlatform:
             raise ValueError(
                 f"deadline must be positive, got {deadline_seconds}"
             )
-        if self.faults is not None:
-            self.faults.on_post_attempt()  # may raise PlatformUnavailable
-        if ledger is not None:
-            ledger.charge(incentive_cents)
-        query = CrowdQuery(
-            query_id=self._next_query_id,
-            image_id=metadata.image_id,
-            incentive_cents=incentive_cents,
-            context=context,
-        )
-        self._next_query_id += 1
-        workers = self.population.sample_workers(
-            self.workers_per_query, context, self.rng
-        )
-        result = QueryResult(query=query)
-        for worker in workers:
-            if self.faults is not None and self.faults.worker_abandons():
-                continue  # the HIT was accepted but never submitted
-            label = worker.answer_label(
-                metadata, incentive_cents, self.quality_model, self.rng
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        with tel.span("platform.post_query", context=context.value) as span:
+            if self.faults is not None:
+                try:
+                    self.faults.on_post_attempt()
+                except Exception:  # PlatformUnavailable (span tags the error)
+                    tel.counter(
+                        "platform_outages_total",
+                        help="posts rejected by a platform outage",
+                    ).inc()
+                    raise
+            if ledger is not None:
+                ledger.charge(incentive_cents)
+            query = CrowdQuery(
+                query_id=self._next_query_id,
+                image_id=metadata.image_id,
+                incentive_cents=incentive_cents,
+                context=context,
             )
-            questionnaire = worker.answer_questionnaire(
-                metadata, incentive_cents, self.quality_model, self.rng
+            self._next_query_id += 1
+            workers = self.population.sample_workers(
+                self.workers_per_query, context, self.rng
             )
-            delay = self.delay_model.sample(
-                context, incentive_cents, self.rng, worker_speed=worker.speed
-            )
-            if deadline_seconds is not None and delay > deadline_seconds:
-                continue  # this worker's answer never arrives in time
-            response = WorkerResponse(
-                worker_id=worker.worker_id,
-                label=label,
-                questionnaire=questionnaire,
-                delay_seconds=delay,
-            )
-            arrived = (
-                [response]
-                if self.faults is None
-                else self.faults.transform_response(response, metadata)
-            )
-            for response in arrived:
-                result.responses.append(response)
-                self._record_history(
-                    WorkerHistoryEntry(
-                        worker_id=response.worker_id,
-                        query_id=query.query_id,
-                        label=int(response.label),
-                        correct=None,
-                    )
+            result = QueryResult(query=query)
+            late = 0
+            for worker in workers:
+                if self.faults is not None and self.faults.worker_abandons():
+                    continue  # the HIT was accepted but never submitted
+                label = worker.answer_label(
+                    metadata, incentive_cents, self.quality_model, self.rng
                 )
+                questionnaire = worker.answer_questionnaire(
+                    metadata, incentive_cents, self.quality_model, self.rng
+                )
+                delay = self.delay_model.sample(
+                    context, incentive_cents, self.rng, worker_speed=worker.speed
+                )
+                if deadline_seconds is not None and delay > deadline_seconds:
+                    late += 1
+                    continue  # this worker's answer never arrives in time
+                response = WorkerResponse(
+                    worker_id=worker.worker_id,
+                    label=label,
+                    questionnaire=questionnaire,
+                    delay_seconds=delay,
+                )
+                arrived = (
+                    [response]
+                    if self.faults is None
+                    else self.faults.transform_response(response, metadata)
+                )
+                for response in arrived:
+                    result.responses.append(response)
+                    self._record_history(
+                        WorkerHistoryEntry(
+                            worker_id=response.worker_id,
+                            query_id=query.query_id,
+                            label=int(response.label),
+                            correct=None,
+                        )
+                    )
+            if tel.enabled:
+                span.set(query_id=query.query_id,
+                         responses=len(result.responses))
+                tel.counter(
+                    "platform_queries_total", help="queries posted and charged"
+                ).inc()
+                tel.counter(
+                    "platform_responses_total",
+                    help="worker responses delivered to the requester",
+                ).inc(len(result.responses))
+                if late:
+                    tel.counter(
+                        "platform_late_responses_total",
+                        help="responses dropped by the requester deadline",
+                    ).inc(late)
+                for response in result.responses:
+                    tel.histogram(
+                        "platform_response_delay_seconds",
+                        help="per-response worker delay",
+                        context=context.value,
+                    ).observe(response.delay_seconds)
         return result
 
     def _record_history(self, entry: WorkerHistoryEntry) -> None:

@@ -25,14 +25,17 @@ counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
+from dataclasses import fields as dataclass_fields
 
-from repro.core.resilience import ResiliencePolicy
+from repro.core.resilience import ResilienceCounters, ResiliencePolicy
 from repro.core.system import RunOutcome
 from repro.crowd.faults import FaultInjector, FaultPlan, PlatformUnavailable
 from repro.eval.baselines import EnsembleScheme
 from repro.eval.reporting import format_series, format_table
 from repro.eval.runner import ExperimentSetup, build_crowdlearn
 from repro.metrics.classification import macro_f1
+from repro.telemetry.runtime import Telemetry
 
 __all__ = ["ChaosData", "default_chaos_plan", "run_chaos", "DEFAULT_INTENSITIES"]
 
@@ -53,6 +56,9 @@ class ChaosData:
     n_cycles: int
     fault_events: list[int]
     resilience: list[dict[str, float]]
+    #: Per-intensity registry counter snapshots of the resilient run
+    #: (``resilience_*_total`` bridged through :class:`Telemetry`).
+    telemetry: list[dict[str, float]] = dataclass_field(default_factory=list)
 
     def render(self) -> str:
         parts = [
@@ -69,14 +75,18 @@ class ChaosData:
                 title="Chaos: mean crowd delay (s) vs fault intensity",
             ),
         ]
-        counter_names = sorted(self.resilience[0]) if self.resilience else []
+        # Intervention counts come from the telemetry registry snapshots
+        # (``resilience_*_total``); the per-outcome counters remain as a
+        # fallback for data recorded before telemetry existed.
+        counters = self.telemetry or self.resilience
+        counter_names = sorted(counters[0]) if counters else []
         rows = [
             [
                 float(intensity),
                 self.cycles_completed["CrowdLearn"][i],
                 self.cycles_completed["CrowdLearn-naive"][i],
                 self.fault_events[i],
-                *[float(self.resilience[i][name]) for name in counter_names],
+                *[float(counters[i][name]) for name in counter_names],
             ]
             for i, intensity in enumerate(self.intensities)
         ]
@@ -86,8 +96,8 @@ class ChaosData:
                  "fault_events", *counter_names],
                 rows,
                 title=(
-                    f"Chaos: completion (of {self.n_cycles} cycles) and "
-                    "resilience interventions"
+                    f"Chaos telemetry: completion (of {self.n_cycles} cycles)"
+                    " and resilience interventions (MetricsRegistry)"
                 ),
             )
         )
@@ -163,14 +173,18 @@ def run_chaos(
     }
     fault_events: list[int] = []
     resilience: list[dict[str, float]] = []
+    telemetry: list[dict[str, float]] = []
+    counter_names = [f.name for f in dataclass_fields(ResilienceCounters)]
 
     for intensity in intensities:
         scaled = base_plan.scaled(intensity)
         tag = f"chaos-{intensity:.2f}"
 
         injector = FaultInjector(scaled, rng=setup.seeds.get(f"{tag}-faults"))
+        tel = Telemetry()
         system = build_crowdlearn(
-            setup, faults=injector, platform_name=f"{tag}-resilient"
+            setup, faults=injector, platform_name=f"{tag}-resilient",
+            telemetry=tel,
         )
         outcome = system.run(setup.make_stream(f"{tag}-resilient"))
         res_f1, res_delay, res_cycles = _metrics(outcome)
@@ -179,6 +193,10 @@ def run_chaos(
         completed["CrowdLearn"].append(res_cycles)
         fault_events.append(injector.total_events())
         resilience.append(outcome.resilience_totals().as_dict())
+        telemetry.append({
+            name: tel.registry.value(f"resilience_{name}_total")
+            for name in counter_names
+        })
 
         naive_injector = FaultInjector(
             scaled, rng=setup.seeds.get(f"{tag}-naive-faults")
@@ -206,4 +224,5 @@ def run_chaos(
         n_cycles=setup.config.n_cycles,
         fault_events=fault_events,
         resilience=resilience,
+        telemetry=telemetry,
     )

@@ -189,16 +189,25 @@ def save_checkpoint(
     ``next_cycle`` completed cycles, and the resume index.  The write goes
     through a temporary file + rename, so a crash mid-checkpoint leaves the
     previous checkpoint intact.
+
+    A telemetry pipeline attached to the system (see
+    :mod:`repro.telemetry`) is pickled along with it, so a resumed run
+    keeps its spans, metrics and events; its JSON-safe
+    :meth:`~repro.telemetry.runtime.Telemetry.snapshot` is additionally
+    stored under the ``"telemetry"`` key for inspection without restoring
+    the system.
     """
     if next_cycle < 0:
         raise ValueError(f"next_cycle must be >= 0, got {next_cycle}")
     path = Path(path)
+    telemetry = getattr(system, "telemetry", None)
     payload = {
         "checkpoint_version": _CHECKPOINT_VERSION,
         "next_cycle": int(next_cycle),
         "system": system,
         "stream": stream,
         "outcome": outcome,
+        "telemetry": None if telemetry is None else telemetry.snapshot(),
     }
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))

@@ -36,6 +36,7 @@ from repro.eval.baselines import (
     SchemeResult,
 )
 from repro.models.registry import create_model, default_committee_names
+from repro.telemetry.runtime import Telemetry
 from repro.utils.rng import SeedSequencer
 
 __all__ = ["ExperimentSetup", "prepare", "fast_config", "run_all_schemes"]
@@ -199,6 +200,7 @@ def build_crowdlearn(
     resilience: ResiliencePolicy | None = None,
     faults: FaultInjector | None = None,
     platform_name: str = "crowdlearn",
+    telemetry: "Telemetry | None" = None,
 ) -> CrowdLearnSystem:
     """Assemble a CrowdLearn system from the shared setup.
 
@@ -206,10 +208,14 @@ def build_crowdlearn(
     system's (fresh) platform and ``resilience`` selects the degradation
     policy — both used by the chaos experiments; the defaults reproduce the
     original fault-free, fully-resilient (but never-triggered) deployment.
+    ``telemetry`` instruments the system and its platform (see
+    :mod:`repro.telemetry`); ``None`` keeps the no-op default.
     """
     platform = setup.make_platform(platform_name)
     if faults is not None:
         platform.faults = faults
+    if telemetry is not None:
+        platform.telemetry = telemetry
     return CrowdLearnSystem.build(
         training_set=setup.train_set,
         config=config or setup.config,
@@ -218,6 +224,7 @@ def build_crowdlearn(
         platform=platform,
         pilot=setup.pilot,
         resilience=resilience,
+        telemetry=telemetry,
     )
 
 

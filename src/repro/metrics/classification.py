@@ -30,7 +30,7 @@ def _validate_labels(
     y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
     if y_true.shape != y_pred.shape:
         raise ValueError(
-            f"y_true and y_pred must have the same length, "
+            "y_true and y_pred must have the same length, "
             f"got {y_true.shape} and {y_pred.shape}"
         )
     if y_true.size == 0:

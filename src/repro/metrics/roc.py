@@ -91,7 +91,7 @@ def macro_average_roc(
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2 or scores.shape[0] != y_true.size:
         raise ValueError(
-            f"scores must be (n, n_classes) aligned with y_true, "
+            "scores must be (n, n_classes) aligned with y_true, "
             f"got {scores.shape} for {y_true.size} labels"
         )
     n_classes = scores.shape[1]

@@ -9,6 +9,7 @@ import numpy as np
 from repro.nn.losses import Loss
 from repro.nn.model import Sequential
 from repro.nn.optim import Optimizer
+from repro.telemetry.runtime import Telemetry, get_telemetry
 
 __all__ = ["TrainingHistory", "Trainer"]
 
@@ -37,6 +38,10 @@ class Trainer:
         model's own ``params()``/``grads()`` lists.
     rng:
         Source of shuffling randomness (training is deterministic given it).
+    telemetry:
+        Optional :class:`~repro.telemetry.runtime.Telemetry`; ``None``
+        resolves the process default, so ``repro trace`` runs see training
+        spans from trainers constructed deep inside the models.
     """
 
     def __init__(
@@ -46,6 +51,7 @@ class Trainer:
         optimizer: Optimizer,
         rng: np.random.Generator,
         batch_size: int = 32,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -54,6 +60,7 @@ class Trainer:
         self.optimizer = optimizer
         self.rng = rng
         self.batch_size = batch_size
+        self.telemetry = telemetry
 
     def train_epoch(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
         """One pass over the data; returns (mean loss, accuracy)."""
@@ -111,25 +118,33 @@ class Trainer:
         has_val = x_val is not None and y_val is not None
         if patience is not None and not has_val:
             raise ValueError("early stopping requires validation data")
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
         history = TrainingHistory()
         best_val = np.inf
         stale = 0
-        for _ in range(epochs):
-            train_loss, train_acc = self.train_epoch(x, y)
-            history.train_loss.append(train_loss)
-            history.train_accuracy.append(train_acc)
-            if has_val:
-                val_loss, val_acc = self.evaluate(x_val, y_val)
-                history.val_loss.append(val_loss)
-                history.val_accuracy.append(val_acc)
-                if patience is not None:
-                    if val_loss < best_val - 1e-9:
-                        best_val = val_loss
-                        stale = 0
-                    else:
-                        stale += 1
-                        if stale >= patience:
-                            break
+        with tel.span("trainer.fit", epochs=epochs, samples=len(x)) as span:
+            for _ in range(epochs):
+                with tel.span("trainer.epoch"):
+                    train_loss, train_acc = self.train_epoch(x, y)
+                history.train_loss.append(train_loss)
+                history.train_accuracy.append(train_acc)
+                if has_val:
+                    val_loss, val_acc = self.evaluate(x_val, y_val)
+                    history.val_loss.append(val_loss)
+                    history.val_accuracy.append(val_acc)
+                    if patience is not None:
+                        if val_loss < best_val - 1e-9:
+                            best_val = val_loss
+                            stale = 0
+                        else:
+                            stale += 1
+                            if stale >= patience:
+                                break
+            if tel.enabled:
+                span.set(epochs_run=history.epochs)
+                tel.counter(
+                    "trainer_epochs_total", help="training epochs executed"
+                ).inc(history.epochs)
         return history
 
     @staticmethod

@@ -5,41 +5,82 @@ uniform ``repro.*`` namespace and an in-memory :class:`RunLog` that experiment
 drivers use to accumulate per-cycle records (cycle index, context, query set,
 incentives, delays, accuracy) which the reporting layer then renders into the
 paper's tables and figure series.
+
+:class:`RunLog` is part of the telemetry event model: attach a
+:class:`~repro.telemetry.runtime.Telemetry` and every record is mirrored as
+a structured telemetry event, so there is exactly one structured-record
+path out of a run (the telemetry JSONL exporter).  The root log level is
+controlled by the ``REPRO_LOG_LEVEL`` environment variable (a name like
+``DEBUG`` or a numeric level); explicit ``level`` arguments win.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
-__all__ = ["get_logger", "RunLog"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.runtime import Telemetry
+
+__all__ = ["get_logger", "RunLog", "env_log_level"]
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
 
+#: Environment variable that sets the default ``repro`` log level.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
 
-def get_logger(name: str, level: int = logging.WARNING) -> logging.Logger:
-    """Return a namespaced logger, configuring a handler once per process."""
+
+def env_log_level(default: int = logging.WARNING) -> int:
+    """The log level named by ``$REPRO_LOG_LEVEL`` (default when unset/bad).
+
+    Accepts standard level names (``DEBUG``, ``info``...) and integers.
+    """
+    raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    return level if isinstance(level, int) else default
+
+
+def get_logger(name: str, level: int | None = None) -> logging.Logger:
+    """Return a namespaced logger, configuring a handler once per process.
+
+    ``level`` overrides the environment-derived default (see
+    :func:`env_log_level`) for the shared ``repro`` root logger; it only
+    takes effect on the call that first configures the handler.
+    """
     logger = logging.getLogger(f"repro.{name}")
     root = logging.getLogger("repro")
     if not root.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(_FORMAT))
         root.addHandler(handler)
-        root.setLevel(level)
+        root.setLevel(env_log_level() if level is None else level)
     return logger
 
 
 @dataclass
 class RunLog:
-    """Accumulates structured per-event records during an experiment run."""
+    """Accumulates structured per-event records during an experiment run.
+
+    With ``telemetry`` attached, every record is also emitted as a
+    telemetry event (timestamped by the telemetry clock), so run logs ride
+    the same JSONL export as spans and metrics.
+    """
 
     records: list[dict[str, Any]] = field(default_factory=list)
+    telemetry: "Telemetry | None" = None
 
     def record(self, event: str, **fields: Any) -> dict[str, Any]:
         """Append a record tagged with ``event`` and return it."""
         entry = {"event": event, **fields}
         self.records.append(entry)
+        if self.telemetry is not None:
+            self.telemetry.event(event, **fields)
         return entry
 
     def by_event(self, event: str) -> list[dict[str, Any]]:
@@ -58,7 +99,7 @@ class RunLog:
         return groups
 
     def extend(self, other: "RunLog") -> None:
-        """Append all records from ``other``."""
+        """Append all records from ``other`` (records only, not telemetry)."""
         self.records.extend(other.records)
 
     def clear(self) -> None:

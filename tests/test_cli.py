@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "run", "pilot", "table1", "table2", "fig8", "fig9",
-            "budget", "chaos", "diagnose",
+            "budget", "chaos", "diagnose", "trace",
         ):
             args = parser.parse_args([command, "--seed", "5"])
             assert args.seed == 5
@@ -62,3 +62,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Failure report: VGG16" in out
         assert "Failure report: DDM" in out
+
+    def test_trace(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "trace", "--seed", "61",
+            "--jsonl", str(jsonl), "--prometheus", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall time" in out
+        assert "cycle.qss" in out
+        assert "cycle.mic.retrain" in out
+        assert "crowd spend (cents)" in out
+
+        from repro.telemetry import read_jsonl
+
+        parsed = read_jsonl(jsonl)
+        assert any(s.name == "cycle" for s in parsed["spans"])
+        assert "queries_posted_total" in prom.read_text()
+
+    def test_trace_leaves_process_default_clean(self):
+        from repro.telemetry import NULL_TELEMETRY, get_telemetry
+
+        assert main(["trace", "--seed", "61"]) == 0
+        assert get_telemetry() is NULL_TELEMETRY

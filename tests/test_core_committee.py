@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.committee import Committee
-from repro.data.dataset import DisasterDataset
 from repro.models.base import DDAModel
 
 

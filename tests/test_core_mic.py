@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.committee import Committee
 from repro.core.mic import MachineIntelligenceCalibrator
-from repro.data.dataset import DisasterDataset
 from tests.test_core_committee import StubExpert
 
 

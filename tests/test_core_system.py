@@ -5,7 +5,6 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.core.system import CrowdLearnSystem
 from repro.eval.runner import build_crowdlearn, prepare
 
 

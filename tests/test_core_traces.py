@@ -1,7 +1,6 @@
 """Tests for RunOutcome's learning traces."""
 
 import numpy as np
-import pytest
 
 from repro.core.system import CycleOutcome, RunOutcome
 from repro.utils.clock import TemporalContext

@@ -1,6 +1,5 @@
 """Tests for repro.crowd.worker."""
 
-import numpy as np
 import pytest
 
 from repro.crowd.quality import QualityModel

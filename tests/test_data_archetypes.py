@@ -1,7 +1,6 @@
 """Tests for repro.data.archetypes — the AI failure cases of Figure 1."""
 
 import numpy as np
-import pytest
 
 from repro.data.archetypes import (
     ARCHETYPE_MAKERS,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.eval.baselines import SchemeResult
 from repro.eval.robustness import (
-    RobustnessStudy,
     run_robustness_study,
     summarize_across_seeds,
 )

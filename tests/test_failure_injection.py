@@ -5,8 +5,6 @@ single worker per query, starvation budgets, empty query sets, and experts
 that error out mid-committee.
 """
 
-import dataclasses
-
 import numpy as np
 import pytest
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.dataset import DisasterDataset
 from repro.models.base import DDAModel
 from repro.models.bovw_model import BoVWModel
 from repro.models.ddm import DDMModel

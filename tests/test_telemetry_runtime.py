@@ -1,0 +1,131 @@
+"""Tests for repro.telemetry.runtime (facade, no-op singleton, default)."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    ManualClock,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+
+
+class TestTelemetryFacade:
+    def test_span_feeds_span_seconds_histogram(self):
+        tel = Telemetry(clock=ManualClock(tick_seconds=1.0))
+        with tel.span("stage.a"):
+            pass
+        hist = tel.registry.get("span_seconds", stage="stage.a")
+        assert hist is not None
+        assert hist.count == 1
+        assert hist.sum == 1.0
+
+    def test_event_is_timestamped(self):
+        tel = Telemetry(clock=ManualClock(tick_seconds=1.0))
+        entry = tel.event("hello", x=1)
+        assert entry["event"] == "hello"
+        assert entry["x"] == 1
+        assert entry["time"] == 0.0
+        assert tel.events == [entry]
+
+    def test_merge_counters(self):
+        tel = Telemetry(clock=ManualClock())
+        tel.merge_counters({"retries_total": 2, "refunds_total": 0},
+                           prefix="resilience_")
+        assert tel.registry.value("resilience_retries_total") == 2.0
+        # zero values still register the instrument (full catalog)
+        assert tel.registry.get("resilience_refunds_total") is not None
+
+    def test_snapshot(self):
+        tel = Telemetry(clock=ManualClock(tick_seconds=1.0))
+        with tel.span("s"):
+            pass
+        tel.event("e")
+        snap = tel.snapshot()
+        assert snap["n_spans"] == 1
+        assert snap["n_events"] == 1
+        assert snap["stages"]["s"]["count"] == 1
+        assert any(
+            i["name"] == "span_seconds"
+            for i in snap["metrics"]["instruments"]
+        )
+
+    def test_picklable_with_history(self):
+        tel = Telemetry(clock=ManualClock())
+        with tel.span("s"):
+            pass
+        tel.counter("c").inc(3)
+        restored = pickle.loads(pickle.dumps(tel))
+        assert [s.name for s in restored.tracer.spans] == ["s"]
+        assert restored.registry.value("c") == 3.0
+        # and it still works after the round trip
+        with restored.span("t"):
+            pass
+        assert len(restored.tracer.spans) == 2
+
+
+class TestNullTelemetry:
+    def test_singleton_identity(self):
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_pickle_returns_singleton(self):
+        assert pickle.loads(pickle.dumps(NULL_TELEMETRY)) is NULL_TELEMETRY
+
+    def test_operations_record_nothing(self):
+        with NULL_TELEMETRY.span("s", a=1) as span:
+            span.set(b=2)
+        NULL_TELEMETRY.counter("c").inc(5)
+        NULL_TELEMETRY.gauge("g").set(1.0)
+        NULL_TELEMETRY.histogram("h").observe(1.0)
+        NULL_TELEMETRY.event("e", x=1)
+        NULL_TELEMETRY.merge_counters({"a": 1})
+        assert NULL_TELEMETRY.tracer.spans == []
+        assert len(NULL_TELEMETRY.registry) == 0
+        assert NULL_TELEMETRY.events == []
+
+    def test_shared_noop_objects(self):
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
+        assert NULL_TELEMETRY.counter("a") is NULL_TELEMETRY.histogram("b")
+
+
+class TestProcessDefault:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_and_restore(self):
+        tel = Telemetry(clock=ManualClock())
+        previous = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            set_telemetry(previous)
+        assert get_telemetry() is previous
+
+    def test_set_none_restores_null(self):
+        previous = set_telemetry(None)
+        try:
+            assert get_telemetry() is NULL_TELEMETRY
+        finally:
+            set_telemetry(previous)
+
+    def test_use_telemetry_scoped(self):
+        tel = Telemetry(clock=ManualClock())
+        before = get_telemetry()
+        with use_telemetry(tel) as active:
+            assert active is tel
+            assert get_telemetry() is tel
+        assert get_telemetry() is before
+
+    def test_use_telemetry_restores_on_error(self):
+        tel = Telemetry(clock=ManualClock())
+        before = get_telemetry()
+        with pytest.raises(RuntimeError):
+            with use_telemetry(tel):
+                raise RuntimeError("boom")
+        assert get_telemetry() is before

@@ -1,6 +1,9 @@
 """Tests for repro.utils.logging."""
 
-from repro.utils.logging import RunLog, get_logger
+import logging
+
+from repro.telemetry import ManualClock, Telemetry
+from repro.utils.logging import LOG_LEVEL_ENV, RunLog, env_log_level, get_logger
 
 
 class TestGetLogger:
@@ -10,6 +13,54 @@ class TestGetLogger:
 
     def test_same_name_same_logger(self):
         assert get_logger("x") is get_logger("x")
+
+
+class TestEnvLogLevel:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+        assert env_log_level() == logging.WARNING
+
+    def test_level_name(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+        assert env_log_level() == logging.DEBUG
+
+    def test_numeric_level(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "15")
+        assert env_log_level() == 15
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "LOUD")
+        assert env_log_level() == logging.WARNING
+
+    def test_configures_root_level(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "INFO")
+        root = logging.getLogger("repro")
+        saved_handlers, root.handlers = root.handlers, []
+        saved_level = root.level
+        try:
+            get_logger("envtest")
+            assert root.level == logging.INFO
+        finally:
+            root.handlers = saved_handlers
+            root.setLevel(saved_level)
+
+
+class TestRunLogTelemetryBridge:
+    def test_records_mirrored_as_events(self):
+        tel = Telemetry(clock=ManualClock())
+        log = RunLog(telemetry=tel)
+        log.record("cycle", index=0, delay=1.5)
+        assert len(log) == 1
+        assert len(tel.events) == 1
+        assert tel.events[0]["event"] == "cycle"
+        assert tel.events[0]["index"] == 0
+        assert tel.events[0]["delay"] == 1.5
+        assert "time" in tel.events[0]
+
+    def test_no_telemetry_no_events(self):
+        log = RunLog()
+        log.record("cycle", index=0)
+        assert log.telemetry is None
 
 
 class TestRunLog:
