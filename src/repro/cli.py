@@ -125,10 +125,12 @@ def cmd_budget(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.eval.experiments import run_chaos
+    from repro.eval.experiments import run_chaos, run_guard_chaos
 
     setup = _prepare(args)
     print(run_chaos(setup).render())
+    print()
+    print(run_guard_chaos(setup).render())
     return 0
 
 

@@ -3,6 +3,13 @@
 from repro.core.committee import Committee
 from repro.core.config import CrowdLearnConfig
 from repro.core.cqc import CrowdQualityControl
+from repro.core.guards import (
+    DivergenceSentinel,
+    GuardCounters,
+    GuardPolicy,
+    ModelGuard,
+    SnapshotRing,
+)
 from repro.core.ipd import IncentivePolicyDesigner
 from repro.core.mic import MachineIntelligenceCalibrator
 from repro.core.qss import AdaptiveQuerySetSelector, QuerySetSelector
@@ -13,6 +20,11 @@ __all__ = [
     "Committee",
     "CrowdLearnConfig",
     "CrowdQualityControl",
+    "DivergenceSentinel",
+    "GuardCounters",
+    "GuardPolicy",
+    "ModelGuard",
+    "SnapshotRing",
     "IncentivePolicyDesigner",
     "MachineIntelligenceCalibrator",
     "AdaptiveQuerySetSelector",

@@ -69,38 +69,69 @@ class Committee:
         """Each expert's vote V(AI_m) — one ``(n, k)`` array per expert."""
         return [expert.predict_proba(dataset) for expert in self.experts]
 
+    def _effective_weights(self, mask: np.ndarray | None) -> np.ndarray:
+        """The vote weights after applying an optional active-member mask.
+
+        ``mask=None`` returns the stored weights untouched (the unguarded
+        path stays bit-identical).  A boolean mask zeroes excluded members
+        — e.g. experts quarantined by :class:`~repro.core.guards.ModelGuard`
+        — and renormalizes the survivors; if every *weighted* member is
+        masked out, the active members share weight uniformly.
+        """
+        if mask is None:
+            return self._weights
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.shape[0] != len(self.experts):
+            raise ValueError(
+                f"mask must cover {len(self.experts)} experts, got {mask.shape[0]}"
+            )
+        if not mask.any():
+            raise ValueError("mask must keep at least one expert active")
+        masked = np.where(mask, self._weights, 0.0)
+        total = masked.sum()
+        if total <= 0:
+            masked = mask.astype(np.float64)
+            total = masked.sum()
+        return masked / total
+
     def committee_vote(
         self,
         dataset: DisasterDataset,
         votes: list[np.ndarray] | None = None,
+        mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Weighted, normalized committee vote ρ (Eq. 2), shape ``(n, k)``.
 
-        Pass precomputed ``votes`` to avoid re-running the experts.
+        Pass precomputed ``votes`` to avoid re-running the experts, and an
+        optional boolean ``mask`` to exclude (quarantined) members from the
+        vote without disturbing their stored weights.
         """
         if votes is None:
             votes = self.expert_votes(dataset)
         if len(votes) != len(self.experts):
             raise ValueError("one vote array per expert is required")
-        stacked = np.einsum("m,mnk->nk", self._weights, np.stack(votes))
+        weights = self._effective_weights(mask)
+        stacked = np.einsum("m,mnk->nk", weights, np.stack(votes))
         return stacked / stacked.sum(axis=1, keepdims=True)
 
     def committee_entropy(
         self,
         dataset: DisasterDataset,
         votes: list[np.ndarray] | None = None,
+        mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Committee entropy H per sample (Eq. 3), shape ``(n,)``."""
-        rho = self.committee_vote(dataset, votes)
+        rho = self.committee_vote(dataset, votes, mask=mask)
         return np.array([entropy(row) for row in rho])
 
     def predict(
         self,
         dataset: DisasterDataset,
         votes: list[np.ndarray] | None = None,
+        mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Final labels: argmax of the committee vote."""
-        return np.argmax(self.committee_vote(dataset, votes), axis=1)
+        return np.argmax(self.committee_vote(dataset, votes, mask=mask), axis=1)
 
     def retrain(
         self,

@@ -49,6 +49,13 @@ class CrowdLearnConfig:
     # CQC.
     cqc_use_questionnaire: bool = True
 
+    # Learning-loop guardrails (see repro.core.guards).  The default policy
+    # is conservative enough that a healthy run never triggers; disabling
+    # restores the exact pre-guardrails loop.
+    guards_enabled: bool = True
+    guard_holdout_size: int = 24
+    guard_regression_tolerance: float = 0.25
+
     # Pilot study.
     pilot_queries_per_cell: int = 20
 
@@ -71,6 +78,15 @@ class CrowdLearnConfig:
             raise ValueError("incentive levels must be positive and non-empty")
         if self.budget_usd <= 0:
             raise ValueError(f"budget must be positive, got {self.budget_usd}")
+        if self.guard_holdout_size <= 0:
+            raise ValueError(
+                f"guard_holdout_size must be positive, got {self.guard_holdout_size}"
+            )
+        if self.guard_regression_tolerance < 0:
+            raise ValueError(
+                "guard_regression_tolerance must be >= 0, "
+                f"got {self.guard_regression_tolerance}"
+            )
 
     @property
     def queries_per_cycle(self) -> int:
@@ -86,6 +102,17 @@ class CrowdLearnConfig:
     def budget_cents(self) -> float:
         """Total crowd budget in cents."""
         return self.budget_usd * 100.0
+
+    def guard_policy(self):
+        """The :class:`~repro.core.guards.GuardPolicy` these knobs describe."""
+        from repro.core.guards import GuardPolicy
+
+        if not self.guards_enabled:
+            return GuardPolicy.disabled()
+        return GuardPolicy(
+            holdout_size=self.guard_holdout_size,
+            regression_tolerance=self.guard_regression_tolerance,
+        )
 
     def queries_per_context(self) -> dict:
         """Expected crowd queries per temporal context over the deployment.

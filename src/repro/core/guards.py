@@ -1,0 +1,722 @@
+"""Learning-loop guardrails (model-side graceful degradation).
+
+:mod:`repro.core.resilience` protects the closed loop from a misbehaving
+*crowd platform*; this module protects it from misbehaving *learning*.  The
+loop's last unguarded edge is MIC's calibration step: whatever labels CQC
+produced flow straight into every expert's parameters and into the
+committee weights, so one poisoned cycle (the paper's adversarial-worker
+scenario, §VI) can permanently corrupt the machine half of the system.
+
+Four mechanisms, configured by :class:`GuardPolicy` and orchestrated by
+:class:`ModelGuard`:
+
+- **regression-gated retraining** — before each MIC retrain, every expert
+  is snapshotted into a checksummed :class:`SnapshotRing` and scored on a
+  small golden holdout slice; a candidate whose holdout accuracy regresses
+  beyond a tolerance is rolled back to its incumbent, bit-for-bit;
+- **divergence sentinel** — :class:`DivergenceSentinel`, installed as the
+  process default around guarded retrains, lets
+  :meth:`~repro.nn.trainer.Trainer.fit` abort an epoch whose loss goes
+  NaN/inf or whose update norm explodes, restore the last good weights,
+  and retry once at a reduced learning rate before giving up cleanly;
+- **committee-member quarantine** — a member whose accuracy on the golden
+  holdout slice collapses (the query set is adversarially hard by
+  construction, so holdout accuracy is the collapse signal) is excluded
+  from the committee vote, QSS entropy and the exponential-weights update;
+  re-admission needs sustained recovery (hysteresis), so a flapping expert
+  cannot whipsaw the committee's uncertainty estimates;
+- **label-drift detector** — a cycle whose CQC output disagrees
+  anomalously with the committee consensus (relative to the run's own
+  history) while the responding workers' historical reliability is poor is
+  flagged, and retraining (and by default reweighting) is *skipped* on the
+  flagged batch rather than merely down-weighted.
+
+Every intervention is tallied in :class:`GuardCounters` (surfaced per
+cycle on :class:`~repro.core.system.CycleOutcome`, aggregated by
+:class:`~repro.core.system.RunOutcome.guard_totals` and bridged into
+telemetry as ``guard_*_total`` counters).  With ``GuardPolicy.disabled()``
+— or a system built without a guard — every code path is byte-identical
+to the unguarded loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import pickle
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.committee import Committee
+    from repro.core.mic import MachineIntelligenceCalibrator
+    from repro.data.dataset import DisasterDataset, DisasterImage
+
+__all__ = [
+    "GuardPolicy",
+    "GuardCounters",
+    "Snapshot",
+    "SnapshotChecksumError",
+    "SnapshotRing",
+    "DivergenceSentinel",
+    "get_divergence_sentinel",
+    "set_divergence_sentinel",
+    "use_divergence_sentinel",
+    "ModelGuard",
+]
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """How the learning loop defends itself against bad training signal.
+
+    The default policy is deliberately conservative: on a healthy (fault
+    free) deployment none of its branches trigger, so guarded runs are
+    byte-identical to unguarded ones.  :meth:`hardened` is the sensitive
+    profile the adversarial chaos arm uses; :meth:`disabled` turns the
+    subsystem off entirely (old behaviour).
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Disabled, no guard state is even constructed.
+    regression_gate:
+        Gate MIC retraining on holdout accuracy (snapshot + rollback).
+    holdout_size:
+        Number of golden training images reserved as the validation slice
+        every candidate expert is scored on.
+    regression_tolerance:
+        Maximum tolerated drop in holdout accuracy (incumbent - candidate)
+        before the candidate is rolled back.  The default leaves headroom
+        over the sampling noise of a small holdout (ordinary healthy
+        retrains move a 24-image slice by up to ~4 images); the hardened
+        profile tolerates no regression at all.
+    snapshot_ring_size:
+        Snapshots kept per expert (ring buffer, newest wins).
+    sentinel:
+        Install a :class:`DivergenceSentinel` around guarded retrains.
+    max_update_ratio:
+        Sentinel threshold: an epoch whose parameter update norm exceeds
+        this multiple of the pre-epoch parameter norm is treated as
+        divergent (NaN/inf loss or parameters always are).
+    lr_backoff_factor:
+        Learning-rate multiplier for the sentinel's single retry.
+    quarantine:
+        Exclude collapsed committee members from votes/QSS/weight updates.
+    quarantine_threshold:
+        EWMA golden-holdout accuracy below which a member is quarantined.
+    readmit_threshold, readmit_patience:
+        Hysteresis: a quarantined member returns only after its EWMA
+        accuracy stays >= ``readmit_threshold`` for ``readmit_patience``
+        consecutive cycles.
+    accuracy_ewma_alpha:
+        Smoothing factor of the per-member accuracy EWMA.
+    drift_detector:
+        Flag anomalous CQC-vs-committee disagreement and skip learning.
+    drift_warmup:
+        Cycles of history required before the detector may flag.
+    drift_sigma:
+        A cycle is anomalous when its disagreement exceeds the history
+        mean by this many standard deviations...
+    drift_min_disagreement:
+        ...and exceeds this absolute floor (guards against tiny-variance
+        histories flagging ordinary noise).
+    drift_reliability_floor:
+        Cycles whose responding workers have a graded historical accuracy
+        at or above this floor are trusted and never flagged.
+    drift_skips_reweight:
+        Whether a flagged cycle also skips the exponential-weights update
+        (poisoned labels corrupt weights as surely as parameters).
+    drift_skips_offload:
+        Whether a flagged cycle also keeps the committee's labels for the
+        query set instead of offloading the crowd's: labels too anomalous
+        to train on are too anomalous to publish as final output.
+    """
+
+    enabled: bool = True
+    # Regression-gated retraining.
+    regression_gate: bool = True
+    holdout_size: int = 24
+    regression_tolerance: float = 0.25
+    snapshot_ring_size: int = 3
+    # Divergence sentinel.
+    sentinel: bool = True
+    max_update_ratio: float = 2.0
+    lr_backoff_factor: float = 0.5
+    # Committee-member quarantine.
+    quarantine: bool = True
+    quarantine_threshold: float = 0.1
+    readmit_threshold: float = 0.4
+    readmit_patience: int = 2
+    accuracy_ewma_alpha: float = 0.4
+    # Label-drift detector.
+    drift_detector: bool = True
+    drift_warmup: int = 3
+    drift_sigma: float = 3.0
+    drift_min_disagreement: float = 0.85
+    drift_reliability_floor: float = 0.8
+    drift_skips_reweight: bool = True
+    drift_skips_offload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.holdout_size <= 0:
+            raise ValueError(
+                f"holdout_size must be positive, got {self.holdout_size}"
+            )
+        if self.regression_tolerance < 0:
+            raise ValueError(
+                "regression_tolerance must be >= 0, "
+                f"got {self.regression_tolerance}"
+            )
+        if self.snapshot_ring_size <= 0:
+            raise ValueError(
+                f"snapshot_ring_size must be positive, got {self.snapshot_ring_size}"
+            )
+        if self.max_update_ratio <= 0:
+            raise ValueError(
+                f"max_update_ratio must be positive, got {self.max_update_ratio}"
+            )
+        if not 0.0 < self.lr_backoff_factor < 1.0:
+            raise ValueError(
+                f"lr_backoff_factor must be in (0, 1), got {self.lr_backoff_factor}"
+            )
+        if not 0.0 <= self.quarantine_threshold <= self.readmit_threshold <= 1.0:
+            raise ValueError(
+                "need 0 <= quarantine_threshold <= readmit_threshold <= 1, got "
+                f"{self.quarantine_threshold} / {self.readmit_threshold}"
+            )
+        if self.readmit_patience < 1:
+            raise ValueError(
+                f"readmit_patience must be >= 1, got {self.readmit_patience}"
+            )
+        if not 0.0 < self.accuracy_ewma_alpha <= 1.0:
+            raise ValueError(
+                f"accuracy_ewma_alpha must be in (0, 1], got {self.accuracy_ewma_alpha}"
+            )
+        if self.drift_warmup < 1:
+            raise ValueError(
+                f"drift_warmup must be >= 1, got {self.drift_warmup}"
+            )
+        if self.drift_sigma < 0:
+            raise ValueError(f"drift_sigma must be >= 0, got {self.drift_sigma}")
+        if not 0.0 <= self.drift_min_disagreement <= 1.0:
+            raise ValueError(
+                "drift_min_disagreement must be in [0, 1], "
+                f"got {self.drift_min_disagreement}"
+            )
+        if not 0.0 <= self.drift_reliability_floor <= 1.0:
+            raise ValueError(
+                "drift_reliability_floor must be in [0, 1], "
+                f"got {self.drift_reliability_floor}"
+            )
+
+    @staticmethod
+    def disabled() -> "GuardPolicy":
+        """The unguarded (pre-guardrails) behaviour."""
+        return GuardPolicy(
+            enabled=False,
+            regression_gate=False,
+            sentinel=False,
+            quarantine=False,
+            drift_detector=False,
+        )
+
+    @staticmethod
+    def hardened() -> "GuardPolicy":
+        """A sensitive profile for hostile-label environments.
+
+        Trades a little learning speed for safety: tight regression
+        tolerance, an eager drift detector, and a quicker quarantine
+        trigger.  Used by the adversarial arm of the chaos experiment.
+        """
+        return GuardPolicy(
+            regression_tolerance=0.05,
+            quarantine_threshold=0.25,
+            readmit_threshold=0.5,
+            drift_warmup=2,
+            # sigma 0 makes the absolute floor dominate: in a hostile
+            # environment the run's own history is itself suspect, so
+            # "unusually high for this run" is a weaker signal than
+            # "majority disagreement with the committee".
+            drift_sigma=0.0,
+            drift_min_disagreement=0.45,
+            drift_reliability_floor=0.9,
+        )
+
+
+@dataclass
+class GuardCounters:
+    """Structured counters of every guard intervention in a run/cycle."""
+
+    snapshots: int = 0
+    rollbacks: int = 0
+    sentinel_aborts: int = 0
+    sentinel_retries: int = 0
+    sentinel_failures: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    drift_flags: int = 0
+    retrains_skipped: int = 0
+    reweights_skipped: int = 0
+    offloads_skipped: int = 0
+
+    def merge(self, other: "GuardCounters") -> "GuardCounters":
+        """Accumulate ``other`` into this instance (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def any(self) -> bool:
+        """Whether any guard intervened at all (snapshots don't count)."""
+        return any(
+            getattr(self, f.name) for f in fields(self) if f.name != "snapshots"
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe mapping of counter name to value."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "GuardCounters":
+        """Inverse of :meth:`as_dict` (ignores unknown keys)."""
+        known = {f.name for f in fields(GuardCounters)}
+        return GuardCounters(**{k: v for k, v in data.items() if k in known})
+
+
+# ---------------------------------------------------------------------------
+# Snapshot ring
+# ---------------------------------------------------------------------------
+
+
+class SnapshotChecksumError(RuntimeError):
+    """A snapshot's payload no longer matches its recorded SHA-256 digest."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One checksummed, pickled object state."""
+
+    payload: bytes
+    sha256: str
+    tag: str = ""
+
+    def verify(self) -> None:
+        """Raise :class:`SnapshotChecksumError` if the payload is corrupt."""
+        digest = hashlib.sha256(self.payload).hexdigest()
+        if digest != self.sha256:
+            raise SnapshotChecksumError(
+                f"snapshot {self.tag!r} failed its integrity check: stored "
+                f"sha256 {self.sha256[:12]}..., computed {digest[:12]}...; "
+                "the snapshot bytes were corrupted in memory or on disk"
+            )
+
+    def restore(self) -> Any:
+        """Verify the checksum and unpickle the stored object."""
+        self.verify()
+        return pickle.loads(self.payload)
+
+
+class SnapshotRing:
+    """A bounded ring of checksummed object snapshots (newest last).
+
+    Used per expert by :class:`ModelGuard`: pushing pickles the object and
+    records its SHA-256, restoring verifies the digest before unpickling,
+    so a rollback can never silently resurrect corrupted parameters.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ring: list[Snapshot] = []
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def push(self, obj: Any, tag: str = "") -> Snapshot:
+        """Snapshot ``obj`` (pickle + SHA-256), evicting the oldest entry."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        snapshot = Snapshot(
+            payload=payload,
+            sha256=hashlib.sha256(payload).hexdigest(),
+            tag=tag,
+        )
+        self._ring.append(snapshot)
+        if len(self._ring) > self.capacity:
+            self._ring.pop(0)
+        return snapshot
+
+    def latest(self) -> Snapshot:
+        """The most recent snapshot (raises :class:`LookupError` if empty)."""
+        if not self._ring:
+            raise LookupError("snapshot ring is empty")
+        return self._ring[-1]
+
+    def restore_latest(self) -> Any:
+        """Verify and unpickle the most recent snapshot."""
+        return self.latest().restore()
+
+
+# ---------------------------------------------------------------------------
+# Divergence sentinel
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DivergenceSentinel:
+    """Detects divergent training epochs for :class:`~repro.nn.trainer.Trainer`.
+
+    An epoch is *divergent* when its mean loss or any parameter is
+    non-finite, or when the epoch's total parameter update norm exceeds
+    ``max_update_ratio`` times the pre-epoch parameter norm.  The trainer
+    reacts by restoring the pre-epoch weights and retrying once at
+    ``lr_backoff_factor`` times the learning rate; a second divergence
+    stops the fit cleanly (the last good weights stay in place).
+
+    The sentinel is stateful only in its counters, which
+    :class:`ModelGuard` drains into the cycle's :class:`GuardCounters`.
+    """
+
+    enabled: bool = True
+    max_update_ratio: float = 2.0
+    lr_backoff_factor: float = 0.5
+    aborts: int = 0
+    retries: int = 0
+    failures: int = 0
+
+    def diverged(
+        self,
+        loss: float,
+        params_before: list[np.ndarray],
+        params_after: list[np.ndarray],
+    ) -> bool:
+        """Whether the epoch that moved ``before`` to ``after`` diverged."""
+        if not math.isfinite(loss):
+            return True
+        sq_update = 0.0
+        sq_before = 0.0
+        for before, after in zip(params_before, params_after):
+            if not np.all(np.isfinite(after)):
+                return True
+            delta = after - before
+            sq_update += float(np.sum(delta * delta))
+            sq_before += float(np.sum(before * before))
+        update_norm = math.sqrt(sq_update)
+        base_norm = math.sqrt(sq_before)
+        return update_norm > self.max_update_ratio * (base_norm + 1e-12)
+
+    def counter_state(self) -> tuple[int, int, int]:
+        """(aborts, retries, failures) — for delta bookkeeping."""
+        return (self.aborts, self.retries, self.failures)
+
+
+_sentinel_default: DivergenceSentinel | None = None
+
+
+def get_divergence_sentinel() -> DivergenceSentinel | None:
+    """The process-default sentinel (``None`` unless a guard installed one)."""
+    return _sentinel_default
+
+
+def set_divergence_sentinel(
+    sentinel: DivergenceSentinel | None,
+) -> DivergenceSentinel | None:
+    """Install ``sentinel`` as the process default; returns the previous one.
+
+    Mirrors :func:`repro.telemetry.runtime.set_telemetry`: trainers are
+    constructed deep inside the expert models, so the guard reaches them
+    through a process default rather than threading a parameter through
+    every model.
+    """
+    global _sentinel_default
+    previous = _sentinel_default
+    _sentinel_default = sentinel
+    return previous
+
+
+@contextmanager
+def use_divergence_sentinel(
+    sentinel: DivergenceSentinel | None,
+) -> Iterator[DivergenceSentinel | None]:
+    """Scoped :func:`set_divergence_sentinel` (restores the previous one)."""
+    previous = set_divergence_sentinel(sentinel)
+    try:
+        yield sentinel
+    finally:
+        set_divergence_sentinel(previous)
+
+
+# ---------------------------------------------------------------------------
+# The guard orchestrator
+# ---------------------------------------------------------------------------
+
+
+class ModelGuard:
+    """Orchestrates all four guard mechanisms for one deployment.
+
+    Holds the per-expert snapshot rings, the golden holdout slice, the
+    quarantine state machine and the drift detector's history.  The whole
+    object is plain picklable state, so it rides inside deployment
+    checkpoints and a resumed run keeps its guard memory.
+
+    Construct via :meth:`build` (reserves the holdout from the golden
+    training pool) or directly with a pre-built holdout dataset.
+    """
+
+    def __init__(
+        self,
+        policy: GuardPolicy,
+        holdout: "DisasterDataset",
+        n_experts: int,
+    ) -> None:
+        if n_experts <= 0:
+            raise ValueError(f"n_experts must be positive, got {n_experts}")
+        if policy.regression_gate and len(holdout) == 0:
+            raise ValueError("regression gate requires a non-empty holdout")
+        if policy.quarantine and len(holdout) == 0:
+            raise ValueError("quarantine requires a non-empty holdout")
+        self.policy = policy
+        self.holdout = holdout
+        self.n_experts = n_experts
+        self._rings = [
+            SnapshotRing(policy.snapshot_ring_size) for _ in range(n_experts)
+        ]
+        self._quarantined = np.zeros(n_experts, dtype=bool)
+        self._accuracy_ewma = np.full(n_experts, np.nan)
+        self._recovery_streak = np.zeros(n_experts, dtype=np.int64)
+        self._disagreement_history: list[float] = []
+        self._sentinel = DivergenceSentinel(
+            max_update_ratio=policy.max_update_ratio,
+            lr_backoff_factor=policy.lr_backoff_factor,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        policy: GuardPolicy,
+        golden_pool: "DisasterDataset",
+        n_experts: int,
+        rng: np.random.Generator,
+    ) -> "ModelGuard":
+        """Reserve the holdout slice from the golden training pool.
+
+        The slice is drawn with the guard's own named generator, so adding
+        a guard to a deployment perturbs no other component's randomness.
+        """
+        if len(golden_pool) == 0:
+            raise ValueError("cannot build a guard from an empty golden pool")
+        take = min(policy.holdout_size, len(golden_pool))
+        chosen = rng.choice(len(golden_pool), size=take, replace=False)
+        return cls(policy, golden_pool.subset(np.sort(chosen)), n_experts)
+
+    def rebind(self, n_experts: int) -> None:
+        """Reset per-expert state for a differently-sized committee.
+
+        Swapping a new committee into a live system (the custom-committee
+        example does exactly that) invalidates all per-expert memory:
+        snapshot rings, quarantine flags and accuracy EWMAs describe
+        experts that no longer exist.  The holdout slice and the drift
+        detector's history survive — the former is committee-independent,
+        the latter tracks the label stream, not the experts.
+        :meth:`CrowdLearnSystem.run_cycle` calls this automatically when it
+        notices the committee size changed.
+        """
+        if n_experts <= 0:
+            raise ValueError(f"n_experts must be positive, got {n_experts}")
+        self.n_experts = n_experts
+        self._rings = [
+            SnapshotRing(self.policy.snapshot_ring_size)
+            for _ in range(n_experts)
+        ]
+        self._quarantined = np.zeros(n_experts, dtype=bool)
+        self._accuracy_ewma = np.full(n_experts, np.nan)
+        self._recovery_streak = np.zeros(n_experts, dtype=np.int64)
+
+    # -- quarantine ------------------------------------------------------
+
+    def active_mask(self) -> np.ndarray | None:
+        """Boolean mask of non-quarantined experts; ``None`` when all active.
+
+        Returning ``None`` on the all-active path keeps the committee's
+        arithmetic bit-identical to the unguarded loop.
+        """
+        if not self._quarantined.any():
+            return None
+        return ~self._quarantined
+
+    @property
+    def quarantined(self) -> np.ndarray:
+        """Copy of the per-expert quarantine flags."""
+        return self._quarantined.copy()
+
+    def observe_committee(
+        self, committee: "Committee", counters: GuardCounters
+    ) -> None:
+        """Score every member on the golden holdout and update quarantine.
+
+        The query set is selected *because* the committee is uncertain on
+        it, so query-set accuracy cannot separate a collapsed expert from a
+        healthy one having a hard cycle; the golden holdout can.
+        """
+        if not self.policy.quarantine:
+            return
+        accuracies = np.array(
+            [self.holdout_accuracy(expert) for expert in committee.experts]
+        )
+        self.observe_member_accuracy(accuracies, counters)
+
+    def observe_member_accuracy(
+        self, accuracies: np.ndarray, counters: GuardCounters
+    ) -> None:
+        """Feed per-member holdout accuracy into the quarantine machine.
+
+        Quarantine triggers when a member's EWMA accuracy falls below
+        ``quarantine_threshold``; re-admission requires the EWMA to hold at
+        or above ``readmit_threshold`` for ``readmit_patience`` consecutive
+        cycles.  At least one member always stays active — an uncertainty
+        estimate from zero experts is no estimate at all.
+        """
+        if not self.policy.quarantine:
+            return
+        accuracies = np.asarray(accuracies, dtype=np.float64).ravel()
+        if accuracies.shape[0] != self.n_experts:
+            raise ValueError(
+                f"need {self.n_experts} member accuracies, got {accuracies.shape[0]}"
+            )
+        alpha = self.policy.accuracy_ewma_alpha
+        for m in range(self.n_experts):
+            previous = self._accuracy_ewma[m]
+            current = (
+                accuracies[m]
+                if np.isnan(previous)
+                else alpha * accuracies[m] + (1.0 - alpha) * previous
+            )
+            self._accuracy_ewma[m] = current
+            if not self._quarantined[m]:
+                collapsed = current < self.policy.quarantine_threshold
+                last_active = (~self._quarantined).sum() <= 1
+                if collapsed and not last_active:
+                    self._quarantined[m] = True
+                    self._recovery_streak[m] = 0
+                    counters.quarantines += 1
+            else:
+                if current >= self.policy.readmit_threshold:
+                    self._recovery_streak[m] += 1
+                    if self._recovery_streak[m] >= self.policy.readmit_patience:
+                        self._quarantined[m] = False
+                        self._recovery_streak[m] = 0
+                        counters.readmissions += 1
+                else:
+                    self._recovery_streak[m] = 0
+
+    # -- label drift -----------------------------------------------------
+
+    def observe_labels(
+        self,
+        consensus_labels: np.ndarray,
+        truthful_labels: np.ndarray,
+        worker_reliability: float | None,
+        counters: GuardCounters,
+    ) -> bool:
+        """Record one cycle's CQC-vs-committee disagreement; returns the flag.
+
+        ``worker_reliability`` is the graded historical accuracy of the
+        workers who answered this cycle (``None`` when nothing has been
+        graded yet).  A flagged cycle's disagreement is *not* added to the
+        history — poisoned cycles must not teach the detector that poison
+        is normal.
+        """
+        if not self.policy.drift_detector:
+            return False
+        consensus_labels = np.asarray(consensus_labels).ravel()
+        truthful_labels = np.asarray(truthful_labels).ravel()
+        if consensus_labels.shape != truthful_labels.shape:
+            raise ValueError("consensus and truthful labels must align")
+        if consensus_labels.size == 0:
+            return False
+        disagreement = float(np.mean(consensus_labels != truthful_labels))
+        trusted_workers = (
+            worker_reliability is not None
+            and worker_reliability >= self.policy.drift_reliability_floor
+        )
+        flagged = False
+        history = self._disagreement_history
+        if len(history) >= self.policy.drift_warmup and not trusted_workers:
+            mean = float(np.mean(history))
+            std = float(np.std(history))
+            threshold = max(
+                self.policy.drift_min_disagreement,
+                mean + self.policy.drift_sigma * std,
+            )
+            flagged = disagreement > threshold
+        if flagged:
+            counters.drift_flags += 1
+        else:
+            history.append(disagreement)
+        return flagged
+
+    # -- regression-gated retraining -------------------------------------
+
+    def holdout_accuracy(self, expert) -> float:
+        """An expert's accuracy on the reserved golden holdout slice."""
+        predicted = expert.predict(self.holdout)
+        return float(np.mean(predicted == self.holdout.labels()))
+
+    def snapshot_ring(self, index: int) -> SnapshotRing:
+        """The snapshot ring of expert ``index`` (for inspection/tests)."""
+        return self._rings[index]
+
+    def guarded_retrain(
+        self,
+        mic: "MachineIntelligenceCalibrator",
+        committee: "Committee",
+        query_images: list["DisasterImage"],
+        truthful_labels: np.ndarray,
+        replay_pool: "DisasterDataset",
+        rng: np.random.Generator,
+        counters: GuardCounters,
+    ) -> None:
+        """MIC retraining wrapped in snapshot, sentinel and rollback.
+
+        Each expert is pickled into its ring (with a SHA-256 digest) and
+        scored on the holdout before the retrain; afterwards any candidate
+        whose holdout accuracy regressed beyond the policy tolerance is
+        replaced, bit-for-bit, by its verified snapshot.  The divergence
+        sentinel is installed as the process default for the duration so
+        trainers constructed deep inside the experts see it.
+        """
+        if len(committee.experts) != self.n_experts:
+            raise ValueError(
+                f"guard was built for {self.n_experts} experts, committee has "
+                f"{len(committee.experts)}"
+            )
+        gate = self.policy.regression_gate
+        incumbent_accuracy: list[float] = []
+        if gate:
+            for m, expert in enumerate(committee.experts):
+                self._rings[m].push(expert, tag=f"{expert.name}[{m}]")
+                incumbent_accuracy.append(self.holdout_accuracy(expert))
+                counters.snapshots += 1
+        sentinel = self._sentinel if self.policy.sentinel else None
+        before = (
+            sentinel.counter_state() if sentinel is not None else (0, 0, 0)
+        )
+        with use_divergence_sentinel(sentinel):
+            mic.retrain_experts(
+                committee, query_images, truthful_labels, replay_pool, rng
+            )
+        if sentinel is not None:
+            aborts, retries, failures = sentinel.counter_state()
+            counters.sentinel_aborts += aborts - before[0]
+            counters.sentinel_retries += retries - before[1]
+            counters.sentinel_failures += failures - before[2]
+        if not gate:
+            return
+        for m in range(self.n_experts):
+            candidate = self.holdout_accuracy(committee.experts[m])
+            if candidate < incumbent_accuracy[m] - self.policy.regression_tolerance:
+                committee.experts[m] = self._rings[m].restore_latest()
+                counters.rollbacks += 1

@@ -90,12 +90,29 @@ class MachineIntelligenceCalibrator:
         committee: Committee,
         expert_votes: list[np.ndarray],
         truth_distributions: np.ndarray,
+        active_mask: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Exponential-weights update of the committee; returns new weights."""
+        """Exponential-weights update of the committee; returns new weights.
+
+        ``active_mask`` (optional, boolean per expert) freezes excluded —
+        quarantined — members: their weight is neither rewarded nor
+        punished, so a broken expert's garbage losses cannot distort the
+        committee's weight distribution while it sits out.  ``None`` (the
+        default) updates every member exactly as before.
+        """
         if not self.reweight:
             return committee.weights
         losses = self.expert_losses(expert_votes, truth_distributions)
-        new_weights = committee.weights * np.exp(-self.eta * losses)
+        factors = np.exp(-self.eta * losses)
+        if active_mask is not None:
+            active_mask = np.asarray(active_mask, dtype=bool).ravel()
+            if active_mask.shape[0] != losses.shape[0]:
+                raise ValueError(
+                    f"active_mask must cover {losses.shape[0]} experts, "
+                    f"got {active_mask.shape[0]}"
+                )
+            factors = np.where(active_mask, factors, 1.0)
+        new_weights = committee.weights * factors
         committee.set_weights(new_weights)
         return committee.weights
 

@@ -20,6 +20,7 @@ from repro.bandit.budget import BudgetExhausted, BudgetLedger
 from repro.core.committee import Committee
 from repro.core.config import CrowdLearnConfig
 from repro.core.cqc import CrowdQualityControl
+from repro.core.guards import GuardCounters, GuardPolicy, ModelGuard
 from repro.core.ipd import IncentivePolicyDesigner
 from repro.core.mic import MachineIntelligenceCalibrator
 from repro.core.qss import AdaptiveQuerySetSelector, QuerySetSelector
@@ -53,6 +54,7 @@ class CycleOutcome:
     cost_cents: float
     expert_weights: np.ndarray
     resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
+    guards: GuardCounters = field(default_factory=GuardCounters)
 
 
 @dataclass
@@ -127,6 +129,13 @@ class RunOutcome:
             totals.merge(c.resilience)
         return totals
 
+    def guard_totals(self) -> GuardCounters:
+        """Aggregated guard counters over the whole deployment."""
+        totals = GuardCounters()
+        for c in self.cycles:
+            totals.merge(c.guards)
+        return totals
+
 
 class CrowdLearnSystem:
     """The assembled CrowdLearn pipeline.
@@ -149,6 +158,7 @@ class CrowdLearnSystem:
         config: CrowdLearnConfig,
         rng: np.random.Generator,
         resilience: ResiliencePolicy | None = None,
+        guards: ModelGuard | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.committee = committee
@@ -162,6 +172,9 @@ class CrowdLearnSystem:
         self.config = config
         self.rng = rng
         self.resilience = resilience or ResiliencePolicy()
+        #: Learning-loop guardrails; ``None`` runs the historical unguarded
+        #: loop.  :meth:`build` constructs one from the config/policy.
+        self.guards = guards
         #: Telemetry pipeline; ``None`` resolves the process default (the
         #: no-op singleton unless a trace run swapped one in), so the
         #: uninstrumented path is unchanged.  Attached telemetry travels
@@ -181,6 +194,7 @@ class CrowdLearnSystem:
         platform: CrowdsourcingPlatform | None = None,
         pilot: PilotResult | None = None,
         resilience: ResiliencePolicy | None = None,
+        guards: ModelGuard | GuardPolicy | None = None,
         telemetry: Telemetry | None = None,
     ) -> "CrowdLearnSystem":
         """Assemble and pre-train the full system as the paper deploys it.
@@ -190,6 +204,11 @@ class CrowdLearnSystem:
         queries, and warm-start the IPD bandit with the pilot's delays.
         Pass ``committee``/``platform``/``pilot`` to reuse pre-built parts
         (e.g. to share one trained committee across budget-sweep runs).
+
+        ``guards`` accepts a pre-built :class:`ModelGuard`, a
+        :class:`GuardPolicy` to build one from, or ``None`` to follow the
+        config (``config.guards_enabled``); the guard's golden holdout is
+        reserved from ``training_set`` with its own named seed.
         """
         config = config or CrowdLearnConfig()
         seeds = SeedSequencer(seed)
@@ -246,6 +265,18 @@ class CrowdLearnSystem:
             )
         else:
             qss = QuerySetSelector(config.qss_epsilon)
+        if not isinstance(guards, ModelGuard):
+            policy = guards if isinstance(guards, GuardPolicy) else config.guard_policy()
+            guards = (
+                ModelGuard.build(
+                    policy,
+                    training_set,
+                    committee.n_experts,
+                    seeds.get("guards"),
+                )
+                if policy.enabled
+                else None
+            )
         return cls(
             committee=committee,
             platform=platform,
@@ -258,6 +289,7 @@ class CrowdLearnSystem:
             config=config,
             rng=seeds.get("system"),
             resilience=resilience,
+            guards=guards,
             telemetry=telemetry,
         )
 
@@ -319,15 +351,52 @@ class CrowdLearnSystem:
         with tel.span("cycle", index=cycle.index, context=cycle.context.value):
             return self._run_cycle(cycle, tel)
 
+    def _cycle_worker_reliability(
+        self, results: list[QueryResult]
+    ) -> float | None:
+        """Graded historical accuracy of this cycle's responding workers.
+
+        Pooled over every worker who answered (malformed ``worker_id = -1``
+        responses excluded): correct past answers / graded past answers.
+        ``None`` until anything has been graded.  The drift detector uses
+        this to avoid flagging cycles answered by workers with a proven
+        track record.
+        """
+        worker_ids = sorted(
+            {
+                response.worker_id
+                for result in results
+                for response in result.responses
+                if response.worker_id >= 0
+            }
+        )
+        graded_total = 0
+        correct_total = 0
+        for worker_id in worker_ids:
+            graded, correct = self.platform.worker_track_record(worker_id)
+            graded_total += graded
+            correct_total += correct
+        if graded_total == 0:
+            return None
+        return correct_total / graded_total
+
     def _run_cycle(self, cycle: SensingCycle, tel: Telemetry) -> CycleOutcome:
         dataset = cycle.dataset()
         true_labels = dataset.labels()
         policy = self.resilience
+        guard = self.guards
+        if guard is not None and guard.n_experts != self.committee.n_experts:
+            # A new committee was swapped into a live system: per-expert
+            # guard memory no longer describes anything real.
+            guard.rebind(self.committee.n_experts)
+        gcounters = GuardCounters()
+        mask = guard.active_mask() if guard is not None else None
 
-        # ① committee votes and query selection.
+        # ① committee votes and query selection (quarantined members, if
+        # any, are excluded from the uncertainty estimate via ``mask``).
         with tel.span("cycle.committee"):
             votes = self.committee.expert_votes(dataset)
-            entropy = self.committee.committee_entropy(dataset, votes)
+            entropy = self.committee.committee_entropy(dataset, votes, mask=mask)
         with tel.span("cycle.qss"):
             query_size = min(self.config.queries_per_cycle, len(dataset))
             query_indices = self.qss.select(entropy, query_size, self.rng)
@@ -374,21 +443,31 @@ class CrowdLearnSystem:
         query_indices = np.array(posted_indices, dtype=np.int64)
 
         # ③ quality control + ④ calibration (only if anything was queried).
+        flagged = False
         if results:
             with tel.span("cycle.cqc", queries=len(results)):
                 truthful = self.cqc.truthful_labels(results)
                 truth_dists = self.cqc.label_distributions(results)
+                # Reliability must be read *before* this cycle's answers are
+                # graded, so it reflects strictly historical behaviour.
+                reliability = (
+                    self._cycle_worker_reliability(results)
+                    if guard is not None
+                    else None
+                )
                 for result, label in zip(results, truthful):
                     self.platform.reveal_ground_truth(
                         result.query.query_id, int(label)
                     )
             query_votes = [v[query_indices] for v in votes]
+            pre_vote: np.ndarray | None = None
+            if guard is not None or isinstance(self.qss, AdaptiveQuerySetSelector):
+                pre_vote = self.committee.committee_vote(dataset, votes, mask=mask)
             # VDBE extension: feed the surprise (mean committee-vs-truth
             # divergence on the query set) back into an adaptive QSS.
             if isinstance(self.qss, AdaptiveQuerySetSelector):
                 from repro.metrics.information import bounded_divergence
 
-                pre_vote = self.committee.committee_vote(dataset, votes)
                 surprise = float(
                     np.mean(
                         [
@@ -398,16 +477,48 @@ class CrowdLearnSystem:
                     )
                 )
                 self.qss.observe_surprise(surprise)
-            with tel.span("cycle.mic.reweight"):
-                self.mic.update_weights(self.committee, query_votes, truth_dists)
-            with tel.span("cycle.mic.retrain"):
-                self.mic.retrain_experts(
-                    self.committee,
-                    [dataset[int(i)] for i in query_indices],
-                    truthful,
-                    self.replay_pool,
-                    self.rng,
+            if guard is not None:
+                guard.observe_committee(self.committee, gcounters)
+                mask = guard.active_mask()
+                consensus = np.argmax(pre_vote[query_indices], axis=1)
+                flagged = guard.observe_labels(
+                    consensus, truthful, reliability, gcounters
                 )
+            with tel.span("cycle.mic.reweight"):
+                if (
+                    flagged
+                    and guard.policy.drift_skips_reweight
+                    and self.mic.reweight
+                ):
+                    gcounters.reweights_skipped += 1
+                else:
+                    self.mic.update_weights(
+                        self.committee, query_votes, truth_dists,
+                        active_mask=mask,
+                    )
+            with tel.span("cycle.mic.retrain"):
+                query_images = [dataset[int(i)] for i in query_indices]
+                if flagged:
+                    if self.mic.retrain and query_images:
+                        gcounters.retrains_skipped += 1
+                elif guard is not None:
+                    guard.guarded_retrain(
+                        self.mic,
+                        self.committee,
+                        query_images,
+                        truthful,
+                        self.replay_pool,
+                        self.rng,
+                        gcounters,
+                    )
+                else:
+                    self.mic.retrain_experts(
+                        self.committee,
+                        query_images,
+                        truthful,
+                        self.replay_pool,
+                        self.rng,
+                    )
             with tel.span("cycle.ipd.observe"):
                 for result, arm in zip(results, arms):
                     self.ipd.observe(cycle.context, arm, result.mean_delay)
@@ -417,15 +528,23 @@ class CrowdLearnSystem:
             truth_dists = np.empty((0, self.committee.experts[0].n_classes))
             crowd_delay = 0.0
 
-        # Final labels: reweighted committee, query set offloaded to the crowd.
-        committee_vote = self.committee.committee_vote(dataset, votes)
+        # Final labels: reweighted committee, query set offloaded to the
+        # crowd — unless the drift detector flagged this cycle's labels, in
+        # which case the committee's own labels stand (labels too anomalous
+        # to train on are too anomalous to publish).
+        committee_vote = self.committee.committee_vote(dataset, votes, mask=mask)
         committee_labels = np.argmax(committee_vote, axis=1)
-        final_labels = self.mic.offload_labels(
-            committee_labels, query_indices, truthful
-        )
-        final_scores = self.mic.offload_distributions(
-            committee_vote, query_indices, truth_dists
-        )
+        if flagged and guard.policy.drift_skips_offload and self.mic.offload:
+            gcounters.offloads_skipped += 1
+            final_labels = committee_labels
+            final_scores = committee_vote
+        else:
+            final_labels = self.mic.offload_labels(
+                committee_labels, query_indices, truthful
+            )
+            final_scores = self.mic.offload_distributions(
+                committee_vote, query_indices, truth_dists
+            )
         if tel.enabled:
             tel.counter(
                 "cycles_total", help="sensing cycles completed"
@@ -457,6 +576,12 @@ class CrowdLearnSystem:
                 prefix="resilience_",
                 help="resilience interventions (see repro.core.resilience)",
             )
+            if guard is not None:
+                tel.merge_counters(
+                    {f"{k}_total": v for k, v in gcounters.as_dict().items()},
+                    prefix="guard_",
+                    help="guard interventions (see repro.core.guards)",
+                )
         return CycleOutcome(
             cycle_index=cycle.index,
             context=cycle.context,
@@ -469,6 +594,7 @@ class CrowdLearnSystem:
             cost_cents=cost,
             expert_weights=self.committee.weights,
             resilience=counters,
+            guards=gcounters,
         )
 
     def run(

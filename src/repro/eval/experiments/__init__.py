@@ -3,8 +3,11 @@
 from repro.eval.experiments.chaos import (
     DEFAULT_INTENSITIES,
     ChaosData,
+    GuardChaosData,
+    adversarial_label_plan,
     default_chaos_plan,
     run_chaos,
+    run_guard_chaos,
 )
 from repro.eval.experiments.fig8 import Fig8Data, run_fig8
 from repro.eval.experiments.fig9 import DEFAULT_FRACTIONS, Fig9Data, run_fig9
@@ -31,8 +34,11 @@ from repro.eval.experiments.table2 import (
 __all__ = [
     "DEFAULT_INTENSITIES",
     "ChaosData",
+    "GuardChaosData",
+    "adversarial_label_plan",
     "default_chaos_plan",
     "run_chaos",
+    "run_guard_chaos",
     "Fig8Data",
     "run_fig8",
     "DEFAULT_FRACTIONS",

@@ -28,6 +28,9 @@ from dataclasses import dataclass
 from dataclasses import field as dataclass_field
 from dataclasses import fields as dataclass_fields
 
+import numpy as np
+
+from repro.core.guards import GuardCounters, GuardPolicy
 from repro.core.resilience import ResilienceCounters, ResiliencePolicy
 from repro.core.system import RunOutcome
 from repro.crowd.faults import FaultInjector, FaultPlan, PlatformUnavailable
@@ -37,7 +40,15 @@ from repro.eval.runner import ExperimentSetup, build_crowdlearn
 from repro.metrics.classification import macro_f1
 from repro.telemetry.runtime import Telemetry
 
-__all__ = ["ChaosData", "default_chaos_plan", "run_chaos", "DEFAULT_INTENSITIES"]
+__all__ = [
+    "ChaosData",
+    "GuardChaosData",
+    "default_chaos_plan",
+    "adversarial_label_plan",
+    "run_chaos",
+    "run_guard_chaos",
+    "DEFAULT_INTENSITIES",
+]
 
 DEFAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
 
@@ -104,6 +115,62 @@ class ChaosData:
         return "\n\n".join(parts)
 
 
+@dataclass(frozen=True)
+class GuardChaosData:
+    """Guards-on vs guards-off under a hostile-label fault plan.
+
+    Both arms run the *same* adversarial plan to completion (no outages,
+    so neither run truncates); the only difference is the learning-loop
+    guardrail policy (:meth:`GuardPolicy.hardened` vs
+    :meth:`GuardPolicy.disabled`).  ``final_f1`` is the macro-F1 of the
+    deployment's last half of cycles — the window where accumulated
+    label poisoning shows up in an unguarded loop.
+    """
+
+    arms: tuple[str, ...]
+    f1: dict[str, float]
+    final_f1: dict[str, float]
+    cycles_completed: dict[str, int]
+    n_cycles: int
+    fault_events: dict[str, int]
+    #: The guards-on arm's aggregated intervention counters.
+    guards: dict[str, float]
+    #: ``guard_*_total`` registry snapshot of the guards-on arm.
+    telemetry: dict[str, float] = dataclass_field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [
+                arm,
+                round(self.f1[arm], 4),
+                round(self.final_f1[arm], 4),
+                self.cycles_completed[arm],
+                self.fault_events[arm],
+            ]
+            for arm in self.arms
+        ]
+        parts = [
+            format_table(
+                ["arm", "macro_f1", "final_half_f1", "cycles", "fault_events"],
+                rows,
+                title=(
+                    "Guard chaos: hostile-label plan, guards-on (hardened) "
+                    f"vs guards-off over {self.n_cycles} cycles"
+                ),
+            )
+        ]
+        interventions = {k: v for k, v in self.guards.items() if v}
+        parts.append(
+            "Guard interventions (guards-on arm): "
+            + (
+                ", ".join(f"{k}={v:g}" for k, v in sorted(interventions.items()))
+                if interventions
+                else "none"
+            )
+        )
+        return "\n\n".join(parts)
+
+
 def default_chaos_plan(setup: ExperimentSetup) -> FaultPlan:
     """The base fault plan the intensity knob scales.
 
@@ -123,6 +190,95 @@ def default_chaos_plan(setup: ExperimentSetup) -> FaultPlan:
         duplicate_rate=0.05,
         malformed_rate=0.05,
         outage_windows=((start, start + 2 * per_cycle),),
+    )
+
+
+def adversarial_label_plan() -> FaultPlan:
+    """The hostile-label plan the guard chaos experiment runs.
+
+    Heavy on label poisoning (adversarial workers answer with the wrong
+    class on purpose, spammers answer at random) and free of outages, so
+    both arms complete every cycle and the comparison isolates what the
+    *learning* guards buy, not what the platform resilience buys.  The
+    adversarial majority is deliberate: it has to actually defeat CQC's
+    fusion on most cycles, otherwise there is no poisoned signal for the
+    guards to catch.
+    """
+    return FaultPlan(adversarial_rate=0.8, spam_rate=0.1)
+
+
+def _final_half_f1(outcome: RunOutcome) -> float:
+    """Macro-F1 over the last half (>= 1 cycle) of completed cycles."""
+    if not outcome.cycles:
+        return 0.0
+    tail = outcome.cycles[-max(len(outcome.cycles) // 2, 1):]
+    y_true = np.concatenate([c.true_labels for c in tail])
+    y_pred = np.concatenate([c.final_labels for c in tail])
+    return macro_f1(y_true, y_pred)
+
+
+def run_guard_chaos(
+    setup: ExperimentSetup,
+    plan: FaultPlan | None = None,
+) -> GuardChaosData:
+    """Run the guards-on vs guards-off arms under a hostile-label plan.
+
+    This is a *paired* comparison: both arms share the fault plan **and**
+    the stream/platform/fault random seeds, so until a guard actually
+    intervenes the two deployments are byte-identical and every downstream
+    difference is causally attributable to the intervention, not to seed
+    noise.  The guards-on arm runs :meth:`GuardPolicy.hardened` with
+    telemetry so every ``guard_*`` counter lands in the registry.
+    """
+    base_plan = plan if plan is not None else adversarial_label_plan()
+    arms = ("guards-on", "guards-off")
+    f1: dict[str, float] = {}
+    final_f1: dict[str, float] = {}
+    completed: dict[str, int] = {}
+    fault_events: dict[str, int] = {}
+    guard_totals = GuardCounters()
+    telemetry: dict[str, float] = {}
+    counter_names = [f.name for f in dataclass_fields(GuardCounters)]
+
+    for arm in arms:
+        # One shared tag: same stream draw, same platform RNG, same fault
+        # RNG for both arms (the paired design).
+        tag = "guardchaos"
+        injector = FaultInjector(base_plan, rng=setup.seeds.get(f"{tag}-faults"))
+        tel = Telemetry() if arm == "guards-on" else None
+        system = build_crowdlearn(
+            setup,
+            faults=injector,
+            platform_name=tag,
+            guards=(
+                GuardPolicy.hardened()
+                if arm == "guards-on"
+                else GuardPolicy.disabled()
+            ),
+            telemetry=tel,
+        )
+        outcome = system.run(setup.make_stream(tag))
+        arm_f1, _, arm_cycles = _metrics(outcome)
+        f1[arm] = arm_f1
+        final_f1[arm] = _final_half_f1(outcome)
+        completed[arm] = arm_cycles
+        fault_events[arm] = injector.total_events()
+        if arm == "guards-on":
+            guard_totals = outcome.guard_totals()
+            telemetry = {
+                name: tel.registry.value(f"guard_{name}_total")
+                for name in counter_names
+            }
+
+    return GuardChaosData(
+        arms=arms,
+        f1=f1,
+        final_f1=final_f1,
+        cycles_completed=completed,
+        n_cycles=setup.config.n_cycles,
+        fault_events=fault_events,
+        guards=guard_totals.as_dict(),
+        telemetry=telemetry,
     )
 
 

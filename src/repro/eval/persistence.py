@@ -20,6 +20,7 @@ archival.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -28,6 +29,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.guards import GuardCounters
 from repro.core.resilience import ResilienceCounters
 from repro.eval.baselines import SchemeResult
 from repro.utils.clock import TemporalContext
@@ -43,7 +45,10 @@ __all__ = ["scheme_result_to_dict", "scheme_result_from_dict",
            "save_checkpoint", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
-_CHECKPOINT_VERSION = 1
+# Version 2 wraps the pickled deployment state in an envelope carrying its
+# SHA-256 digest, so a truncated or bit-flipped checkpoint fails loudly at
+# load time instead of resuming a silently corrupted deployment.
+_CHECKPOINT_VERSION = 2
 
 
 def scheme_result_to_dict(result: SchemeResult) -> dict:
@@ -96,7 +101,11 @@ def save_results(
             for name, result in results.items()
         },
     }
-    path.write_text(json.dumps(payload))
+    # Temp file + rename: a crash mid-write can never leave a truncated
+    # JSON file where a previous good result set used to be.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
     return path
 
 
@@ -130,6 +139,7 @@ def cycle_outcome_to_dict(outcome: "CycleOutcome") -> dict:
         "cost_cents": outcome.cost_cents,
         "expert_weights": outcome.expert_weights.tolist(),
         "resilience": outcome.resilience.as_dict(),
+        "guards": outcome.guards.as_dict(),
     }
 
 
@@ -152,6 +162,7 @@ def cycle_outcome_from_dict(data: dict) -> "CycleOutcome":
             cost_cents=float(data["cost_cents"]),
             expert_weights=np.asarray(data["expert_weights"], dtype=np.float64),
             resilience=ResilienceCounters.from_dict(data.get("resilience", {})),
+            guards=GuardCounters.from_dict(data.get("guards", {})),
         )
     except KeyError as missing:
         raise ValueError(f"cycle dict is missing field {missing}") from None
@@ -185,32 +196,43 @@ def save_checkpoint(
 
     The snapshot contains everything a resumed run needs to be
     deterministic: the system (with all RNG states, bandit posteriors,
-    committee parameters and the ledger), the stream, the outcomes of the
-    ``next_cycle`` completed cycles, and the resume index.  The write goes
-    through a temporary file + rename, so a crash mid-checkpoint leaves the
-    previous checkpoint intact.
+    committee parameters, guard state and the ledger), the stream, the
+    outcomes of the ``next_cycle`` completed cycles, and the resume index.
+    The write goes through a temporary file + rename, so a crash
+    mid-checkpoint leaves the previous checkpoint intact, and the pickled
+    state is wrapped in an envelope carrying its SHA-256 digest, which
+    :func:`load_checkpoint` verifies before unpickling anything.
 
     A telemetry pipeline attached to the system (see
     :mod:`repro.telemetry`) is pickled along with it, so a resumed run
     keeps its spans, metrics and events; its JSON-safe
     :meth:`~repro.telemetry.runtime.Telemetry.snapshot` is additionally
-    stored under the ``"telemetry"`` key for inspection without restoring
-    the system.
+    stored under the envelope's ``"telemetry"`` key so operators can
+    inspect a checkpoint without unpickling the deployment state.
     """
     if next_cycle < 0:
         raise ValueError(f"next_cycle must be >= 0, got {next_cycle}")
     path = Path(path)
     telemetry = getattr(system, "telemetry", None)
-    payload = {
+    state = pickle.dumps(
+        {
+            "next_cycle": int(next_cycle),
+            "system": system,
+            "stream": stream,
+            "outcome": outcome,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    envelope = {
         "checkpoint_version": _CHECKPOINT_VERSION,
-        "next_cycle": int(next_cycle),
-        "system": system,
-        "stream": stream,
-        "outcome": outcome,
+        "sha256": hashlib.sha256(state).hexdigest(),
+        "state": state,
+        # Advisory inspection copy; the digest covers only the restorable
+        # state, so a telemetry-only diff never invalidates a checkpoint.
         "telemetry": None if telemetry is None else telemetry.snapshot(),
     }
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
     os.replace(tmp, path)
     return path
 
@@ -218,19 +240,39 @@ def save_checkpoint(
 def load_checkpoint(
     path: str | Path,
 ) -> tuple["CrowdLearnSystem", "SensingCycleStream", "RunOutcome", int]:
-    """Load ``(system, stream, outcome, next_cycle)`` from a checkpoint."""
+    """Load ``(system, stream, outcome, next_cycle)`` from a checkpoint.
+
+    The deployment state's SHA-256 digest is verified before the state is
+    unpickled; a mismatch means the file was corrupted after it was
+    written (bad disk, interrupted copy, manual edit) and raises a
+    :class:`ValueError` telling the operator to fall back to an older
+    checkpoint or restart the run.
+    """
     try:
-        payload = pickle.loads(Path(path).read_bytes())
+        envelope = pickle.loads(Path(path).read_bytes())
     except (pickle.UnpicklingError, EOFError) as exc:
         raise ValueError(f"corrupt checkpoint file {path}: {exc}") from exc
-    if not isinstance(payload, dict):
+    if not isinstance(envelope, dict):
         raise ValueError(f"corrupt checkpoint file {path}: not a snapshot")
-    version = payload.get("checkpoint_version")
+    version = envelope.get("checkpoint_version")
     if version != _CHECKPOINT_VERSION:
         raise ValueError(
             f"unsupported checkpoint version {version!r} "
             f"(expected {_CHECKPOINT_VERSION})"
         )
+    state = envelope.get("state")
+    recorded = envelope.get("sha256")
+    if not isinstance(state, bytes) or not isinstance(recorded, str):
+        raise ValueError(f"corrupt checkpoint file {path}: not a snapshot")
+    computed = hashlib.sha256(state).hexdigest()
+    if computed != recorded:
+        raise ValueError(
+            f"checkpoint {path} failed its integrity check: recorded sha256 "
+            f"{recorded[:12]}..., computed {computed[:12]}....  The file was "
+            "corrupted after it was written; resume from an older checkpoint "
+            "or restart the deployment from scratch."
+        )
+    payload = pickle.loads(state)
     return (
         payload["system"],
         payload["stream"],

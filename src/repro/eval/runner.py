@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.committee import Committee
 from repro.core.config import CrowdLearnConfig
+from repro.core.guards import GuardPolicy, ModelGuard
 from repro.core.resilience import ResiliencePolicy
 from repro.core.system import CrowdLearnSystem, RunOutcome
 from repro.crowd.delay import DelayModel
@@ -200,6 +201,7 @@ def build_crowdlearn(
     resilience: ResiliencePolicy | None = None,
     faults: FaultInjector | None = None,
     platform_name: str = "crowdlearn",
+    guards: "ModelGuard | GuardPolicy | None" = None,
     telemetry: "Telemetry | None" = None,
 ) -> CrowdLearnSystem:
     """Assemble a CrowdLearn system from the shared setup.
@@ -208,6 +210,8 @@ def build_crowdlearn(
     system's (fresh) platform and ``resilience`` selects the degradation
     policy — both used by the chaos experiments; the defaults reproduce the
     original fault-free, fully-resilient (but never-triggered) deployment.
+    ``guards`` selects the learning-loop guardrail policy (see
+    :mod:`repro.core.guards`); ``None`` follows the config.
     ``telemetry`` instruments the system and its platform (see
     :mod:`repro.telemetry`); ``None`` keeps the no-op default.
     """
@@ -224,6 +228,7 @@ def build_crowdlearn(
         platform=platform,
         pilot=setup.pilot,
         resilience=resilience,
+        guards=guards,
         telemetry=telemetry,
     )
 

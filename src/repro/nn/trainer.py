@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -10,6 +11,9 @@ from repro.nn.losses import Loss
 from repro.nn.model import Sequential
 from repro.nn.optim import Optimizer
 from repro.telemetry.runtime import Telemetry, get_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports nn)
+    from repro.core.guards import DivergenceSentinel
 
 __all__ = ["TrainingHistory", "Trainer"]
 
@@ -42,6 +46,14 @@ class Trainer:
         Optional :class:`~repro.telemetry.runtime.Telemetry`; ``None``
         resolves the process default, so ``repro trace`` runs see training
         spans from trainers constructed deep inside the models.
+    sentinel:
+        Optional :class:`~repro.core.guards.DivergenceSentinel`; ``None``
+        resolves the process default (installed by
+        :class:`~repro.core.guards.ModelGuard` around guarded retrains,
+        absent otherwise).  With a sentinel active, an epoch whose loss
+        goes non-finite or whose update norm explodes is rolled back to
+        its pre-epoch weights and retried once at a reduced learning rate
+        before the fit gives up cleanly.
     """
 
     def __init__(
@@ -52,6 +64,7 @@ class Trainer:
         rng: np.random.Generator,
         batch_size: int = 32,
         telemetry: Telemetry | None = None,
+        sentinel: "DivergenceSentinel | None" = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -61,6 +74,7 @@ class Trainer:
         self.rng = rng
         self.batch_size = batch_size
         self.telemetry = telemetry
+        self.sentinel = sentinel
 
     def train_epoch(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
         """One pass over the data; returns (mean loss, accuracy)."""
@@ -112,6 +126,12 @@ class Trainer:
 
         Early stopping triggers when validation loss has not improved for
         ``patience`` consecutive epochs (requires validation data).
+
+        When a divergence sentinel is active (explicit or installed as the
+        process default), each epoch is additionally guarded: a divergent
+        epoch is rolled back and retried once at a reduced learning rate,
+        and a second divergence ends the fit with the last good weights in
+        place (the history then holds only the completed good epochs).
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
@@ -119,13 +139,26 @@ class Trainer:
         if patience is not None and not has_val:
             raise ValueError("early stopping requires validation data")
         tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        sentinel = self.sentinel
+        if sentinel is None:
+            from repro.core.guards import get_divergence_sentinel
+
+            sentinel = get_divergence_sentinel()
+        if sentinel is not None and not sentinel.enabled:
+            sentinel = None
         history = TrainingHistory()
         best_val = np.inf
         stale = 0
         with tel.span("trainer.fit", epochs=epochs, samples=len(x)) as span:
             for _ in range(epochs):
                 with tel.span("trainer.epoch"):
-                    train_loss, train_acc = self.train_epoch(x, y)
+                    if sentinel is None:
+                        epoch_result = self.train_epoch(x, y)
+                    else:
+                        epoch_result = self._guarded_epoch(x, y, sentinel, tel)
+                if epoch_result is None:
+                    break  # sentinel gave up: keep the last good weights
+                train_loss, train_acc = epoch_result
                 history.train_loss.append(train_loss)
                 history.train_accuracy.append(train_acc)
                 if has_val:
@@ -146,6 +179,57 @@ class Trainer:
                     "trainer_epochs_total", help="training epochs executed"
                 ).inc(history.epochs)
         return history
+
+    def _guarded_epoch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sentinel: "DivergenceSentinel",
+        tel: Telemetry,
+    ) -> tuple[float, float] | None:
+        """One epoch under the divergence sentinel.
+
+        Returns the epoch's ``(loss, accuracy)``, or ``None`` when both the
+        epoch and its reduced-learning-rate retry diverged; the model is
+        left at its pre-epoch weights in that case.  Optimizer moments are
+        deliberately *not* restored — if they were poisoned (e.g. by an inf
+        gradient), the retry fails too and the fit stops cleanly, leaving
+        recovery to the expert-level snapshot rollback one layer up.
+        """
+        saved = [
+            {key: value.copy() for key, value in layer_state.items()}
+            for layer_state in self.model.state()
+        ]
+        params_before = [p.copy() for p in self.model.params()]
+        train_loss, train_acc = self.train_epoch(x, y)
+        if not sentinel.diverged(train_loss, params_before, self.model.params()):
+            return train_loss, train_acc
+        sentinel.aborts += 1
+        if tel.enabled:
+            tel.counter(
+                "trainer_sentinel_aborts_total",
+                help="epochs aborted by the divergence sentinel",
+            ).inc()
+        self.model.load_state(saved)
+        original_lr = self.optimizer.lr
+        self.optimizer.lr = original_lr * sentinel.lr_backoff_factor
+        try:
+            sentinel.retries += 1
+            train_loss, train_acc = self.train_epoch(x, y)
+            if not sentinel.diverged(
+                train_loss, params_before, self.model.params()
+            ):
+                return train_loss, train_acc
+            sentinel.failures += 1
+            if tel.enabled:
+                tel.counter(
+                    "trainer_sentinel_failures_total",
+                    help="fits abandoned after a failed sentinel retry",
+                ).inc()
+            self.model.load_state(saved)
+            return None
+        finally:
+            self.optimizer.lr = original_lr
 
     @staticmethod
     def _hard_labels(y: np.ndarray) -> np.ndarray:

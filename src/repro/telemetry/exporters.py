@@ -215,4 +215,18 @@ def summary_report(telemetry: "Telemetry", title: str = "Telemetry") -> str:
                 title=f"{title}: resilience interventions",
             )
         )
+    guard_rows = [
+        [instrument.name, float(instrument.value)]
+        for instrument in telemetry.registry
+        if instrument.name.startswith(("guard_", "trainer_sentinel_"))
+        and instrument.name not in dict(_COST_COUNTERS)
+    ]
+    if any(value for _, value in guard_rows):
+        parts.append(
+            format_table(
+                ["counter", "value"],
+                guard_rows,
+                title=f"{title}: guard interventions",
+            )
+        )
     return "\n\n".join(parts)

@@ -40,6 +40,7 @@ def assert_outcomes_equal(a: RunOutcome, b: RunOutcome) -> None:
         assert ca.cost_cents == cb.cost_cents
         np.testing.assert_array_equal(ca.expert_weights, cb.expert_weights)
         assert ca.resilience == cb.resilience
+        assert ca.guards == cb.guards
 
 
 class TestCheckpointResume:
@@ -108,6 +109,35 @@ class TestCheckpointResume:
         with pytest.raises(ValueError, match="not a snapshot"):
             load_checkpoint(path)
 
+    def test_integrity_check_rejects_tampered_state(self, setup, tmp_path):
+        """A bit flip inside the pickled state fails the SHA-256 check."""
+        import pickle
+
+        path = tmp_path / "tampered.ckpt"
+        system = build_crowdlearn(setup)
+        stream = setup.make_stream("ckpt")
+        save_checkpoint(path, system, stream, RunOutcome(), 0)
+        envelope = pickle.loads(path.read_bytes())
+        state = bytearray(envelope["state"])
+        state[len(state) // 2] ^= 0xFF
+        envelope["state"] = bytes(state)
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(ValueError, match="integrity check"):
+            load_checkpoint(path)
+
+    def test_missing_digest_rejected(self, setup, tmp_path):
+        import pickle
+
+        path = tmp_path / "nodigest.ckpt"
+        system = build_crowdlearn(setup)
+        stream = setup.make_stream("ckpt")
+        save_checkpoint(path, system, stream, RunOutcome(), 0)
+        envelope = pickle.loads(path.read_bytes())
+        del envelope["sha256"]
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(ValueError, match="not a snapshot"):
+            load_checkpoint(path)
+
 
 class TestOutcomeJsonRoundtrip:
     def test_cycle_outcome_roundtrip(self, uninterrupted):
@@ -118,6 +148,16 @@ class TestOutcomeJsonRoundtrip:
         np.testing.assert_array_equal(restored.final_labels, cycle.final_labels)
         np.testing.assert_allclose(restored.final_scores, cycle.final_scores)
         assert restored.resilience == cycle.resilience
+        assert restored.guards == cycle.guards
+
+    def test_guards_default_when_absent(self, uninterrupted):
+        """Pre-guardrails archives (no "guards" key) still load."""
+        from repro.core.guards import GuardCounters
+
+        data = cycle_outcome_to_dict(uninterrupted.cycles[0])
+        del data["guards"]
+        restored = cycle_outcome_from_dict(data)
+        assert restored.guards == GuardCounters()
 
     def test_run_outcome_roundtrip_is_json_safe(self, uninterrupted):
         import json

@@ -64,6 +64,8 @@ class TestValidation:
             dict(incentive_levels=()),
             dict(incentive_levels=(1.0, -2.0)),
             dict(budget_usd=0.0),
+            dict(guard_holdout_size=0),
+            dict(guard_regression_tolerance=-0.1),
         ],
     )
     def test_invalid_values_raise(self, kwargs):
@@ -73,3 +75,23 @@ class TestValidation:
     def test_query_fraction_rounding(self):
         config = CrowdLearnConfig(images_per_cycle=10, query_fraction=0.25)
         assert config.queries_per_cycle == 2  # round(2.5) banker's -> 2
+
+
+class TestGuardPolicyKnobs:
+    def test_default_policy_is_enabled(self):
+        policy = CrowdLearnConfig().guard_policy()
+        assert policy.enabled
+        assert policy.holdout_size == 24
+
+    def test_knobs_flow_into_the_policy(self):
+        config = CrowdLearnConfig(
+            guard_holdout_size=12, guard_regression_tolerance=0.5
+        )
+        policy = config.guard_policy()
+        assert policy.holdout_size == 12
+        assert policy.regression_tolerance == 0.5
+
+    def test_disabled_flag_gives_disabled_policy(self):
+        policy = CrowdLearnConfig(guards_enabled=False).guard_policy()
+        assert not policy.enabled
+        assert not policy.regression_gate

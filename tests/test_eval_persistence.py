@@ -88,6 +88,15 @@ class TestFileRoundtrip:
         with pytest.raises(ValueError, match="format version"):
             load_results(path)
 
+    def test_atomic_write_leaves_no_tmp(self, sample_result, tmp_path):
+        path = tmp_path / "r.json"
+        save_results({"x": sample_result}, path)
+        save_results({"x": sample_result}, path)  # overwrite via os.replace
+        assert path.exists()
+        assert not (tmp_path / "r.json.tmp").exists()
+        results, _ = load_results(path)
+        assert set(results) == {"x"}
+
     def test_multiple_schemes(self, sample_result, tmp_path):
         other = scheme_result_from_dict(scheme_result_to_dict(sample_result))
         other.name = "VGG16"

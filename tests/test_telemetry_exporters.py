@@ -147,3 +147,20 @@ class TestSummaryReport:
     def test_empty_telemetry(self):
         report = summary_report(Telemetry(clock=ManualClock()))
         assert "0 spans" in report
+
+    def test_guard_section_appears_when_guards_intervene(self, telemetry):
+        assert "guard interventions" not in summary_report(telemetry)
+        telemetry.counter(
+            "guard_rollbacks_total", help="experts rolled back"
+        ).inc(2)
+        telemetry.counter(
+            "trainer_sentinel_aborts_total", help="epochs aborted"
+        ).inc()
+        report = summary_report(telemetry)
+        assert "guard interventions" in report
+        assert "guard_rollbacks_total" in report
+        assert "trainer_sentinel_aborts_total" in report
+
+    def test_guard_section_hidden_when_all_zero(self, telemetry):
+        telemetry.counter("guard_rollbacks_total", help="rollbacks").inc(0)
+        assert "guard interventions" not in summary_report(telemetry)
