@@ -1,0 +1,40 @@
+"""BENCH_cycle: per-stage wall time of the closed loop + cache A/B.
+
+Runs :func:`repro.eval.bench.run_bench` on the seeded deployment and saves
+the JSON artifact CI archives (``benchmarks/results/BENCH_cycle.json``).
+Wall-clock numbers are machine-dependent, so assertions cover structure
+and the cache's ordering guarantees only: every closed-loop stage shows up
+in the span table, the loop serves committee votes from the shared
+prediction cache, and the cached vote path is never slower than computing
+votes from scratch (it skips the entire feature-encode + forward pass, so
+even noisy CI machines clear this by orders of magnitude).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, RESULTS_DIR, is_fast
+from repro.eval.bench import run_bench, write_bench
+
+#: Stages every cycle must pass through (subset of the span table).
+EXPECTED_STAGES = ("cycle", "cycle.committee", "cycle.qss", "cycle.cqc")
+
+
+def test_bench_cycle_artifact():
+    report = run_bench(seed=BENCH_SEED, fast=is_fast(), repeats=3)
+    path = write_bench(report, RESULTS_DIR / "BENCH_cycle.json")
+    print(f"\nwrote {path}")
+
+    loop = report["loop"]
+    assert loop["cycles"] > 0
+    for stage in EXPECTED_STAGES:
+        assert stage in loop["stages"], sorted(loop["stages"])
+        assert loop["stages"][stage]["count"] == loop["cycles"]
+
+    # The loop must actually exercise the shared cache...
+    assert loop["cache"]["prediction_hits"] > 0, loop["cache"]
+    assert loop["cache"]["feature_hits"] > 0, loop["cache"]
+
+    # ...and serving cached votes must never lose to recomputing them.
+    vote = report["committee_vote"]
+    assert vote["cached_best_seconds"] <= vote["uncached_best_seconds"], vote
+    assert vote["cache"]["prediction_hits"] >= vote["repeats"], vote["cache"]

@@ -12,6 +12,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro chaos      # degradation curves under injected faults
     python -m repro diagnose   # per-archetype failure report of each expert
     python -m repro trace      # telemetry: per-stage wall-time/cost breakdown
+    python -m repro bench      # time cycle stages, write BENCH_cycle.json
 
 All commands run the miniature (fast) deployment by default; pass ``--full``
 for the paper-scale configuration, ``--seed`` for a different world.
@@ -125,12 +126,88 @@ def cmd_budget(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if getattr(args, "workers", None):
+        return _cmd_chaos_parallel(args)
     from repro.eval.experiments import run_chaos, run_guard_chaos
 
     setup = _prepare(args)
     print(run_chaos(setup).render())
     print()
     print(run_guard_chaos(setup).render())
+    return 0
+
+
+def _cmd_chaos_parallel(args) -> int:
+    """The chaos sweep with one worker process per intensity arm."""
+    from repro.eval.parallel import run_chaos_arms
+
+    started = time.time()
+    results = run_chaos_arms(
+        seed=args.seed, fast=not args.full, max_workers=args.workers
+    )
+    print(
+        f"{len(results)} arms in {time.time() - started:.1f}s "
+        f"across {args.workers} worker(s)",
+        file=sys.stderr,
+    )
+    print(f"{'arm':<18}{'macro-F1':>10}{'delay s':>10}{'faults':>8}{'cost $':>8}")
+    failed = False
+    for res in results:
+        if not res.ok:
+            failed = True
+            print(f"{res.name:<18}  FAILED:\n{res.error}")
+            continue
+        row = res.result
+        print(
+            f"{res.name:<18}{row['macro_f1']:>10.3f}"
+            f"{row['mean_crowd_delay']:>10.1f}{row['fault_events']:>8}"
+            f"{row['cost_cents'] / 100:>8.2f}"
+        )
+    return 1 if failed else 0
+
+
+def cmd_bench(args) -> int:
+    from repro.eval.bench import (
+        DEFAULT_OUTPUT,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.fast and args.full:
+        print("cannot pass both --fast and --full", file=sys.stderr)
+        return 2
+    print(
+        f"benchmarking {'paper-scale' if args.full else 'fast'} deployment "
+        f"(seed={args.seed}, repeats={args.repeats})...",
+        file=sys.stderr,
+    )
+    report = run_bench(seed=args.seed, fast=not args.full, repeats=args.repeats)
+    print(render_bench(report))
+    path = write_bench(report, args.output or DEFAULT_OUTPUT)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.check:
+        vote = report["committee_vote"]
+        if vote["cached_best_seconds"] > vote["uncached_best_seconds"]:
+            print(
+                "FAIL: cached committee vote slower than uncached "
+                f"({vote['cached_best_seconds']:.6f}s vs "
+                f"{vote['uncached_best_seconds']:.6f}s)",
+                file=sys.stderr,
+            )
+            return 1
+        loop_cache = report["loop"]["cache"]
+        if not loop_cache or loop_cache.get("prediction_hits", 0) <= 0:
+            print(
+                "FAIL: closed loop recorded no prediction-cache hits",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "bench check passed: cached vote at least as fast as uncached, "
+            "and the loop served predictions from the cache",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -198,6 +275,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (cmd_chaos, "degradation curves under injected platform faults"),
     "diagnose": (cmd_diagnose, "per-archetype failure report of each expert"),
     "trace": (cmd_trace, "run with telemetry: stage wall-time/cost breakdown"),
+    "bench": (cmd_bench, "time cycle stages and cache wins; write BENCH_cycle.json"),
 }
 
 
@@ -224,6 +302,31 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--prometheus", metavar="PATH",
                 help="also export metrics in Prometheus text format",
+            )
+        if name == "chaos":
+            sub.add_argument(
+                "--workers", type=int, metavar="N",
+                help="run the intensity arms across N worker processes",
+            )
+        if name == "bench":
+            sub.add_argument(
+                "--fast", action="store_true",
+                help="force the fast deployment (the default; explicit "
+                     "spelling for CI invocations)",
+            )
+            sub.add_argument(
+                "--output", metavar="PATH",
+                help="where to write BENCH_cycle.json "
+                     "(default benchmarks/results/BENCH_cycle.json)",
+            )
+            sub.add_argument(
+                "--repeats", type=int, default=3,
+                help="best-of repeats for the committee-vote timing",
+            )
+            sub.add_argument(
+                "--check", action="store_true",
+                help="exit nonzero unless the cached vote path is at least "
+                     "as fast as uncached and the loop recorded cache hits",
             )
         sub.set_defaults(func=func)
     return parser

@@ -1,5 +1,6 @@
 """CrowdLearn core: QSS, IPD, CQC, MIC and the closed-loop system."""
 
+from repro.core.cache import BoundedCache, CacheStats, PredictionCache, pool_key
 from repro.core.committee import Committee
 from repro.core.config import CrowdLearnConfig
 from repro.core.cqc import CrowdQualityControl
@@ -17,6 +18,10 @@ from repro.core.resilience import ResilienceCounters, ResiliencePolicy
 from repro.core.system import CrowdLearnSystem, CycleOutcome, RunOutcome
 
 __all__ = [
+    "BoundedCache",
+    "CacheStats",
+    "PredictionCache",
+    "pool_key",
     "Committee",
     "CrowdLearnConfig",
     "CrowdQualityControl",

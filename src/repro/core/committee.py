@@ -8,11 +8,16 @@ derive final labels after reweighting.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.data.dataset import DisasterDataset
-from repro.metrics.information import entropy
+from repro.metrics.information import batch_entropy
 from repro.models.base import DDAModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import PredictionCache
 
 __all__ = ["Committee"]
 
@@ -28,6 +33,11 @@ class Committee:
         Initial expert weights; uniform when omitted.  Weights are kept
         normalized to sum to 1.
     """
+
+    #: Shared prediction/feature cache; ``None`` computes votes directly.
+    #: A class-level default so committees unpickled from pre-cache
+    #: checkpoints keep working (uncached).
+    cache: "PredictionCache | None" = None
 
     def __init__(
         self, experts: list[DDAModel], weights: np.ndarray | None = None
@@ -59,14 +69,51 @@ class Committee:
             raise ValueError("weights must be non-negative with positive sum")
         self._weights = weights / weights.sum()
 
+    def attach_cache(self, cache: "PredictionCache | None") -> None:
+        """Route expert votes through a shared prediction cache.
+
+        Propagates to every member so experts with cacheable derived state
+        (e.g. BoVW features) host it in the same bounded store.  ``None``
+        detaches the cache.
+        """
+        self.cache = cache
+        for expert in self.experts:
+            expert.attach_cache(cache)
+
+    def _after_update(self, expert: DDAModel, version_before: int) -> None:
+        """Ensure a retrained expert's version moved and evict stale votes.
+
+        Built-in experts bump their own version inside ``fit``/``retrain``;
+        third-party experts may not, so the committee enforces the bump.
+        Either way the expert's now-stale cached predictions are dropped
+        eagerly rather than waiting for LRU pressure.
+        """
+        if expert.model_version == version_before:
+            expert.bump_version()
+        if self.cache is not None:
+            self.cache.invalidate_expert(
+                expert.name, keep_version=expert.model_version
+            )
+
     def fit(self, dataset: DisasterDataset, rng: np.random.Generator) -> "Committee":
         """Train every expert on the same labeled dataset."""
         for expert in self.experts:
+            before = expert.model_version
             expert.fit(dataset, rng)
+            self._after_update(expert, before)
         return self
 
     def expert_votes(self, dataset: DisasterDataset) -> list[np.ndarray]:
-        """Each expert's vote V(AI_m) — one ``(n, k)`` array per expert."""
+        """Each expert's vote V(AI_m) — one ``(n, k)`` array per expert.
+
+        With a cache attached, each expert's votes for this pool are
+        computed once per model version and served from the cache for
+        every later call site (QSS entropy, MIC reweighting, guard
+        scoring, final labels).
+        """
+        if self.cache is not None:
+            cache = self.cache
+            return [cache.predict_proba(expert, dataset) for expert in self.experts]
         return [expert.predict_proba(dataset) for expert in self.experts]
 
     def _effective_weights(self, mask: np.ndarray | None) -> np.ndarray:
@@ -112,7 +159,16 @@ class Committee:
             raise ValueError("one vote array per expert is required")
         weights = self._effective_weights(mask)
         stacked = np.einsum("m,mnk->nk", weights, np.stack(votes))
-        return stacked / stacked.sum(axis=1, keepdims=True)
+        totals = stacked.sum(axis=1, keepdims=True)
+        zero_rows = (totals <= 0.0).ravel()
+        if zero_rows.any():
+            # A row can end up with zero mass when every active expert
+            # assigns (numerically) zero probability everywhere — fall back
+            # to a uniform vote for those rows instead of dividing to NaN.
+            k = stacked.shape[1]
+            stacked = np.where(zero_rows[:, None], 1.0 / k, stacked)
+            totals = np.where(zero_rows[:, None], 1.0, totals)
+        return stacked / totals
 
     def committee_entropy(
         self,
@@ -122,7 +178,7 @@ class Committee:
     ) -> np.ndarray:
         """Committee entropy H per sample (Eq. 3), shape ``(n,)``."""
         rho = self.committee_vote(dataset, votes, mask=mask)
-        return np.array([entropy(row) for row in rho])
+        return batch_entropy(rho)
 
     def predict(
         self,
@@ -141,5 +197,7 @@ class Committee:
     ) -> "Committee":
         """Incrementally retrain every expert on crowd-labeled data."""
         for expert in self.experts:
+            before = expert.model_version
             expert.retrain(dataset, labels, rng)
+            self._after_update(expert, before)
         return self

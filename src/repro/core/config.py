@@ -56,6 +56,14 @@ class CrowdLearnConfig:
     guard_holdout_size: int = 24
     guard_regression_tolerance: float = 0.25
 
+    # Shared prediction/feature cache (see repro.core.cache): each expert's
+    # votes are computed once per (model version, image pool) and reused by
+    # every call site in the cycle; disabling restores direct computation
+    # (results are bit-identical either way).
+    cache_enabled: bool = True
+    cache_max_pools: int = 256
+    cache_max_features: int = 8192
+
     # Pilot study.
     pilot_queries_per_cell: int = 20
 
@@ -86,6 +94,11 @@ class CrowdLearnConfig:
             raise ValueError(
                 "guard_regression_tolerance must be >= 0, "
                 f"got {self.guard_regression_tolerance}"
+            )
+        if self.cache_max_pools <= 0 or self.cache_max_features <= 0:
+            raise ValueError(
+                "cache capacities must be positive, got "
+                f"{self.cache_max_pools} pools / {self.cache_max_features} features"
             )
 
     @property

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import PredictionCache
     from repro.core.committee import Committee
     from repro.core.mic import MachineIntelligenceCalibrator
     from repro.data.dataset import DisasterDataset, DisasterImage
@@ -466,6 +467,12 @@ class ModelGuard:
     training pool) or directly with a pre-built holdout dataset.
     """
 
+    #: Shared prediction cache; set by the system so holdout scoring
+    #: reuses (and primes) the same per-version votes as the committee.
+    #: Class-level default so guards unpickled from pre-cache checkpoints
+    #: keep working (uncached).
+    cache: "PredictionCache | None" = None
+
     def __init__(
         self,
         policy: GuardPolicy,
@@ -661,8 +668,19 @@ class ModelGuard:
     # -- regression-gated retraining -------------------------------------
 
     def holdout_accuracy(self, expert) -> float:
-        """An expert's accuracy on the reserved golden holdout slice."""
-        predicted = expert.predict(self.holdout)
+        """An expert's accuracy on the reserved golden holdout slice.
+
+        With a shared cache attached the expert's holdout votes are
+        computed at most once per model version — this method is called up
+        to three times per expert per cycle (quarantine scoring, incumbent
+        scoring, candidate scoring) and all but the candidate call see the
+        incumbent's parameters.
+        """
+        cache = getattr(self, "cache", None)
+        if cache is not None:
+            predicted = np.argmax(cache.predict_proba(expert, self.holdout), axis=1)
+        else:
+            predicted = expert.predict(self.holdout)
         return float(np.mean(predicted == self.holdout.labels()))
 
     def snapshot_ring(self, index: int) -> SnapshotRing:
@@ -715,8 +733,20 @@ class ModelGuard:
             counters.sentinel_failures += failures - before[2]
         if not gate:
             return
+        cache = getattr(self, "cache", None)
         for m in range(self.n_experts):
             candidate = self.holdout_accuracy(committee.experts[m])
             if candidate < incumbent_accuracy[m] - self.policy.regression_tolerance:
-                committee.experts[m] = self._rings[m].restore_latest()
+                restored = self._rings[m].restore_latest()
+                committee.experts[m] = restored
                 counters.rollbacks += 1
+                if cache is not None:
+                    # The restored expert carries the snapshot's (older)
+                    # version, so the incumbent's cached votes stay valid;
+                    # the discarded candidate's entries must go, and the
+                    # unpickled expert needs the shared store re-attached
+                    # (pickling intentionally drops cache contents).
+                    restored.attach_cache(cache)
+                    cache.invalidate_expert(
+                        restored.name, keep_version=restored.model_version
+                    )

@@ -62,16 +62,30 @@ class QuerySetSelector:
             )
         if query_size == 0:
             return np.empty(0, dtype=np.int64)
-        # s_list: indices sorted by entropy, highest first.
-        remaining = list(np.argsort(-committee_entropy, kind="stable"))
-        selected: list[int] = []
-        for _ in range(query_size):
-            if rng.random() < self.epsilon and len(remaining) > 1:
-                pick = int(rng.integers(len(remaining)))
+        # s_list: indices sorted by entropy, highest first.  Selection uses
+        # an alive-mask over the sorted ranks instead of popping from a
+        # Python list (which is O(n) per slot): the greedy path advances a
+        # head pointer, the exploration path indexes the k-th alive rank.
+        # The RNG draw sequence is exactly the historical one — one
+        # ``random()`` per slot, plus one ``integers(n_alive)`` only when
+        # exploring with more than one sample left — so selections are
+        # bit-identical to the list-based implementation.
+        order = np.argsort(-committee_entropy, kind="stable")
+        alive = np.ones(n, dtype=bool)
+        head = 0
+        n_alive = n
+        selected = np.empty(query_size, dtype=np.int64)
+        for slot in range(query_size):
+            if rng.random() < self.epsilon and n_alive > 1:
+                rank = int(np.flatnonzero(alive)[rng.integers(n_alive)])
             else:
-                pick = 0
-            selected.append(int(remaining.pop(pick)))
-        return np.array(selected, dtype=np.int64)
+                while not alive[head]:
+                    head += 1
+                rank = head
+            alive[rank] = False
+            n_alive -= 1
+            selected[slot] = order[rank]
+        return selected
 
 
 class AdaptiveQuerySetSelector(QuerySetSelector):

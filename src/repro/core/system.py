@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bandit.budget import BudgetExhausted, BudgetLedger
+from repro.core.cache import PredictionCache
 from repro.core.committee import Committee
 from repro.core.config import CrowdLearnConfig
 from repro.core.cqc import CrowdQualityControl
@@ -67,15 +68,30 @@ class RunOutcome:
         self.cycles.append(outcome)
 
     def y_true(self) -> np.ndarray:
-        """Ground-truth labels over all cycles, in stream order."""
+        """Ground-truth labels over all cycles, in stream order.
+
+        An outcome with no cycles yields an empty label array (matching
+        :meth:`weight_trace`'s convention) rather than the ``ValueError``
+        ``np.concatenate`` raises on an empty list.
+        """
+        if not self.cycles:
+            return np.empty(0, dtype=np.int64)
         return np.concatenate([c.true_labels for c in self.cycles])
 
     def y_pred(self) -> np.ndarray:
-        """Final labels over all cycles, in stream order."""
+        """Final labels over all cycles, in stream order (empty if no cycles)."""
+        if not self.cycles:
+            return np.empty(0, dtype=np.int64)
         return np.concatenate([c.final_labels for c in self.cycles])
 
     def scores(self) -> np.ndarray:
-        """Final per-class scores over all cycles (for ROC curves)."""
+        """Final per-class scores over all cycles (for ROC curves).
+
+        Shape ``(0, 0)`` when the run has no cycles — the class count is
+        unknowable without at least one cycle's score matrix.
+        """
+        if not self.cycles:
+            return np.empty((0, 0))
         return np.concatenate([c.final_scores for c in self.cycles])
 
     def mean_crowd_delay(self) -> float:
@@ -160,6 +176,7 @@ class CrowdLearnSystem:
         resilience: ResiliencePolicy | None = None,
         guards: ModelGuard | None = None,
         telemetry: Telemetry | None = None,
+        cache: PredictionCache | None = None,
     ) -> None:
         self.committee = committee
         self.platform = platform
@@ -180,6 +197,14 @@ class CrowdLearnSystem:
         #: uninstrumented path is unchanged.  Attached telemetry travels
         #: with checkpoints, keeping a resumed run's history.
         self.telemetry = telemetry
+        #: Shared prediction/feature cache; ``None`` computes every vote
+        #: directly (the historical loop).  Results are bit-identical
+        #: either way — the cache only removes redundant inference.
+        self.cache = cache
+        if cache is not None:
+            self.committee.attach_cache(cache)
+            if self.guards is not None:
+                self.guards.cache = cache
 
     def _telemetry(self) -> Telemetry:
         return self.telemetry if self.telemetry is not None else get_telemetry()
@@ -196,6 +221,7 @@ class CrowdLearnSystem:
         resilience: ResiliencePolicy | None = None,
         guards: ModelGuard | GuardPolicy | None = None,
         telemetry: Telemetry | None = None,
+        cache: PredictionCache | None = None,
     ) -> "CrowdLearnSystem":
         """Assemble and pre-train the full system as the paper deploys it.
 
@@ -277,6 +303,11 @@ class CrowdLearnSystem:
                 if policy.enabled
                 else None
             )
+        if cache is None and config.cache_enabled:
+            cache = PredictionCache(
+                max_pools=config.cache_max_pools,
+                max_features=config.cache_max_features,
+            )
         return cls(
             committee=committee,
             platform=platform,
@@ -291,6 +322,7 @@ class CrowdLearnSystem:
             resilience=resilience,
             guards=guards,
             telemetry=telemetry,
+            cache=cache,
         )
 
     def _post_with_retries(
@@ -391,6 +423,17 @@ class CrowdLearnSystem:
             guard.rebind(self.committee.n_experts)
         gcounters = GuardCounters()
         mask = guard.active_mask() if guard is not None else None
+        # getattr: systems unpickled from pre-cache checkpoints lack the
+        # attribute; they simply keep running uncached.
+        cache = getattr(self, "cache", None)
+        if cache is not None:
+            if self.committee.cache is not cache:
+                # A new committee was swapped in (or experts replaced
+                # wholesale): route its votes through the shared cache too.
+                self.committee.attach_cache(cache)
+            if guard is not None and getattr(guard, "cache", None) is not cache:
+                guard.cache = cache
+        cache_stats_before = cache.stats() if cache is not None else None
 
         # ① committee votes and query selection (quarantined members, if
         # any, are excluded from the uncertainty estimate via ``mask``).
@@ -581,6 +624,17 @@ class CrowdLearnSystem:
                     {f"{k}_total": v for k, v in gcounters.as_dict().items()},
                     prefix="guard_",
                     help="guard interventions (see repro.core.guards)",
+                )
+            if cache_stats_before is not None:
+                after = cache.stats()
+                tel.merge_counters(
+                    {
+                        f"{k}_total": after[k] - v
+                        for k, v in cache_stats_before.items()
+                    },
+                    prefix="cache_",
+                    help="prediction/feature cache activity "
+                    "(see repro.core.cache)",
                 )
         return CycleOutcome(
             cycle_index=cycle.index,

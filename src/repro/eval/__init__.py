@@ -8,8 +8,16 @@ from repro.eval.baselines import (
     Scheme,
     SchemeResult,
 )
+from repro.eval.bench import render_bench, run_bench, write_bench
 from repro.eval.delay_model import AlgorithmDelayModel
 from repro.eval.diagnostics import ArchetypeDiagnosis, FailureReport, diagnose
+from repro.eval.parallel import (
+    ArmResult,
+    ArmSpec,
+    chaos_arm,
+    run_arms,
+    run_chaos_arms,
+)
 from repro.eval.persistence import (
     cycle_outcome_from_dict,
     cycle_outcome_to_dict,
@@ -38,6 +46,14 @@ from repro.eval.runner import (
 )
 
 __all__ = [
+    "ArmResult",
+    "ArmSpec",
+    "chaos_arm",
+    "run_arms",
+    "run_chaos_arms",
+    "render_bench",
+    "run_bench",
+    "write_bench",
     "AIOnlyScheme",
     "EnsembleScheme",
     "HybridALScheme",

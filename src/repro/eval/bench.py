@@ -1,0 +1,186 @@
+"""Benchmark harness for the closed loop (``repro bench``).
+
+Times one full CrowdLearn deployment with telemetry spans enabled and
+aggregates per-stage wall time, then micro-benchmarks the committee-vote
+hot path cached vs uncached on a fixed image pool.  Results are written to
+``BENCH_cycle.json`` so CI can archive them and assert the shared
+:class:`~repro.core.cache.PredictionCache` never makes the vote stage
+slower than computing votes from scratch.
+
+Wall-clock numbers are machine-dependent; everything else in the report
+(cycle counts, cache hit/miss totals, speedup *direction*) is
+deterministic given the seed.  Timings use best-of-``repeats`` so a single
+scheduler hiccup cannot fail the CI check.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.cache import PredictionCache
+from repro.telemetry.runtime import Telemetry, use_telemetry
+from repro.telemetry.tracing import aggregate_spans
+
+__all__ = ["run_bench", "write_bench", "render_bench", "DEFAULT_OUTPUT"]
+
+#: Default artifact path, relative to the working directory.
+DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_cycle.json")
+
+#: Pool size for the committee-vote micro-benchmark (small enough that the
+#: uncached arm stays fast, large enough that encoding dominates overhead).
+_VOTE_POOL_SIZE = 48
+
+
+def _stage_table(spans) -> dict[str, dict[str, float]]:
+    """Per-stage wall-time aggregates, insertion-ordered by first finish."""
+    return {
+        name: {
+            "count": stats.count,
+            "total_seconds": stats.total_seconds,
+            "mean_seconds": stats.mean_seconds,
+            "min_seconds": stats.min_seconds,
+            "max_seconds": stats.max_seconds,
+        }
+        for name, stats in aggregate_spans(spans).items()
+    }
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best (minimum) wall seconds of ``repeats`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _vote_benchmark(setup, repeats: int) -> dict[str, Any]:
+    """Time ``Committee.expert_votes`` on a fixed pool, cached vs uncached.
+
+    The uncached arm detaches the cache so every call recomputes each
+    expert's predictions; the cached arm attaches a fresh
+    :class:`PredictionCache`, warms it with one call, then times pure
+    cache hits — the steady state ``run_cycle`` reaches after the first
+    call site per (model version, pool).
+    """
+    committee = setup.clone_committee()
+    pool = setup.test_set.subset(
+        list(range(min(_VOTE_POOL_SIZE, len(setup.test_set))))
+    )
+
+    committee.attach_cache(None)
+    uncached = _best_of(repeats, lambda: committee.expert_votes(pool))
+
+    cache = PredictionCache()
+    committee.attach_cache(cache)
+    committee.expert_votes(pool)  # warm: one compute per expert
+    cached = _best_of(repeats, lambda: committee.expert_votes(pool))
+    committee.attach_cache(None)
+
+    return {
+        "pool_size": len(pool),
+        "repeats": repeats,
+        "uncached_best_seconds": uncached,
+        "cached_best_seconds": cached,
+        "speedup": uncached / cached if cached > 0 else float("inf"),
+        "cache": cache.stats(),
+    }
+
+
+def run_bench(
+    seed: int = 0, fast: bool = True, repeats: int = 3
+) -> dict[str, Any]:
+    """Benchmark one deployment; returns a JSON-safe report.
+
+    The report has three sections: ``loop`` (a full instrumented run with
+    per-stage span aggregates and end-of-run cache statistics),
+    ``committee_vote`` (the cached-vs-uncached micro-benchmark) and
+    ``meta`` (seed, scale, interpreter — enough to compare artifacts
+    across CI runs).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    from repro.eval.runner import build_crowdlearn, prepare
+    from repro.metrics import macro_f1
+
+    setup = prepare(seed=seed, fast=fast)
+
+    telemetry = Telemetry()
+    system = build_crowdlearn(setup, platform_name="bench", telemetry=telemetry)
+    started = time.perf_counter()
+    with use_telemetry(telemetry):
+        outcome = system.run(setup.make_stream("bench"))
+    wall_seconds = time.perf_counter() - started
+
+    cache = system.cache
+    y_true, y_pred = outcome.y_true(), outcome.y_pred()
+    report = {
+        "meta": {
+            "seed": seed,
+            "fast": fast,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "loop": {
+            "cycles": len(outcome.cycles),
+            "wall_seconds": wall_seconds,
+            "macro_f1": float(macro_f1(y_true, y_pred)) if len(y_true) else 0.0,
+            "stages": _stage_table(telemetry.tracer.spans),
+            "cache": cache.stats() if cache is not None else {},
+        },
+        "committee_vote": _vote_benchmark(setup, repeats),
+    }
+    return report
+
+
+def write_bench(report: dict[str, Any], path: Path | str = DEFAULT_OUTPUT) -> Path:
+    """Write the report as pretty-printed JSON, creating parent dirs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_bench(report: dict[str, Any]) -> str:
+    """Human-readable summary of a :func:`run_bench` report."""
+    loop = report["loop"]
+    vote = report["committee_vote"]
+    lines = [
+        f"closed loop: {loop['cycles']} cycles in {loop['wall_seconds']:.2f}s "
+        f"(macro-F1 {loop['macro_f1']:.3f})",
+        "",
+        f"{'stage':<28}{'count':>6}{'total s':>10}{'mean ms':>10}",
+    ]
+    for name, stats in sorted(
+        loop["stages"].items(), key=lambda kv: -kv[1]["total_seconds"]
+    ):
+        lines.append(
+            f"{name:<28}{stats['count']:>6}"
+            f"{stats['total_seconds']:>10.3f}"
+            f"{stats['mean_seconds'] * 1e3:>10.2f}"
+        )
+    cache = loop.get("cache", {})
+    if cache:
+        lines += [
+            "",
+            "cache: "
+            f"{cache.get('prediction_hits', 0)} prediction hits / "
+            f"{cache.get('prediction_misses', 0)} misses, "
+            f"{cache.get('prediction_invalidations', 0)} invalidations; "
+            f"{cache.get('feature_hits', 0)} feature hits / "
+            f"{cache.get('feature_misses', 0)} misses",
+        ]
+    lines += [
+        "",
+        f"committee vote ({vote['pool_size']} images, "
+        f"best of {vote['repeats']}): "
+        f"uncached {vote['uncached_best_seconds'] * 1e3:.2f}ms, "
+        f"cached {vote['cached_best_seconds'] * 1e3:.2f}ms "
+        f"({vote['speedup']:.0f}x)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Parallel execution of independent experiment arms.
+
+Experiment drivers like the chaos sweep run several *arms* — one fault
+intensity, one scheme, one policy — that share nothing at runtime: each arm
+builds its own world from ``(seed, arm name)`` through the
+:class:`~repro.utils.rng.SeedSequencer`, so arms are embarrassingly
+parallel.  :func:`run_arms` executes a list of :class:`ArmSpec` across
+worker processes (or serially, which must produce identical results — the
+test suite asserts it) and collects each arm's return value plus its
+telemetry counters.
+
+Design constraints:
+
+- **Arm functions must be module-level** (picklable by reference).  An
+  :class:`ArmSpec` carries the function plus keyword arguments; everything
+  an arm needs is rebuilt inside the worker from those arguments.
+- **Only counters are compared across runs.**  Each arm runs under a fresh
+  :class:`~repro.telemetry.runtime.Telemetry`; its counter values are
+  deterministic functions of the arm's seed, while span-duration histograms
+  are wall-time measurements and therefore excluded from
+  :attr:`ArmResult.telemetry`.
+- **Failures are data, not crashes.**  An arm that raises produces an
+  :class:`ArmResult` with ``error`` set to the traceback; the other arms
+  complete normally.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crowd.faults import FaultInjector
+from repro.telemetry.runtime import Telemetry, use_telemetry
+
+__all__ = [
+    "ArmSpec",
+    "ArmResult",
+    "run_arms",
+    "chaos_arm",
+    "run_chaos_arms",
+]
+
+
+@dataclass(frozen=True)
+class ArmSpec:
+    """One independent experiment arm: a module-level callable + kwargs."""
+
+    name: str
+    runner: Callable[..., Any]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("arm name must be non-empty")
+        if not callable(self.runner):
+            raise TypeError(f"runner for arm {self.name!r} is not callable")
+
+
+@dataclass(frozen=True)
+class ArmResult:
+    """What one arm produced.
+
+    ``result`` is the runner's return value (``None`` on failure),
+    ``telemetry`` maps counter names (with label suffixes) to values from
+    the arm's private registry, and ``error`` carries the formatted
+    traceback when the runner raised.
+    """
+
+    name: str
+    result: Any = None
+    telemetry: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _counter_values(telemetry: Telemetry) -> dict[str, float]:
+    """Counter name (+ label suffix) -> value, sorted for stable equality."""
+    values = {
+        instrument.name + instrument.label_suffix(): instrument.value
+        for instrument in telemetry.registry
+        if instrument.kind == "counter"
+    }
+    return dict(sorted(values.items()))
+
+
+def _execute_arm(spec: ArmSpec) -> ArmResult:
+    """Run one arm under a fresh process-default telemetry.
+
+    Module-level so worker processes can import it by reference; also the
+    serial path, so serial and parallel runs share every instruction.
+    """
+    telemetry = Telemetry()
+    try:
+        with use_telemetry(telemetry):
+            result = spec.runner(**spec.kwargs)
+    except Exception:  # noqa: BLE001 - failures become data
+        return ArmResult(
+            name=spec.name,
+            telemetry=_counter_values(telemetry),
+            error=traceback.format_exc(),
+        )
+    return ArmResult(
+        name=spec.name, result=result, telemetry=_counter_values(telemetry)
+    )
+
+
+def run_arms(
+    specs: list[ArmSpec], max_workers: int | None = None
+) -> list[ArmResult]:
+    """Execute ``specs`` and return their results in spec order.
+
+    ``max_workers`` caps the worker-process pool; ``None`` uses one worker
+    per arm, and values <= 1 run serially in-process.  Results are ordered
+    by spec, not by completion, so callers can zip them with their specs.
+    """
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"arm names must be unique, got {names}")
+    if not specs:
+        return []
+    if max_workers is None:
+        max_workers = len(specs)
+    if max_workers <= 1:
+        return [_execute_arm(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(specs))) as pool:
+        return list(pool.map(_execute_arm, specs))
+
+
+# ---------------------------------------------------------------------------
+# A self-contained chaos arm (the parallel twin of run_chaos's sweep body)
+# ---------------------------------------------------------------------------
+
+
+def chaos_arm(
+    seed: int, intensity: float, fast: bool = True
+) -> dict[str, float]:
+    """Run the resilient CrowdLearn loop at one chaos intensity.
+
+    Self-contained: builds the evaluation world from ``seed`` inside the
+    (possibly worker) process, scales the default fault plan by
+    ``intensity`` and runs the full deployment.  Seeding matches
+    :func:`repro.eval.experiments.chaos.run_chaos`'s per-intensity naming
+    scheme prefixed with ``chaos-arm``, so arms never share RNG streams.
+    """
+    from repro.eval.experiments.chaos import _metrics, default_chaos_plan
+    from repro.eval.runner import build_crowdlearn, prepare
+
+    setup = prepare(seed=seed, fast=fast)
+    tag = f"chaos-arm-{intensity:.2f}"
+    plan = default_chaos_plan(setup).scaled(intensity)
+    faults = FaultInjector(plan, rng=setup.seeds.get(f"{tag}-faults"))
+    system = build_crowdlearn(
+        setup, faults=faults, platform_name=f"{tag}-resilient"
+    )
+    outcome = system.run(setup.make_stream(f"{tag}-resilient"))
+    f1, delay, n_cycles = _metrics(outcome)
+    resilience = outcome.resilience_totals()
+    return {
+        "intensity": float(intensity),
+        "macro_f1": float(f1),
+        "mean_crowd_delay": float(delay),
+        "cycles_completed": int(n_cycles),
+        "fault_events": int(faults.total_events()),
+        "retries": float(resilience.retries),
+        "dropped_queries": float(resilience.dropped_queries),
+        "refunds": float(resilience.refunds),
+        "cost_cents": float(outcome.total_cost_cents()),
+    }
+
+
+def run_chaos_arms(
+    seed: int = 0,
+    intensities: tuple[float, ...] = (0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0),
+    fast: bool = True,
+    max_workers: int | None = None,
+) -> list[ArmResult]:
+    """Run one :func:`chaos_arm` per intensity, optionally in parallel.
+
+    With ``max_workers <= 1`` the arms run serially in-process; either way
+    the per-arm results are identical, because every arm derives all of
+    its randomness from ``(seed, intensity)`` alone.
+    """
+    specs = [
+        ArmSpec(
+            name=f"chaos-arm-{intensity:.2f}",
+            runner=chaos_arm,
+            kwargs={"seed": seed, "intensity": intensity, "fast": fast},
+        )
+        for intensity in intensities
+    ]
+    return run_arms(specs, max_workers=max_workers)

@@ -10,6 +10,8 @@ from repro.metrics.classification import (
     macro_recall,
 )
 from repro.metrics.information import (
+    batch_entropy,
+    batch_normalized_entropy,
     bounded_divergence,
     entropy,
     kl_divergence,
@@ -26,6 +28,8 @@ __all__ = [
     "macro_f1",
     "macro_precision",
     "macro_recall",
+    "batch_entropy",
+    "batch_normalized_entropy",
     "bounded_divergence",
     "entropy",
     "kl_divergence",

@@ -12,6 +12,8 @@ import numpy as np
 __all__ = [
     "entropy",
     "normalized_entropy",
+    "batch_entropy",
+    "batch_normalized_entropy",
     "kl_divergence",
     "symmetric_kl",
     "bounded_divergence",
@@ -53,6 +55,50 @@ def normalized_entropy(probs: np.ndarray) -> float:
         return 0.0
     return entropy(p) / float(np.log(p.size))
 
+
+def _as_distribution_rows(probs: np.ndarray, name: str) -> np.ndarray:
+    """Row-wise :func:`_as_distribution` for an ``(n, k)`` array."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n, k), got shape {probs.shape}")
+    if probs.shape[1] == 0:
+        raise ValueError(f"{name} rows must be non-empty")
+    if np.any(probs < 0):
+        raise ValueError(f"{name} has negative entries")
+    totals = probs.sum(axis=1, keepdims=True)
+    if np.any(totals <= 0):
+        raise ValueError(f"{name} rows must have positive mass")
+    return probs / totals
+
+def batch_entropy(probs: np.ndarray, base: float | None = None) -> np.ndarray:
+    """Row-wise Shannon entropy of an ``(n, k)`` array, shape ``(n,)``.
+
+    The vectorized form of :func:`entropy`, used on the committee's hot
+    path (Eq. 3 over the whole image pool).  For the committee's small
+    ``k`` the result is bit-identical to looping :func:`entropy` over the
+    rows: each row is normalized by its own sum exactly as the scalar
+    path does, sub-epsilon entries contribute an exact ``0.0`` (adding
+    zeros to an IEEE sum of negative terms never changes it), and the
+    row-axis reduction of a contiguous array matches the 1-D reduction.
+    """
+    p = _as_distribution_rows(probs, "probs")
+    # Guard the log's domain with 1.0 where p is (near) zero; the masked
+    # positions contribute exactly 0.0, mirroring the scalar filtering.
+    safe = np.where(p > _EPS, p, 1.0)
+    contributions = np.where(p > _EPS, p * np.log(safe), 0.0)
+    values = -contributions.sum(axis=1)
+    if base is not None:
+        values = values / float(np.log(base))
+    return values
+
+def batch_normalized_entropy(probs: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`normalized_entropy` of an ``(n, k)`` array."""
+    p = _as_distribution_rows(probs, "probs")
+    if p.shape[1] == 1:
+        return np.zeros(p.shape[0])
+    # Mirror the scalar path exactly: normalize once here, then let
+    # batch_entropy renormalize the already-normalized rows.
+    return batch_entropy(p) / float(np.log(p.shape[1]))
 
 def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
     """KL(p || q) with epsilon smoothing so zero entries stay finite."""

@@ -8,10 +8,16 @@ expert, as in Table II.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from repro.core.cache import BoundedCache
 from repro.data.dataset import DisasterDataset
-from repro.models.base import DDAModel
+from repro.models.base import DDAModel, next_model_version
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import PredictionCache
 from repro.nn.layers import Dense, ReLU
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential
@@ -46,6 +52,7 @@ class BoVWModel(DDAModel):
         batch_size: int = 32,
         include_global: bool = False,
         include_intensity: bool = True,
+        feature_cache_size: int = 4096,
     ) -> None:
         # Pure visual-word histograms by default: global HOG/color features
         # make the handcrafted baseline uncharacteristically strong on
@@ -61,7 +68,36 @@ class BoVWModel(DDAModel):
         self.batch_size = batch_size
         self.model: Sequential | None = None
         self._trainer: Trainer | None = None
-        self._feature_cache: dict[int, np.ndarray] = {}
+        if feature_cache_size <= 0:
+            raise ValueError(
+                f"feature_cache_size must be positive, got {feature_cache_size}"
+            )
+        self.feature_cache_size = feature_cache_size
+        # Bounded LRU store keyed (feature_version, image_id); replaced by
+        # the shared PredictionCache store via attach_cache when a system
+        # routes experts through one.
+        self._feature_cache: BoundedCache = BoundedCache(feature_cache_size)
+        #: Backing field of :attr:`feature_version` (0 = not yet assigned).
+        self._feature_version: int = 0
+
+    @property
+    def feature_version(self) -> int:
+        """Version of the encoder codebook the cached features came from.
+
+        Bumped on :meth:`fit` only: :meth:`retrain` fine-tunes the MLP
+        head with the codebook frozen, so per-image features stay valid
+        across retrains (that is the whole point of caching them).
+        """
+        if self._feature_version == 0:
+            self._feature_version = next_model_version()
+        return self._feature_version
+
+    def attach_cache(self, cache: "PredictionCache | None") -> None:
+        """Host per-image features in the shared cache's bounded store."""
+        if cache is None:
+            self._feature_cache = BoundedCache(self.feature_cache_size)
+        else:
+            self._feature_cache = cache.features
 
     def _features(self, dataset: DisasterDataset) -> np.ndarray:
         """Encode (and memoize by image id) the dataset's BoVW features.
@@ -71,21 +107,37 @@ class BoVWModel(DDAModel):
         global cue in the spirit of classical BoVW pipelines' color
         channels.
         """
-        rows = []
+        store = self._feature_cache
+        version = self.feature_version
+        rows: list[np.ndarray | None] = []
+        misses: list[tuple[int, "object"]] = []
         for image in dataset:
-            cached = self._feature_cache.get(image.image_id)
+            key = (version, image.image_id)
+            cached = store.get(key)
+            rows.append(cached)
             if cached is None:
-                cached = self.encoder.encode(image.pixels)
+                misses.append((len(rows) - 1, image))
+        if misses:
+            # All misses are encoded in one vectorized pass (bit-identical
+            # to per-image encoding; see BoVWEncoder.encode_batch).
+            encoded = self.encoder.encode_batch(
+                np.stack([image.pixels for _, image in misses])
+            )
+            for (position, image), features in zip(misses, encoded):
+                features = np.ascontiguousarray(features)
                 if self.include_intensity:
                     intensity = grayscale_histogram(image.pixels, n_bins=8)
-                    cached = np.concatenate([cached, intensity])
-                self._feature_cache[image.image_id] = cached
-            rows.append(cached)
+                    features = np.concatenate([features, intensity])
+                store.put((version, image.image_id), features)
+                rows[position] = features
         return np.stack(rows)
 
     def fit(self, dataset: DisasterDataset, rng: np.random.Generator) -> "BoVWModel":
         self.encoder.fit(dataset.pixels_hwc(), rng)
-        self._feature_cache.clear()
+        # A new codebook obsoletes every cached feature: bumping the
+        # version (instead of clearing a store other experts may share)
+        # makes the old entries unreachable; LRU reclaims them.
+        self._feature_version = next_model_version(self._feature_version)
         features = self._features(dataset)
         self.model = Sequential(
             [
@@ -105,6 +157,7 @@ class BoVWModel(DDAModel):
         self._trainer.fit(features, dataset.labels(), epochs=self.epochs)
         # Later retraining is fine-tuning: use a reduced step size.
         self._trainer.optimizer.lr = self.lr * 0.25
+        self.bump_version()
         return self
 
     def predict_proba(self, dataset: DisasterDataset) -> np.ndarray:
@@ -125,4 +178,5 @@ class BoVWModel(DDAModel):
         del rng
         features = self._features(dataset)
         self._trainer.fit(features, labels, epochs=self.retrain_epochs)
+        self.bump_version()
         return self

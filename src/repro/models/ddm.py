@@ -121,6 +121,7 @@ class DDMModel(DDAModel):
         # Later retraining is fine-tuning: use reduced step sizes.
         self._backbone_trainer.optimizer.lr = self.lr * 0.25
         self._head_trainer.optimizer.lr = 0.05 * 0.25
+        self.bump_version()
         return self
 
     def predict_proba(self, dataset: DisasterDataset) -> np.ndarray:
@@ -153,4 +154,5 @@ class DDMModel(DDAModel):
         self._head_trainer.fit(
             self._head_features(x), labels, epochs=max(self.retrain_epochs * 2, 2)
         )
+        self.bump_version()
         return self

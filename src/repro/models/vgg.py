@@ -99,6 +99,7 @@ class VGGModel(DDAModel):
         # Later retraining is fine-tuning: drop the step size so small crowd
         # batches adjust the decision boundary without destabilizing it.
         self._trainer.optimizer.lr = self.lr * 0.25
+        self.bump_version()
         return self
 
     def predict_proba(self, dataset: DisasterDataset) -> np.ndarray:
@@ -119,4 +120,5 @@ class VGGModel(DDAModel):
         del rng  # shuffling reuses the trainer's generator for determinism
         x = dataset.pixels_nchw()
         self._trainer.fit(x, labels, epochs=self.retrain_epochs)
+        self.bump_version()
         return self

@@ -67,6 +67,15 @@ class SeedSequencer:
         self._issued[name] = seed
         return np.random.default_rng(seed)
 
+    def seed_for(self, name: str) -> int:
+        """The integer seed ``name`` maps to, without issuing a generator.
+
+        Lets out-of-process workers (see :mod:`repro.eval.parallel`) derive
+        the exact seed a name would get here and reconstruct the generator
+        on their side of the process boundary.
+        """
+        return self._seed_for(name)
+
     def issued(self) -> dict[str, int]:
         """Mapping of names to derived seeds issued so far (for audit logs)."""
         return dict(self._issued)

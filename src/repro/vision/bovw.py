@@ -11,9 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.vision.histograms import color_histogram
-from repro.vision.hog import hog_descriptor
+from repro.vision.hog import hog_descriptor, hog_descriptor_batch
 from repro.vision.kmeans import KMeans
-from repro.vision.patches import describe_image_patches
+from repro.vision.patches import (
+    dense_patches,
+    describe_image_patches,
+    describe_patches,
+)
 
 __all__ = ["BoVWEncoder"]
 
@@ -91,8 +95,38 @@ class BoVWEncoder:
         return np.concatenate([hist, hog, colors])
 
     def encode_batch(self, images: np.ndarray) -> np.ndarray:
-        """Encode a batch of images, shape ``(n, feature_dim)``."""
-        return np.stack([self.encode(img) for img in images])
+        """Encode a batch of same-shape images, shape ``(n, feature_dim)``.
+
+        Patch descriptors for the whole batch are computed in one
+        vectorized pass (the hot path); visual-word assignment stays per
+        image so the k-means matmul sees the exact per-image operand
+        shapes of :meth:`encode`, keeping every row bit-identical to
+        encoding that image alone.
+        """
+        if self._kmeans is None:
+            raise RuntimeError("BoVWEncoder.encode_batch called before fit")
+        images = np.asarray(images, dtype=np.float64)
+        n = images.shape[0]
+        if n == 0:
+            dim = self.feature_dim
+            return np.empty((0, dim if dim is not None else 0))
+        patches = np.stack(
+            [dense_patches(img, self.patch_size, self.stride) for img in images]
+        )
+        descriptors = describe_patches(patches.reshape(-1, *patches.shape[2:]))
+        per_image = descriptors.reshape(n, patches.shape[1], -1)
+        hists = np.empty((n, self.vocabulary_size))
+        for i in range(n):
+            words = self._kmeans.predict(per_image[i])
+            hist = np.bincount(words, minlength=self.vocabulary_size).astype(
+                np.float64
+            )
+            hists[i] = hist / max(hist.sum(), 1.0)
+        if not self.include_global:
+            return hists
+        hogs = hog_descriptor_batch(images, cell_size=8, n_bins=9, block_size=2)
+        colors = np.stack([color_histogram(img, n_bins=8) for img in images])
+        return np.concatenate([hists, hogs, colors], axis=1)
 
     @property
     def feature_dim(self) -> int | None:

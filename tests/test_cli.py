@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "run", "pilot", "table1", "table2", "fig8", "fig9",
-            "budget", "chaos", "diagnose", "trace",
+            "budget", "chaos", "diagnose", "trace", "bench",
         ):
             args = parser.parse_args([command, "--seed", "5"])
             assert args.seed == 5
@@ -87,3 +87,29 @@ class TestCommands:
 
         assert main(["trace", "--seed", "61"]) == 0
         assert get_telemetry() is NULL_TELEMETRY
+
+    def test_bench(self, capsys, tmp_path):
+        import json
+
+        artifact = tmp_path / "BENCH_cycle.json"
+        assert main([
+            "bench", "--seed", "61", "--check",
+            "--output", str(artifact), "--repeats", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "closed loop:" in out
+        assert "committee vote" in out
+        report = json.loads(artifact.read_text())
+        assert report["loop"]["cycles"] > 0
+        assert "cycle.committee" in report["loop"]["stages"]
+        vote = report["committee_vote"]
+        assert vote["cached_best_seconds"] <= vote["uncached_best_seconds"]
+
+    def test_bench_rejects_fast_and_full(self, capsys):
+        assert main(["bench", "--fast", "--full"]) == 2
+
+    def test_chaos_workers(self, capsys):
+        assert main(["chaos", "--seed", "61", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos-arm-0.00" in out
+        assert "macro-F1" in out

@@ -1,0 +1,166 @@
+"""Tests for repro.core.cache — the shared prediction/feature cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.cache import BoundedCache, PredictionCache, pool_key
+from repro.data.dataset import build_dataset
+
+
+class _FakeExpert:
+    """A predict-counting stand-in for a committee expert."""
+
+    def __init__(self, name: str = "fake", n_classes: int = 3) -> None:
+        self.name = name
+        self.n_classes = n_classes
+        self.model_version = 1
+        self.calls = 0
+
+    def predict_proba(self, dataset) -> np.ndarray:
+        self.calls += 1
+        n = len(dataset)
+        return np.full((n, self.n_classes), 1.0 / self.n_classes)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(n_images=12, rng=np.random.default_rng(0))
+
+
+class TestPoolKey:
+    def test_is_image_id_tuple(self, dataset):
+        key = pool_key(dataset)
+        assert key == tuple(img.image_id for img in dataset)
+
+    def test_distinguishes_subsets(self, dataset):
+        assert pool_key(dataset.subset([0, 1])) != pool_key(dataset.subset([1, 0]))
+        assert pool_key(dataset.subset([0, 1])) != pool_key(dataset.subset([0, 2]))
+
+    def test_hashable_and_stable(self, dataset):
+        assert hash(pool_key(dataset)) == hash(pool_key(dataset))
+
+
+class TestBoundedCache:
+    def test_get_put_roundtrip(self):
+        cache = BoundedCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert cache.get("missing") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedCache(0)
+
+    def test_lru_eviction_order(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_size_never_exceeds_capacity(self):
+        cache = BoundedCache(8)
+        for i in range(100):
+            cache.put(i, i)
+            assert len(cache) <= 8
+        assert cache.stats.evictions == 92
+
+    def test_invalidate_by_predicate(self):
+        cache = BoundedCache(8)
+        for i in range(6):
+            cache.put(("expert", i), i)
+        dropped = cache.invalidate(lambda key: key[1] % 2 == 0)
+        assert dropped == 3
+        assert len(cache) == 3
+        assert cache.stats.invalidations == 3
+
+    def test_stats_track_hits_and_misses(self):
+        cache = BoundedCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_pickle_drops_entries(self):
+        cache = BoundedCache(4)
+        cache.put("a", np.arange(3))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0
+        assert clone.capacity == 4
+        # The original is untouched; the clone works as a fresh store.
+        assert cache.get("a") is not None
+        clone.put("b", 2)
+        assert clone.get("b") == 2
+
+
+class TestPredictionCache:
+    def test_miss_computes_then_hit_serves(self, dataset):
+        cache = PredictionCache()
+        expert = _FakeExpert()
+        first = cache.predict_proba(expert, dataset)
+        second = cache.predict_proba(expert, dataset)
+        assert expert.calls == 1
+        np.testing.assert_array_equal(first, second)
+        assert cache.stats()["prediction_hits"] == 1
+        assert cache.stats()["prediction_misses"] == 1
+
+    def test_distinct_pools_are_distinct_entries(self, dataset):
+        cache = PredictionCache()
+        expert = _FakeExpert()
+        cache.predict_proba(expert, dataset.subset([0, 1]))
+        cache.predict_proba(expert, dataset.subset([2, 3]))
+        assert expert.calls == 2
+
+    def test_version_bump_misses(self, dataset):
+        cache = PredictionCache()
+        expert = _FakeExpert()
+        cache.predict_proba(expert, dataset)
+        expert.model_version += 1
+        cache.predict_proba(expert, dataset)
+        assert expert.calls == 2
+
+    def test_stale_versions_dropped_on_miss(self, dataset):
+        cache = PredictionCache()
+        expert = _FakeExpert()
+        cache.predict_proba(expert, dataset)
+        expert.model_version += 1
+        cache.predict_proba(expert, dataset)
+        # The version-1 entry was evicted by the keep_version sweep.
+        assert len(cache.predictions) == 1
+        assert cache.stats()["prediction_invalidations"] == 1
+
+    def test_invalidate_expert_is_per_expert(self, dataset):
+        cache = PredictionCache()
+        a, b = _FakeExpert("a"), _FakeExpert("b")
+        cache.predict_proba(a, dataset)
+        cache.predict_proba(b, dataset)
+        cache.invalidate_expert("a")
+        cache.predict_proba(a, dataset)
+        cache.predict_proba(b, dataset)
+        assert a.calls == 2
+        assert b.calls == 1
+
+    def test_keep_version_spares_current_entries(self, dataset):
+        cache = PredictionCache()
+        expert = _FakeExpert()
+        cache.predict_proba(expert, dataset)
+        cache.invalidate_expert("fake", keep_version=expert.model_version)
+        cache.predict_proba(expert, dataset)
+        assert expert.calls == 1
+
+    def test_counters_exposed_flat(self, dataset):
+        cache = PredictionCache()
+        stats = cache.stats()
+        for field in ("hits", "misses", "evictions", "invalidations"):
+            assert f"prediction_{field}" in stats
+            assert f"feature_{field}" in stats

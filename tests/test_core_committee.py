@@ -131,3 +131,39 @@ class TestCommitteeLifecycle:
         )
         committee.set_weights(np.array([0.0, 1.0]))
         np.testing.assert_array_equal(committee.predict(tiny_dataset), [2, 2, 2, 2])
+
+
+class TestZeroMassVotes:
+    """Regression: a zero-mass row must yield a uniform vote, not NaN."""
+
+    def test_zero_mass_row_falls_back_to_uniform(self, tiny_dataset):
+        committee = Committee(
+            [StubExpert("a", [1, 0, 0]), StubExpert("b", [0, 1, 0])]
+        )
+        votes = [np.tile([0.3, 0.3, 0.4], (4, 1)).copy() for _ in range(2)]
+        votes[0][2] = votes[1][2] = 0.0  # every expert: zero mass on row 2
+        vote = committee.committee_vote(tiny_dataset, votes)
+        assert np.isfinite(vote).all()
+        np.testing.assert_allclose(vote[2], [1 / 3, 1 / 3, 1 / 3])
+        # Rows with mass are untouched by the guard (bit-identical path).
+        np.testing.assert_array_equal(
+            vote[[0, 1, 3]],
+            np.tile([0.3, 0.3, 0.4], (3, 1)) / 1.0,
+        )
+
+    def test_zero_mass_entropy_stays_finite(self, tiny_dataset):
+        """The NaN used to crash entropy() downstream; now it is just log k."""
+        committee = Committee([StubExpert("a", [1, 0, 0])])
+        votes = [np.zeros((4, 3))]
+        entropy = committee.committee_entropy(tiny_dataset, votes)
+        np.testing.assert_allclose(entropy, np.log(3))
+
+    def test_all_zero_expert_masked_out_unaffected(self, tiny_dataset):
+        """A masked zero-mass expert cannot zero the committee's rows."""
+        committee = Committee(
+            [StubExpert("a", [0.0, 0.0, 0.0]), StubExpert("b", [0, 1, 0])]
+        )
+        vote = committee.committee_vote(
+            tiny_dataset, mask=np.array([False, True])
+        )
+        np.testing.assert_allclose(vote, np.tile([0.0, 1.0, 0.0], (4, 1)))

@@ -106,3 +106,34 @@ class TestBudgetExhaustion:
         assert outcome.total_cost_cents() <= 5.0 + 1e-9
         # The system must keep producing labels even with the budget gone.
         assert outcome.y_pred().shape == outcome.y_true().shape
+
+
+class TestEmptyRunOutcome:
+    """Regression: a run with zero cycles must aggregate, not raise.
+
+    ``np.concatenate([])`` raises ``ValueError``, which used to surface
+    from every accessor when e.g. the budget was exhausted before cycle 0
+    or a checkpoint was inspected before its first cycle ran.
+    """
+
+    def test_empty_labels(self):
+        from repro.core.system import RunOutcome
+
+        outcome = RunOutcome()
+        assert outcome.y_true().shape == (0,)
+        assert outcome.y_true().dtype == np.int64
+        assert outcome.y_pred().shape == (0,)
+        assert outcome.y_pred().dtype == np.int64
+
+    def test_empty_scores(self):
+        from repro.core.system import RunOutcome
+
+        assert RunOutcome().scores().shape == (0, 0)
+
+    def test_empty_outcome_roundtrips_through_metrics(self):
+        """The arrays must be concatenable with real cycles' outputs."""
+        from repro.core.system import RunOutcome
+
+        outcome = RunOutcome()
+        merged = np.concatenate([outcome.y_true(), np.array([1, 2])])
+        np.testing.assert_array_equal(merged, [1, 2])

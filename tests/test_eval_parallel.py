@@ -1,0 +1,122 @@
+"""Tests for repro.eval.parallel — the multi-arm experiment runner.
+
+The runner's contract is that parallelism is *invisible*: every arm
+derives all of its randomness from its own arguments, so a worker-pool
+run must return exactly what the serial run returns, in spec order, and
+a crashing arm must surface as data rather than take the pool down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.parallel import ArmResult, ArmSpec, run_arms, run_chaos_arms
+from repro.telemetry.runtime import get_telemetry
+
+
+def _sum_arm(seed: int, n: int = 8) -> dict:
+    """A cheap, fully seed-determined arm that also emits counters."""
+    tel = get_telemetry()
+    tel.counter("arm_runs_total", help="arm invocations").inc()
+    draws = np.random.default_rng(seed).random(n)
+    tel.counter("arm_draws_total", help="random draws consumed").inc(n)
+    return {"seed": seed, "checksum": float(draws.sum())}
+
+
+def _failing_arm(message: str) -> None:
+    raise RuntimeError(message)
+
+
+def _specs(seeds=(11, 12, 13, 14)) -> list[ArmSpec]:
+    return [
+        ArmSpec(name=f"arm-{seed}", runner=_sum_arm, kwargs={"seed": seed})
+        for seed in seeds
+    ]
+
+
+class TestArmSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ArmSpec(name="", runner=_sum_arm)
+
+    def test_non_callable_runner_rejected(self):
+        with pytest.raises(TypeError):
+            ArmSpec(name="arm", runner="not-a-function")
+
+    def test_duplicate_names_rejected(self):
+        specs = [
+            ArmSpec(name="same", runner=_sum_arm, kwargs={"seed": 1}),
+            ArmSpec(name="same", runner=_sum_arm, kwargs={"seed": 2}),
+        ]
+        with pytest.raises(ValueError):
+            run_arms(specs)
+
+    def test_empty_spec_list(self):
+        assert run_arms([]) == []
+
+
+class TestRunArms:
+    def test_serial_matches_parallel(self):
+        """Worker processes must change nothing but the wall clock."""
+        serial = run_arms(_specs(), max_workers=1)
+        parallel = run_arms(_specs(), max_workers=2)
+        assert serial == parallel
+        assert [r.name for r in serial] == [s.name for s in _specs()]
+        for result in serial:
+            assert result.ok
+            assert result.result["checksum"] == pytest.approx(
+                float(
+                    np.random.default_rng(result.result["seed"]).random(8).sum()
+                )
+            )
+
+    def test_each_arm_gets_private_telemetry(self):
+        """Counters never bleed between arms (or into the caller)."""
+        before = get_telemetry().registry.as_dict()
+        for result in run_arms(_specs(), max_workers=2):
+            assert result.telemetry["arm_runs_total"] == 1
+            assert result.telemetry["arm_draws_total"] == 8
+        assert get_telemetry().registry.as_dict() == before
+
+    def test_failure_is_data_not_crash(self):
+        specs = [
+            ArmSpec(name="good", runner=_sum_arm, kwargs={"seed": 5}),
+            ArmSpec(
+                name="bad", runner=_failing_arm, kwargs={"message": "boom"}
+            ),
+            ArmSpec(name="also-good", runner=_sum_arm, kwargs={"seed": 6}),
+        ]
+        for workers in (1, 2):
+            results = run_arms(specs, max_workers=workers)
+            good, bad, also_good = results
+            assert good.ok and also_good.ok
+            assert not bad.ok
+            assert bad.result is None
+            assert "RuntimeError: boom" in bad.error
+
+    def test_ok_property(self):
+        assert ArmResult(name="a").ok
+        assert not ArmResult(name="a", error="trace").ok
+
+
+class TestChaosArms:
+    def test_four_arm_sweep_parallel_equals_serial(self):
+        """The acceptance sweep: 4 chaos intensities, workers vs in-process.
+
+        Every arm rebuilds its world from (seed, intensity) alone, so the
+        full per-arm payload — metrics *and* telemetry counters — must be
+        identical whichever way the arms are scheduled.
+        """
+        serial = run_chaos_arms(seed=0, fast=True, max_workers=1)
+        parallel = run_chaos_arms(seed=0, fast=True, max_workers=4)
+        assert len(serial) == len(parallel) == 4
+        assert serial == parallel
+        for result in serial:
+            assert result.ok, result.error
+            assert result.result["cycles_completed"] > 0
+        # Higher intensity injects at least as many faults as zero chaos.
+        assert (
+            serial[-1].result["fault_events"]
+            > serial[0].result["fault_events"]
+        )

@@ -103,3 +103,57 @@ class TestBoundedDivergence:
         assert bounded_divergence([0.4, 0.6], [0.4, 0.6]) == pytest.approx(
             0.0, abs=1e-9
         )
+
+
+class TestBatchEntropy:
+    """The vectorized Eq. 3 must agree with the scalar loop bit-for-bit."""
+
+    def test_matches_scalar_rows(self, rng):
+        from repro.metrics.information import batch_entropy
+
+        probs = rng.random((40, 5))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = np.array([entropy(row) for row in probs])
+        np.testing.assert_array_equal(batch_entropy(probs), expected)
+
+    def test_matches_scalar_with_base(self, rng):
+        from repro.metrics.information import batch_entropy
+
+        probs = rng.random((10, 3))
+        expected = np.array([entropy(row, base=2) for row in probs])
+        np.testing.assert_array_equal(batch_entropy(probs, base=2), expected)
+
+    def test_point_mass_rows_are_zero(self):
+        from repro.metrics.information import batch_entropy
+
+        np.testing.assert_array_equal(batch_entropy(np.eye(4)), np.zeros(4))
+
+    def test_rejects_non_2d(self):
+        from repro.metrics.information import batch_entropy
+
+        with pytest.raises(ValueError):
+            batch_entropy(np.array([0.5, 0.5]))
+
+
+class TestBatchNormalizedEntropy:
+    def test_matches_scalar_rows(self, rng):
+        from repro.metrics.information import batch_normalized_entropy
+
+        probs = rng.random((40, 4))
+        expected = np.array([normalized_entropy(row) for row in probs])
+        np.testing.assert_array_equal(
+            batch_normalized_entropy(probs), expected
+        )
+
+    def test_single_class_is_zero(self):
+        from repro.metrics.information import batch_normalized_entropy
+
+        np.testing.assert_array_equal(
+            batch_normalized_entropy(np.ones((3, 1))), np.zeros(3)
+        )
+
+    def test_uniform_rows_are_one(self):
+        from repro.metrics.information import batch_normalized_entropy
+
+        probs = np.full((6, 5), 0.2)
+        np.testing.assert_allclose(batch_normalized_entropy(probs), 1.0)

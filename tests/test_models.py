@@ -158,3 +158,46 @@ class TestRegistry:
     def test_register_empty_name_raises(self):
         with pytest.raises(ValueError):
             register_model("", VGGModel)
+
+
+class TestModelVersioning:
+    """Versions drive cache invalidation: they must move on every update."""
+
+    def test_next_model_version_monotonic(self):
+        from repro.models.base import next_model_version
+
+        a = next_model_version()
+        b = next_model_version()
+        assert b > a
+        # A minimum (e.g. a rolled-back snapshot's version) is always
+        # exceeded, so restored models can never collide with candidates.
+        assert next_model_version(minimum=b + 100) > b + 100
+
+    def test_fit_and_retrain_bump_version(self, fitted_model, split):
+        train, _ = split
+        after_fit = fitted_model.model_version
+        assert after_fit > 0
+        labels = train.labels()[:10]
+        fitted_model.retrain(
+            train.subset(range(10)), labels, np.random.default_rng(31)
+        )
+        assert fitted_model.model_version > after_fit
+
+    def test_bovw_feature_version_frozen_by_retrain(self, split):
+        """retrain() keeps the codebook, so feature encodings stay valid."""
+        train, _ = split
+        model = BoVWModel(**TINY["BoVW"])
+        model.fit(train, np.random.default_rng(41))
+        feature_version = model.feature_version
+        model.retrain(
+            train.subset(range(8)),
+            train.labels()[:8],
+            np.random.default_rng(42),
+        )
+        assert model.feature_version == feature_version
+        model.fit(train, np.random.default_rng(43))
+        assert model.feature_version > feature_version
+
+    def test_feature_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            BoVWModel(**TINY["BoVW"], feature_cache_size=0)

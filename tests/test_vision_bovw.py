@@ -70,3 +70,25 @@ class TestBoVWEncoder:
         assert not np.allclose(
             fitted_encoder.encode(smooth), fitted_encoder.encode(noisy)
         )
+
+
+class TestEncodeBatchParity:
+    """encode_batch must reproduce per-image encode() bit-for-bit."""
+
+    def test_matches_per_image_encode(self, fitted_encoder, rng):
+        images = rng.random((6, 32, 32, 3))
+        batched = fitted_encoder.encode_batch(images)
+        expected = np.stack([fitted_encoder.encode(i) for i in images])
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_with_global_features(self, rng):
+        images = rng.random((8, 32, 32, 3))
+        encoder = BoVWEncoder(vocabulary_size=8, include_global=True)
+        encoder.fit(images, np.random.default_rng(11))
+        batched = encoder.encode_batch(images[:4])
+        expected = np.stack([encoder.encode(i) for i in images[:4]])
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_empty_batch(self, fitted_encoder):
+        encoded = fitted_encoder.encode_batch(np.empty((0, 32, 32, 3)))
+        assert encoded.shape[0] == 0

@@ -72,3 +72,35 @@ class TestHogDescriptor:
     def test_invalid_params_raise(self):
         with pytest.raises(ValueError):
             hog_descriptor(np.zeros((16, 16)), cell_size=0)
+
+
+class TestBatchParity:
+    """hog_descriptor_batch must reproduce the per-image path exactly."""
+
+    def test_batch_matches_per_image(self, rng):
+        from repro.vision.hog import hog_descriptor_batch
+
+        images = rng.random((7, 32, 32, 3))
+        batched = hog_descriptor_batch(images)
+        expected = np.stack([hog_descriptor(image) for image in images])
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_batch_matches_per_image_grayscale(self, rng):
+        from repro.vision.hog import hog_descriptor_batch
+
+        images = rng.random((4, 24, 24))
+        batched = hog_descriptor_batch(images, cell_size=4, block_size=3)
+        expected = np.stack(
+            [hog_descriptor(i, cell_size=4, block_size=3) for i in images]
+        )
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_batch_gradients_match(self, rng):
+        from repro.vision.hog import batch_gradient_magnitude_orientation
+
+        images = rng.random((5, 16, 16))
+        magnitudes, orientations = batch_gradient_magnitude_orientation(images)
+        for i, image in enumerate(images):
+            magnitude, orientation = gradient_magnitude_orientation(image)
+            np.testing.assert_array_equal(magnitudes[i], magnitude)
+            np.testing.assert_array_equal(orientations[i], orientation)

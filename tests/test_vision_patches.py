@@ -76,3 +76,33 @@ class TestDescribeImagePatches:
         a = describe_image_patches(image)
         b = describe_image_patches(image)
         np.testing.assert_array_equal(a, b)
+
+
+class TestDescribePatchesParity:
+    """The batched descriptor must reproduce patch_descriptor exactly."""
+
+    def test_matches_scalar_descriptor_gray(self, rng):
+        from repro.vision.patches import describe_patches
+
+        patches = dense_patches(rng.random((32, 32)), patch_size=8, stride=4)
+        batched = describe_patches(patches)
+        expected = np.stack([patch_descriptor(p) for p in patches])
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_matches_scalar_descriptor_rgb(self, rng):
+        from repro.vision.patches import describe_patches
+
+        patches = dense_patches(
+            rng.random((24, 24, 3)), patch_size=8, stride=8
+        )
+        batched = describe_patches(patches, n_bins=6)
+        expected = np.stack([patch_descriptor(p, n_bins=6) for p in patches])
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_describe_image_patches_unchanged(self, rng):
+        """The public per-image API is the batched path under the hood."""
+        image = rng.random((32, 32, 3))
+        descriptors = describe_image_patches(image, patch_size=8, stride=4)
+        patches = dense_patches(image, patch_size=8, stride=4)
+        expected = np.stack([patch_descriptor(p) for p in patches])
+        np.testing.assert_array_equal(descriptors, expected)
