@@ -43,11 +43,16 @@ def _prepare(args):
 
 
 def cmd_run(args) -> int:
+    import dataclasses
+
     from repro.eval.runner import build_crowdlearn, scheme_result_from_run
     from repro.metrics import classification_report
 
     setup = _prepare(args)
-    system = build_crowdlearn(setup)
+    config = None
+    if getattr(args, "scheduler", False):
+        config = dataclasses.replace(setup.config, scheduler_enabled=True)
+    system = build_crowdlearn(setup, config=config)
     outcome = system.run(setup.make_stream("cli-run"))
     result = scheme_result_from_run("CrowdLearn", outcome)
     report = classification_report(result.y_true, result.y_pred)
@@ -64,6 +69,16 @@ def cmd_run(args) -> int:
         f"{trace[: max(len(trace) // 4, 1)].mean():.3f}, last quarter "
         f"{trace[-max(len(trace) // 4, 1):].mean():.3f}"
     )
+    if system.scheduler is not None:
+        totals = outcome.resilience_totals()
+        print(
+            "scheduler: "
+            f"{totals.late_queries} all-late queries "
+            f"({totals.late_spent_cents / 100:.2f} USD sunk), "
+            f"{totals.stragglers_harvested} stragglers harvested, "
+            f"{system.scheduler.pending_count} still in flight "
+            f"at t={system.scheduler.now:.0f}s"
+        )
     return 0
 
 
@@ -131,7 +146,7 @@ def cmd_chaos(args) -> int:
     from repro.eval.experiments import run_chaos, run_guard_chaos
 
     setup = _prepare(args)
-    print(run_chaos(setup).render())
+    print(run_chaos(setup, scheduler=getattr(args, "scheduler", False)).render())
     print()
     print(run_guard_chaos(setup).render())
     return 0
@@ -141,6 +156,12 @@ def _cmd_chaos_parallel(args) -> int:
     """The chaos sweep with one worker process per intensity arm."""
     from repro.eval.parallel import run_chaos_arms
 
+    if getattr(args, "scheduler", False):
+        print(
+            "note: --scheduler is ignored with --workers "
+            "(the parallel arms run the synchronous loop)",
+            file=sys.stderr,
+        )
     started = time.time()
     results = run_chaos_arms(
         seed=args.seed, fast=not args.full, max_workers=args.workers
@@ -182,7 +203,12 @@ def cmd_bench(args) -> int:
         f"(seed={args.seed}, repeats={args.repeats})...",
         file=sys.stderr,
     )
-    report = run_bench(seed=args.seed, fast=not args.full, repeats=args.repeats)
+    report = run_bench(
+        seed=args.seed,
+        fast=not args.full,
+        repeats=args.repeats,
+        scheduler=getattr(args, "scheduler", False),
+    )
     print(render_bench(report))
     path = write_bench(report, args.output or DEFAULT_OUTPUT)
     print(f"wrote {path}", file=sys.stderr)
@@ -302,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--prometheus", metavar="PATH",
                 help="also export metrics in Prometheus text format",
+            )
+        if name in ("run", "chaos", "bench"):
+            sub.add_argument(
+                "--scheduler", action="store_true",
+                help="enable the virtual-time scheduler: each sensing "
+                     "cycle becomes a real deadline and late responses "
+                     "are harvested into later cycles",
             )
         if name == "chaos":
             sub.add_argument(

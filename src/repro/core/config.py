@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crowd.delay import INCENTIVE_LEVELS
+from repro.utils.clock import SECONDS_PER_CYCLE
 
 __all__ = ["CrowdLearnConfig"]
 
@@ -64,6 +65,17 @@ class CrowdLearnConfig:
     cache_max_pools: int = 256
     cache_max_features: int = 8192
 
+    # Virtual-time scheduler (see repro.crowd.scheduler).  Off by default:
+    # the loop stays synchronous and byte-identical to the idealized
+    # instant-response reproduction.  Enabled, each sensing cycle becomes a
+    # real deadline — retry backoff consumes cycle time, responses slower
+    # than the remaining cycle miss it, and (under the "harvest" policy)
+    # arrive in a later cycle as straggler labels for CQC/MIC.
+    scheduler_enabled: bool = False
+    cycle_seconds: float = SECONDS_PER_CYCLE
+    straggler_policy: str = "harvest"  # "harvest" | "drop"
+    straggler_max_cycles: int = 3  # harvest window, in sensing cycles
+
     # Pilot study.
     pilot_queries_per_cell: int = 20
 
@@ -99,6 +111,19 @@ class CrowdLearnConfig:
             raise ValueError(
                 "cache capacities must be positive, got "
                 f"{self.cache_max_pools} pools / {self.cache_max_features} features"
+            )
+        if self.cycle_seconds <= 0:
+            raise ValueError(
+                f"cycle_seconds must be positive, got {self.cycle_seconds}"
+            )
+        if self.straggler_policy not in ("harvest", "drop"):
+            raise ValueError(
+                "straggler_policy must be 'harvest' or 'drop', "
+                f"got {self.straggler_policy!r}"
+            )
+        if self.straggler_max_cycles <= 0:
+            raise ValueError(
+                f"straggler_max_cycles must be positive, got {self.straggler_max_cycles}"
             )
 
     @property

@@ -9,9 +9,12 @@ platform misbehaves:
 - **retry with backoff** — a post that hits a platform outage is retried a
   bounded number of times (optionally at an escalated incentive) before the
   image is left with the AI;
-- **refunds** — a charged query that yields zero usable responses returns
-  its incentive to the :class:`~repro.bandit.budget.BudgetLedger`, keeping
-  the bandit's pacing signal honest;
+- **refunds** — a charged query that yields zero usable responses because
+  the crowd *abandoned* it returns its incentive to the
+  :class:`~repro.bandit.budget.BudgetLedger`, keeping the bandit's pacing
+  signal honest.  A query whose workers answered but missed the deadline is
+  *not* refunded — real platforms pay for submitted work whether or not the
+  requester still wants it, which is exactly why slow crowds waste money;
 - **committee fallback** — images whose query produced nothing usable keep
   the reweighted committee's label instead of poisoning CQC/MIC/IPD with
   empty response sets.
@@ -54,7 +57,10 @@ class ResiliencePolicy:
         When escalating, each retry multiplies the offered incentive by the
         factor (capped) — paying the crowd more to come back after a fault.
     refund_failed:
-        Refund the ledger for charged queries with zero usable responses.
+        Refund the ledger for charged queries with zero usable responses
+        that the crowd genuinely *abandoned*.  Queries whose workers all
+        answered late are never refunded regardless of this flag — the
+        money was spent on submitted (if useless-in-time) work.
     fallback_to_committee:
         Keep the reweighted committee's label for images whose query
         produced no usable responses (instead of crashing on them).
@@ -98,7 +104,14 @@ class ResiliencePolicy:
 
 @dataclass
 class ResilienceCounters:
-    """Structured counters of every resilience intervention in a run/cycle."""
+    """Structured counters of every resilience intervention in a run/cycle.
+
+    ``refunds``/``refunded_cents`` cover *abandoned* queries only (zero
+    responses, zero late workers).  All-late queries are tracked separately
+    under ``late_queries``/``late_spent_cents``: their incentive stays
+    spent, resolving the old contradiction where ``post_query`` documented
+    late incentives as sunk cost but the cycle loop refunded them anyway.
+    """
 
     retries: int = 0
     backoff_seconds: float = 0.0
@@ -107,6 +120,9 @@ class ResilienceCounters:
     fallbacks: int = 0
     dropped_queries: int = 0
     outages_hit: int = 0
+    late_queries: int = 0
+    late_spent_cents: float = 0.0
+    stragglers_harvested: int = 0
 
     def merge(self, other: "ResilienceCounters") -> "ResilienceCounters":
         """Accumulate ``other`` into this instance (returns self)."""

@@ -29,15 +29,30 @@ from repro.core.resilience import ResilienceCounters, ResiliencePolicy
 from repro.crowd.faults import PlatformUnavailable
 from repro.crowd.pilot import PilotResult, run_pilot_study
 from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.scheduler import PendingResponse, VirtualTimeScheduler
 from repro.crowd.tasks import QueryResult
-from repro.data.dataset import DisasterDataset
+from repro.data.dataset import DisasterDataset, DisasterImage
 from repro.data.stream import SensingCycle, SensingCycleStream
 from repro.models.registry import create_model, default_committee_names
 from repro.telemetry.runtime import Telemetry, get_telemetry
 from repro.utils.clock import TemporalContext
 from repro.utils.rng import SeedSequencer
 
-__all__ = ["CycleOutcome", "RunOutcome", "CrowdLearnSystem"]
+__all__ = ["CycleOutcome", "RunOutcome", "StragglerRecord", "CrowdLearnSystem"]
+
+
+@dataclass
+class StragglerRecord:
+    """A posted query with late responses still in flight.
+
+    Kept by the system between cycles so a harvested response can be fused
+    back into its query's full response set (CQC re-grades the label over
+    everything that has arrived) and its image can join a later cycle's
+    MIC retraining batch.
+    """
+
+    image: DisasterImage
+    result: QueryResult
 
 
 @dataclass(frozen=True)
@@ -177,6 +192,7 @@ class CrowdLearnSystem:
         guards: ModelGuard | None = None,
         telemetry: Telemetry | None = None,
         cache: PredictionCache | None = None,
+        scheduler: VirtualTimeScheduler | None = None,
     ) -> None:
         self.committee = committee
         self.platform = platform
@@ -205,6 +221,18 @@ class CrowdLearnSystem:
             self.committee.attach_cache(cache)
             if self.guards is not None:
                 self.guards.cache = cache
+        #: Virtual-time scheduler; ``None`` keeps the loop synchronous and
+        #: byte-identical to the instant-response reproduction.  Attached,
+        #: each sensing cycle becomes a real deadline and late responses
+        #: are harvested into later cycles (under the "harvest" policy).
+        self.scheduler = scheduler
+        #: Queries with late responses still in flight, by query id.
+        self._straggler_queries: dict[int, StragglerRecord] = {}
+        if scheduler is not None and config.straggler_policy == "harvest":
+            # The platform reroutes late responses into the event queue
+            # instead of dropping them; "drop" leaves platform.scheduler
+            # unset so misses stay misses.
+            self.platform.scheduler = scheduler
 
     def _telemetry(self) -> Telemetry:
         return self.telemetry if self.telemetry is not None else get_telemetry()
@@ -308,6 +336,14 @@ class CrowdLearnSystem:
                 max_pools=config.cache_max_pools,
                 max_features=config.cache_max_features,
             )
+        scheduler = None
+        if config.scheduler_enabled:
+            scheduler = VirtualTimeScheduler(
+                cycle_seconds=config.cycle_seconds,
+                max_straggler_age_seconds=(
+                    config.straggler_max_cycles * config.cycle_seconds
+                ),
+            )
         return cls(
             committee=committee,
             platform=platform,
@@ -323,6 +359,7 @@ class CrowdLearnSystem:
             guards=guards,
             telemetry=telemetry,
             cache=cache,
+            scheduler=scheduler,
         )
 
     def _post_with_retries(
@@ -331,6 +368,7 @@ class CrowdLearnSystem:
         incentive: float,
         context: TemporalContext,
         counters: ResilienceCounters,
+        deadline_seconds: float | None = None,
     ) -> tuple[QueryResult, float]:
         """Post one query, retrying outages per the resilience policy.
 
@@ -338,16 +376,30 @@ class CrowdLearnSystem:
         :class:`PlatformUnavailable` once the retry budget is exhausted
         (immediately when resilience is disabled) and lets
         :class:`BudgetExhausted` propagate untouched.
+
+        ``deadline_seconds`` is the cycle time left for this query.  Retry
+        backoff *consumes* it (and advances the virtual clock): each wait
+        shrinks the deadline forwarded to the platform, and a backoff that
+        exhausts it raises :class:`PlatformUnavailable` — by the time the
+        platform would accept the retry, the sensing cycle is over.
         """
         policy = self.resilience
+        scheduler = getattr(self, "scheduler", None)
         attempts = policy.max_retries + 1 if policy.enabled else 1
         paid = incentive
         for attempt in range(attempts):
             if attempt:
                 counters.retries += 1
-                counters.backoff_seconds += (
-                    policy.backoff_base_seconds * 2 ** (attempt - 1)
-                )
+                backoff = policy.backoff_base_seconds * 2 ** (attempt - 1)
+                counters.backoff_seconds += backoff
+                if deadline_seconds is not None:
+                    deadline_seconds -= backoff
+                    if scheduler is not None:
+                        scheduler.advance(backoff)
+                    if deadline_seconds <= 0:
+                        raise PlatformUnavailable(
+                            "sensing-cycle deadline exhausted during retry backoff"
+                        )
                 if policy.escalate_incentive:
                     paid = min(
                         paid * policy.escalation_factor,
@@ -355,7 +407,8 @@ class CrowdLearnSystem:
                     )
             try:
                 result = self.platform.post_query(
-                    metadata, paid, context, ledger=self.ledger
+                    metadata, paid, context, ledger=self.ledger,
+                    deadline_seconds=deadline_seconds,
                 )
                 return result, paid
             except PlatformUnavailable:
@@ -378,6 +431,13 @@ class CrowdLearnSystem:
         ``cycle.ipd.*``, ``cycle.crowd``, ``cycle.cqc``,
         ``cycle.mic.*``); with the default no-op telemetry the outcome is
         byte-identical to an uninstrumented run.
+
+        With a :class:`~repro.crowd.scheduler.VirtualTimeScheduler`
+        attached (``config.scheduler_enabled``), the cycle opens with a
+        ``scheduler.harvest`` phase — virtual time advances to the cycle
+        boundary and matured straggler responses are folded back into
+        their queries — and every post carries the remaining cycle time as
+        a hard deadline, with retry backoff consuming it.
         """
         tel = self._telemetry()
         with tel.span("cycle", index=cycle.index, context=cycle.context.value):
@@ -412,11 +472,79 @@ class CrowdLearnSystem:
             return None
         return correct_total / graded_total
 
+    def _observed_delay(self, result: QueryResult) -> float:
+        """The delay IPD should learn from.
+
+        Without a deadline this is the plain mean delay (the historical
+        reward).  Under the scheduler, late workers cost the requester the
+        full deadline they waited — the *realized* delay — so slow crowds
+        are penalized even though their answers eventually arrive.
+        """
+        if result.deadline_seconds is None or result.n_late == 0:
+            return result.mean_delay
+        return result.realized_mean_delay()
+
+    def _absorb_stragglers(
+        self, events: list[PendingResponse]
+    ) -> tuple[list[DisasterImage], list[int]]:
+        """Fold harvested responses back into their queries.
+
+        Each event's response is appended to the original
+        :class:`QueryResult`; CQC then re-fuses the label over the full
+        (on-time + harvested) response set and re-reveals it, so worker
+        track records are graded against the best label known.  Returns
+        the (image, label) pairs for this cycle's MIC retraining batch.
+        """
+        touched: dict[int, StragglerRecord] = {}
+        registry = self._straggler_queries
+        for event in events:
+            record = registry.get(event.query.query_id)
+            if record is None:
+                continue  # posted outside the loop (e.g. a direct post)
+            record.result.responses.append(event.response)
+            record.result.n_late = max(record.result.n_late - 1, 0)
+            touched[event.query.query_id] = record
+        images: list[DisasterImage] = []
+        labels: list[int] = []
+        for query_id, record in touched.items():
+            truthful = self.cqc.truthful_labels([record.result])
+            label = int(truthful[0])
+            self.platform.reveal_ground_truth(query_id, label)
+            images.append(record.image)
+            labels.append(label)
+            if not self.scheduler.has_pending(query_id):
+                del registry[query_id]
+        return images, labels
+
     def _run_cycle(self, cycle: SensingCycle, tel: Telemetry) -> CycleOutcome:
         dataset = cycle.dataset()
         true_labels = dataset.labels()
         policy = self.resilience
         guard = self.guards
+        counters = ResilienceCounters()
+        # getattr: systems unpickled from pre-scheduler checkpoints have no
+        # scheduler attribute; they keep running synchronously.
+        scheduler = getattr(self, "scheduler", None)
+        straggler_images: list[DisasterImage] = []
+        straggler_labels: list[int] = []
+        if scheduler is not None:
+            # Advance virtual time to this cycle's boundary and harvest the
+            # straggler responses that arrived while the requester slept.
+            with tel.span("scheduler.harvest", cycle=cycle.index) as hspan:
+                scheduler.advance_to(
+                    scheduler.cycle_start(cycle.index)
+                )
+                harvested = self.platform.collect_stragglers()
+                if harvested:
+                    counters.stragglers_harvested += len(harvested)
+                    straggler_images, straggler_labels = (
+                        self._absorb_stragglers(harvested)
+                    )
+                if tel.enabled:
+                    hspan.set(
+                        harvested=len(harvested),
+                        pending=scheduler.pending_count,
+                    )
         if guard is not None and guard.n_experts != self.committee.n_experts:
             # A new committee was swapped into a live system: per-expert
             # guard memory no longer describes anything real.
@@ -444,7 +572,6 @@ class CrowdLearnSystem:
             query_size = min(self.config.queries_per_cycle, len(dataset))
             query_indices = self.qss.select(entropy, query_size, self.rng)
 
-        counters = ResilienceCounters()
         incentives: list[float] = []
         results: list[QueryResult] = []
         arms: list[int] = []
@@ -452,12 +579,23 @@ class CrowdLearnSystem:
         posted_indices: list[int] = []
         with tel.span("cycle.crowd", queries=len(query_indices)):
             for index in query_indices:
+                deadline = None
+                if scheduler is not None:
+                    # What is left of this sensing cycle is the query's
+                    # deadline: retry backoff already spent is gone.
+                    deadline = (
+                        self.config.cycle_seconds - counters.backoff_seconds
+                    )
+                    if deadline <= 0:
+                        counters.dropped_queries += 1
+                        continue  # the cycle is over before we could post
                 with tel.span("cycle.ipd.price"):
                     arm, incentive = self.ipd.price_query(cycle.context)
                 metadata = dataset[int(index)].metadata
                 try:
                     result, paid = self._post_with_retries(
-                        metadata, incentive, cycle.context, counters
+                        metadata, incentive, cycle.context, counters,
+                        deadline_seconds=deadline,
                     )
                 except BudgetExhausted:
                     break  # budget gone: remaining images stay with the AI
@@ -467,8 +605,30 @@ class CrowdLearnSystem:
                     counters.dropped_queries += 1
                     continue  # this image stays with the AI
                 if not result.responses and policy.enabled:
-                    # Charged, but nothing usable came back (abandonment or a
-                    # tight deadline): refund and keep the committee's label.
+                    if result.n_late:
+                        # Every worker answered — after the deadline.  The
+                        # money is spent on submitted work (no refund), IPD
+                        # observes the realized cost of waiting the cycle
+                        # out, and (under "harvest") the answers arrive as
+                        # stragglers in a later cycle.
+                        counters.late_queries += 1
+                        counters.late_spent_cents += paid
+                        cost += paid
+                        incentives.append(paid)
+                        self.ipd.observe(
+                            cycle.context, arm, self._observed_delay(result)
+                        )
+                        if self.platform.scheduler is not None:
+                            self._straggler_queries[result.query.query_id] = (
+                                StragglerRecord(
+                                    image=dataset[int(index)], result=result
+                                )
+                            )
+                        if policy.fallback_to_committee:
+                            counters.fallbacks += 1
+                        continue
+                    # Charged, but nobody submitted anything (abandonment):
+                    # refund and keep the committee's label.
                     if policy.refund_failed:
                         self.ledger.refund(paid)
                         counters.refunds += 1
@@ -478,6 +638,12 @@ class CrowdLearnSystem:
                     if policy.fallback_to_committee:
                         counters.fallbacks += 1
                     continue
+                if result.n_late and self.platform.scheduler is not None:
+                    # Partially late: the on-time responses proceed through
+                    # CQC now; the rest will be folded in at harvest.
+                    self._straggler_queries[result.query.query_id] = (
+                        StragglerRecord(image=dataset[int(index)], result=result)
+                    )
                 incentives.append(paid)
                 arms.append(arm)
                 results.append(result)
@@ -541,6 +707,23 @@ class CrowdLearnSystem:
                     )
             with tel.span("cycle.mic.retrain"):
                 query_images = [dataset[int(i)] for i in query_indices]
+                # Harvested straggler labels join this cycle's retraining
+                # batch — late answers still teach, they just teach later.
+                if straggler_images and not flagged:
+                    retrain_images = query_images + straggler_images
+                    retrain_labels = np.concatenate(
+                        [
+                            np.asarray(truthful, dtype=np.int64),
+                            np.asarray(straggler_labels, dtype=np.int64),
+                        ]
+                    )
+                    if tel.enabled:
+                        tel.counter(
+                            "stragglers_retrained_total",
+                            help="straggler labels fed into MIC retraining",
+                        ).inc(len(straggler_images))
+                else:
+                    retrain_images, retrain_labels = query_images, truthful
                 if flagged:
                     if self.mic.retrain and query_images:
                         gcounters.retrains_skipped += 1
@@ -548,8 +731,8 @@ class CrowdLearnSystem:
                     guard.guarded_retrain(
                         self.mic,
                         self.committee,
-                        query_images,
-                        truthful,
+                        retrain_images,
+                        retrain_labels,
                         self.replay_pool,
                         self.rng,
                         gcounters,
@@ -557,19 +740,51 @@ class CrowdLearnSystem:
                 else:
                     self.mic.retrain_experts(
                         self.committee,
-                        query_images,
-                        truthful,
+                        retrain_images,
+                        retrain_labels,
                         self.replay_pool,
                         self.rng,
                     )
             with tel.span("cycle.ipd.observe"):
                 for result, arm in zip(results, arms):
-                    self.ipd.observe(cycle.context, arm, result.mean_delay)
-            crowd_delay = float(np.mean([r.mean_delay for r in results]))
+                    self.ipd.observe(
+                        cycle.context, arm, self._observed_delay(result)
+                    )
+            crowd_delay = float(
+                np.mean([self._observed_delay(r) for r in results])
+            )
         else:
             truthful = np.empty(0, dtype=np.int64)
             truth_dists = np.empty((0, self.committee.experts[0].n_classes))
             crowd_delay = 0.0
+            if straggler_images:
+                # Nothing new was queried this cycle, but last cycle's
+                # stragglers arrived: retrain on them alone.
+                with tel.span("cycle.mic.retrain"):
+                    if tel.enabled:
+                        tel.counter(
+                            "stragglers_retrained_total",
+                            help="straggler labels fed into MIC retraining",
+                        ).inc(len(straggler_images))
+                    labels = np.asarray(straggler_labels, dtype=np.int64)
+                    if guard is not None:
+                        guard.guarded_retrain(
+                            self.mic,
+                            self.committee,
+                            straggler_images,
+                            labels,
+                            self.replay_pool,
+                            self.rng,
+                            gcounters,
+                        )
+                    else:
+                        self.mic.retrain_experts(
+                            self.committee,
+                            straggler_images,
+                            labels,
+                            self.replay_pool,
+                            self.rng,
+                        )
 
         # Final labels: reweighted committee, query set offloaded to the
         # crowd — unless the drift detector flagged this cycle's labels, in

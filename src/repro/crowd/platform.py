@@ -18,17 +18,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bandit.budget import BudgetLedger
+from repro.bandit.budget import BudgetExhausted, BudgetLedger
 from repro.crowd.delay import DelayModel
-from repro.crowd.faults import FaultInjector
+from repro.crowd.faults import FaultInjector, PlatformUnavailable
 from repro.crowd.population import WorkerPopulation
 from repro.crowd.quality import QualityModel
+from repro.crowd.scheduler import PendingResponse, VirtualTimeScheduler
 from repro.crowd.tasks import CrowdQuery, QueryResult, WorkerResponse
 from repro.data.metadata import ImageMetadata
 from repro.telemetry.runtime import Telemetry, get_telemetry
 from repro.utils.clock import TemporalContext
 
-__all__ = ["WorkerHistoryEntry", "CrowdsourcingPlatform"]
+__all__ = ["WorkerHistoryEntry", "BatchPostResult", "CrowdsourcingPlatform"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,34 @@ class WorkerHistoryEntry:
     query_id: int
     label: int
     correct: bool | None  # None when ground truth was never revealed
+
+
+@dataclass
+class BatchPostResult:
+    """Outcome of :meth:`CrowdsourcingPlatform.post_queries`.
+
+    Holds every query that completed before the batch stopped, plus the
+    error (if any) that stopped it — a mid-batch outage no longer discards
+    the work (and money) already committed.  Iterates and lengths like the
+    plain result list, so existing call sites keep working.
+    """
+
+    results: list[QueryResult] = field(default_factory=list)
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the whole batch completed."""
+        return self.error is None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
 
 
 @dataclass
@@ -62,6 +91,12 @@ class CrowdsourcingPlatform:
         Optional :class:`~repro.telemetry.runtime.Telemetry` pipeline;
         ``None`` resolves the process default (the no-op singleton unless
         a trace run swapped one in).
+    scheduler:
+        Optional :class:`~repro.crowd.scheduler.VirtualTimeScheduler`.
+        When attached, responses that miss ``deadline_seconds`` are not
+        discarded but become pending arrival events, harvested by
+        :meth:`collect_stragglers` once virtual time catches up to them.
+        ``None`` (default) keeps the synchronous drop-late behaviour.
     """
 
     population: WorkerPopulation
@@ -71,11 +106,14 @@ class CrowdsourcingPlatform:
     workers_per_query: int = 5
     faults: FaultInjector | None = None
     telemetry: Telemetry | None = None
+    scheduler: VirtualTimeScheduler | None = None
     _next_query_id: int = field(default=0, init=False)
     _history: list[WorkerHistoryEntry] = field(default_factory=list, init=False)
     _history_by_query: dict[int, list[int]] = field(
         default_factory=dict, init=False
     )
+    _history_seen: set[tuple[int, int]] = field(default_factory=set, init=False)
+    _worker_stats: dict[int, list[int]] = field(default_factory=dict, init=False)
 
     def __post_init__(self) -> None:
         if self.workers_per_query <= 0:
@@ -135,7 +173,7 @@ class CrowdsourcingPlatform:
             workers = self.population.sample_workers(
                 self.workers_per_query, context, self.rng
             )
-            result = QueryResult(query=query)
+            result = QueryResult(query=query, deadline_seconds=deadline_seconds)
             late = 0
             for worker in workers:
                 if self.faults is not None and self.faults.worker_abandons():
@@ -149,9 +187,6 @@ class CrowdsourcingPlatform:
                 delay = self.delay_model.sample(
                     context, incentive_cents, self.rng, worker_speed=worker.speed
                 )
-                if deadline_seconds is not None and delay > deadline_seconds:
-                    late += 1
-                    continue  # this worker's answer never arrives in time
                 response = WorkerResponse(
                     worker_id=worker.worker_id,
                     label=label,
@@ -164,6 +199,22 @@ class CrowdsourcingPlatform:
                     else self.faults.transform_response(response, metadata)
                 )
                 for response in arrived:
+                    # The deadline applies to the *realized* delay — a
+                    # delay-spike fault can push an on-time answer past the
+                    # cutoff, which is the interesting time-domain failure.
+                    if (
+                        deadline_seconds is not None
+                        and response.delay_seconds > deadline_seconds
+                    ):
+                        late += 1
+                        if self.scheduler is not None and not self.scheduler.schedule(
+                            query, response
+                        ):
+                            tel.counter(
+                                "stragglers_expired_total",
+                                help="late responses aged out before harvest",
+                            ).inc()
+                        continue  # never seen within this sensing cycle
                     result.responses.append(response)
                     self._record_history(
                         WorkerHistoryEntry(
@@ -173,6 +224,7 @@ class CrowdsourcingPlatform:
                             correct=None,
                         )
                     )
+            result.n_late = late
             if tel.enabled:
                 span.set(query_id=query.query_id,
                          responses=len(result.responses))
@@ -186,7 +238,12 @@ class CrowdsourcingPlatform:
                 if late:
                     tel.counter(
                         "platform_late_responses_total",
-                        help="responses dropped by the requester deadline",
+                        help="responses that missed the requester deadline",
+                    ).inc(late)
+                    tel.counter(
+                        "platform_late_responses_total",
+                        help="responses that missed the requester deadline",
+                        context=context.value,
                     ).inc(late)
                 for response in result.responses:
                     tel.histogram(
@@ -197,6 +254,15 @@ class CrowdsourcingPlatform:
         return result
 
     def _record_history(self, entry: WorkerHistoryEntry) -> None:
+        # One history row per (worker, query): duplicate-response faults
+        # redeliver the same submission, and the Filtering baseline must not
+        # double-count it.  Unattributable (worker_id < 0) responses carry
+        # no identity to dedupe on, so each one stays a separate row.
+        if entry.worker_id >= 0:
+            key = (entry.worker_id, entry.query_id)
+            if key in self._history_seen:
+                return
+            self._history_seen.add(key)
         self._history_by_query.setdefault(entry.query_id, []).append(
             len(self._history)
         )
@@ -208,12 +274,70 @@ class CrowdsourcingPlatform:
         incentive_cents: float,
         context: TemporalContext,
         ledger: BudgetLedger | None = None,
-    ) -> list[QueryResult]:
-        """Post a batch of queries at a shared incentive level."""
-        return [
-            self.post_query(meta, incentive_cents, context, ledger)
-            for meta in metadatas
-        ]
+        deadline_seconds: float | None = None,
+    ) -> BatchPostResult:
+        """Post a batch of queries at a shared incentive level.
+
+        Queries post sequentially; if one raises
+        :class:`~repro.crowd.faults.PlatformUnavailable` or
+        :class:`~repro.bandit.budget.BudgetExhausted` mid-batch, the work
+        (and money) already committed is *kept*: the partial results come
+        back on :class:`BatchPostResult` together with the error instead of
+        the whole batch being discarded.  ``deadline_seconds`` is forwarded
+        to every query.
+        """
+        batch = BatchPostResult()
+        for meta in metadatas:
+            try:
+                batch.results.append(
+                    self.post_query(
+                        meta,
+                        incentive_cents,
+                        context,
+                        ledger,
+                        deadline_seconds=deadline_seconds,
+                    )
+                )
+            except (PlatformUnavailable, BudgetExhausted) as exc:
+                batch.error = exc
+                break
+        return batch
+
+    def collect_stragglers(
+        self, now: float | None = None
+    ) -> list[PendingResponse]:
+        """Harvest late responses whose virtual arrival time has passed.
+
+        Each harvested response is recorded in the worker history (deduped
+        like any other delivery) so :meth:`reveal_ground_truth` can grade
+        it; the caller decides what to do with the labels (CrowdLearn feeds
+        them back into CQC fusion and MIC retraining).  Returns an empty
+        list when no scheduler is attached.
+        """
+        if self.scheduler is None:
+            return []
+        events = self.scheduler.collect_due(now)
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        for event in events:
+            self._record_history(
+                WorkerHistoryEntry(
+                    worker_id=event.response.worker_id,
+                    query_id=event.query.query_id,
+                    label=int(event.response.label),
+                    correct=None,
+                )
+            )
+        if events and tel.enabled:
+            tel.counter(
+                "stragglers_harvested_total",
+                help="late responses harvested into later cycles",
+            ).inc(len(events))
+            for event in events:
+                tel.histogram(
+                    "straggler_age_seconds",
+                    help="posting-to-harvest age of straggler responses",
+                ).observe(event.age_seconds)
+        return events
 
     def reveal_ground_truth(self, query_id: int, true_label: int) -> None:
         """Mark history entries of ``query_id`` as correct/incorrect.
@@ -221,24 +345,37 @@ class CrowdsourcingPlatform:
         Called by quality-control schemes once a truthful label is known, so
         worker track records accumulate (used by the Filtering baseline).
         History entries are indexed by query id, so grading stays O(workers
-        per query) rather than rescanning the whole deployment's history.
+        per query) rather than rescanning the whole deployment's history;
+        per-worker graded/correct tallies are maintained incrementally.
+        Safe to call again for the same query (e.g. after a straggler
+        harvest added responses): already-graded entries are re-checked
+        without double-counting.
         """
         for i in self._history_by_query.get(query_id, ()):
             entry = self._history[i]
+            correct = entry.label == int(true_label)
+            stats = self._worker_stats.setdefault(entry.worker_id, [0, 0])
+            if entry.correct is None:
+                stats[0] += 1
+                stats[1] += int(correct)
+            elif entry.correct != correct:
+                stats[1] += 1 if correct else -1
             self._history[i] = WorkerHistoryEntry(
                 worker_id=entry.worker_id,
                 query_id=entry.query_id,
                 label=entry.label,
-                correct=entry.label == int(true_label),
+                correct=correct,
             )
 
     def worker_track_record(self, worker_id: int) -> tuple[int, int]:
-        """(graded responses, correct responses) for one worker."""
-        graded = [
-            e for e in self._history
-            if e.worker_id == worker_id and e.correct is not None
-        ]
-        return len(graded), sum(1 for e in graded if e.correct)
+        """(graded responses, correct responses) for one worker.
+
+        Served from a running per-worker index updated by
+        :meth:`reveal_ground_truth`, so the per-cycle worker-reliability
+        sweep stays O(workers) instead of O(workers × history).
+        """
+        graded, correct = self._worker_stats.get(worker_id, (0, 0))
+        return graded, correct
 
     @property
     def n_queries_posted(self) -> int:

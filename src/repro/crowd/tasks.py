@@ -81,10 +81,19 @@ class CrowdQuery:
 
 @dataclass
 class QueryResult:
-    """The platform's response r_x^t to one query."""
+    """The platform's response r_x^t to one query.
+
+    When the platform enforces a deadline, ``responses`` holds only the
+    answers that arrived in time; ``n_late`` counts the workers whose
+    (already paid-for) answers missed it, and ``deadline_seconds`` records
+    the deadline that was applied.  Harvested stragglers are appended back
+    onto ``responses`` in later cycles.
+    """
 
     query: CrowdQuery
     responses: list[WorkerResponse] = field(default_factory=list)
+    n_late: int = 0
+    deadline_seconds: float | None = None
 
     @property
     def mean_delay(self) -> float:
@@ -92,6 +101,25 @@ class QueryResult:
         if not self.responses:
             raise ValueError("query received no responses")
         return float(np.mean([r.delay_seconds for r in self.responses]))
+
+    def realized_mean_delay(self) -> float:
+        """Mean delay as the requester *experienced* it under the deadline.
+
+        Each late worker contributes the full deadline — the requester
+        waited that long and then moved on, so the deadline is the realized
+        cost of that response.  With no deadline (or no late responses)
+        this equals :attr:`mean_delay`.
+        """
+        if self.deadline_seconds is None or self.n_late == 0:
+            return self.mean_delay
+        total = sum(
+            min(r.delay_seconds, self.deadline_seconds) for r in self.responses
+        )
+        total += self.n_late * self.deadline_seconds
+        count = len(self.responses) + self.n_late
+        if count == 0:
+            raise ValueError("query received no responses")
+        return float(total / count)
 
     @property
     def max_delay(self) -> float:

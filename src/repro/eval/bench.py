@@ -92,8 +92,53 @@ def _vote_benchmark(setup, repeats: int) -> dict[str, Any]:
     }
 
 
+def _scheduler_benchmark(setup) -> dict[str, Any]:
+    """Run the loop with the virtual-time scheduler off and on.
+
+    Both arms share the same platform seed and sensing stream, so the
+    delta is the scheduler itself: its wall-time overhead and the
+    time-domain effects (late responses, harvested stragglers, realized
+    vs idealized crowd delay) it introduces.
+    """
+    import dataclasses
+
+    from repro.eval.runner import build_crowdlearn
+
+    off_system = build_crowdlearn(setup, platform_name="bench-sched")
+    started = time.perf_counter()
+    off_outcome = off_system.run(setup.make_stream("bench-sched"))
+    off_wall = time.perf_counter() - started
+
+    config = dataclasses.replace(setup.config, scheduler_enabled=True)
+    telemetry = Telemetry()
+    on_system = build_crowdlearn(
+        setup, config=config, platform_name="bench-sched", telemetry=telemetry
+    )
+    started = time.perf_counter()
+    with use_telemetry(telemetry):
+        on_outcome = on_system.run(setup.make_stream("bench-sched"))
+    on_wall = time.perf_counter() - started
+
+    totals = on_outcome.resilience_totals()
+    return {
+        "off_wall_seconds": off_wall,
+        "on_wall_seconds": on_wall,
+        "off_mean_crowd_delay": off_outcome.mean_crowd_delay(),
+        "on_mean_crowd_delay": on_outcome.mean_crowd_delay(),
+        "late_responses": telemetry.registry.value(
+            "platform_late_responses_total"
+        ),
+        "stragglers_harvested": totals.stragglers_harvested,
+        "late_queries": totals.late_queries,
+        "late_spent_cents": totals.late_spent_cents,
+        "pending_at_end": on_system.scheduler.pending_count,
+        "virtual_seconds": on_system.scheduler.now,
+    }
+
+
 def run_bench(
-    seed: int = 0, fast: bool = True, repeats: int = 3
+    seed: int = 0, fast: bool = True, repeats: int = 3,
+    scheduler: bool = False,
 ) -> dict[str, Any]:
     """Benchmark one deployment; returns a JSON-safe report.
 
@@ -101,7 +146,8 @@ def run_bench(
     per-stage span aggregates and end-of-run cache statistics),
     ``committee_vote`` (the cached-vs-uncached micro-benchmark) and
     ``meta`` (seed, scale, interpreter — enough to compare artifacts
-    across CI runs).
+    across CI runs).  With ``scheduler`` set, a fourth section A/Bs the
+    loop with the virtual-time scheduler off vs on.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
@@ -123,6 +169,7 @@ def run_bench(
         "meta": {
             "seed": seed,
             "fast": fast,
+            "scheduler": scheduler,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -135,6 +182,8 @@ def run_bench(
         },
         "committee_vote": _vote_benchmark(setup, repeats),
     }
+    if scheduler:
+        report["scheduler"] = _scheduler_benchmark(setup)
     return report
 
 
@@ -183,4 +232,19 @@ def render_bench(report: dict[str, Any]) -> str:
         f"cached {vote['cached_best_seconds'] * 1e3:.2f}ms "
         f"({vote['speedup']:.0f}x)",
     ]
+    sched = report.get("scheduler")
+    if sched:
+        lines += [
+            "",
+            "scheduler A/B: "
+            f"off {sched['off_wall_seconds']:.2f}s / "
+            f"on {sched['on_wall_seconds']:.2f}s; "
+            f"{sched['late_responses']:.0f} late responses, "
+            f"{sched['stragglers_harvested']} harvested, "
+            f"{sched['late_queries']} all-late queries "
+            f"({sched['late_spent_cents'] / 100:.2f} USD sunk), "
+            f"{sched['pending_at_end']} still in flight; "
+            f"crowd delay {sched['off_mean_crowd_delay']:.1f}s -> "
+            f"{sched['on_mean_crowd_delay']:.1f}s realized",
+        ]
     return "\n".join(lines)

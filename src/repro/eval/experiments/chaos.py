@@ -312,11 +312,26 @@ def run_chaos(
     setup: ExperimentSetup,
     intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
     plan: FaultPlan | None = None,
+    scheduler: bool = False,
 ) -> ChaosData:
-    """Sweep fault intensity and measure each scheme's degradation curve."""
+    """Sweep fault intensity and measure each scheme's degradation curve.
+
+    With ``scheduler`` set, both CrowdLearn arms run under the
+    virtual-time scheduler (``config.scheduler_enabled``), so delay-spike
+    faults collide with the sensing-cycle deadline: spiked responses turn
+    into stragglers instead of merely inflating the delay telemetry, and
+    the table's ``late_queries``/``stragglers_harvested`` columns light up.
+    """
+    import dataclasses
+
     if setup.fast and len(intensities) > 3:
         intensities = (0.0, 0.5, 1.0)
     base_plan = plan if plan is not None else default_chaos_plan(setup)
+    config = (
+        dataclasses.replace(setup.config, scheduler_enabled=True)
+        if scheduler
+        else None
+    )
 
     ensemble = EnsembleScheme(setup.base_committee.experts, setup.train_set)
     ensemble_result = ensemble.run(setup.make_stream("chaos-ensemble"))
@@ -339,8 +354,8 @@ def run_chaos(
         injector = FaultInjector(scaled, rng=setup.seeds.get(f"{tag}-faults"))
         tel = Telemetry()
         system = build_crowdlearn(
-            setup, faults=injector, platform_name=f"{tag}-resilient",
-            telemetry=tel,
+            setup, config=config, faults=injector,
+            platform_name=f"{tag}-resilient", telemetry=tel,
         )
         outcome = system.run(setup.make_stream(f"{tag}-resilient"))
         res_f1, res_delay, res_cycles = _metrics(outcome)
@@ -359,6 +374,7 @@ def run_chaos(
         )
         naive = build_crowdlearn(
             setup,
+            config=config,
             resilience=ResiliencePolicy.naive(),
             faults=naive_injector,
             platform_name=f"{tag}-naive",

@@ -42,6 +42,7 @@ __all__ = ["scheme_result_to_dict", "scheme_result_from_dict",
            "save_results", "load_results",
            "cycle_outcome_to_dict", "cycle_outcome_from_dict",
            "run_outcome_to_dict", "run_outcome_from_dict",
+           "run_outcome_digest",
            "save_checkpoint", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
@@ -185,6 +186,18 @@ def run_outcome_from_dict(data: dict) -> "RunOutcome":
     )
 
 
+def run_outcome_digest(outcome: "RunOutcome") -> str:
+    """SHA-256 over a run's canonical JSON form.
+
+    Two runs are byte-identical in every label, score, spend, counter and
+    delay iff their digests match — the primitive behind the
+    scheduler-off parity guarantee (a disabled scheduler must reproduce
+    the synchronous loop exactly) and the CI parity smoke job.
+    """
+    payload = json.dumps(run_outcome_to_dict(outcome), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def save_checkpoint(
     path: str | Path,
     system: "CrowdLearnSystem",
@@ -214,6 +227,7 @@ def save_checkpoint(
         raise ValueError(f"next_cycle must be >= 0, got {next_cycle}")
     path = Path(path)
     telemetry = getattr(system, "telemetry", None)
+    scheduler = getattr(system, "scheduler", None)
     state = pickle.dumps(
         {
             "next_cycle": int(next_cycle),
@@ -230,6 +244,11 @@ def save_checkpoint(
         # Advisory inspection copy; the digest covers only the restorable
         # state, so a telemetry-only diff never invalidates a checkpoint.
         "telemetry": None if telemetry is None else telemetry.snapshot(),
+        # Advisory too: the scheduler's live event heap travels inside the
+        # pickled system (pending straggler arrivals survive a resume);
+        # this JSON summary lets operators see how many responses are in
+        # flight without unpickling anything.
+        "scheduler": None if scheduler is None else scheduler.snapshot(),
     }
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))

@@ -88,6 +88,17 @@ class SimulatedClock:
         self._elapsed += float(seconds)
         return self._elapsed
 
+    def advance_to(self, elapsed_seconds: float) -> float:
+        """Advance (forwards only) to an absolute elapsed time.
+
+        A no-op when the clock is already at or past the target — simulated
+        time never runs backwards, so a scheduler can realign to a cycle
+        boundary even after backoff pushed the clock beyond it.
+        """
+        if elapsed_seconds > self._elapsed:
+            self._elapsed = float(elapsed_seconds)
+        return self._elapsed
+
     def advance_cycles(self, n: int, cycle_seconds: float = SECONDS_PER_CYCLE) -> float:
         """Advance by ``n`` sensing cycles of ``cycle_seconds`` each."""
         if n < 0:

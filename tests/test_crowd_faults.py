@@ -195,8 +195,22 @@ class TestResponseFaults:
         platform = make_platform(population, faults=injector(duplicate_rate=1.0))
         result = platform.post_query(meta(), 8.0, TemporalContext.EVENING)
         assert len(result.responses) == 10  # 5 workers, each submitted twice
-        assert len(platform.history) == 10
+        # ... but history is deduped per (worker, query), so the Filtering
+        # baseline sees each worker's submission exactly once.
+        assert len(platform.history) == 5
+        assert len({(e.worker_id, e.query_id) for e in platform.history}) == 5
         assert platform.faults.counters["duplicates"] == 5
+
+    def test_duplicate_history_dedupe_grades_once(self, population):
+        """Regression: a duplicated answer must not double-count in grading."""
+        platform = make_platform(population, faults=injector(duplicate_rate=1.0))
+        result = platform.post_query(meta(), 8.0, TemporalContext.EVENING)
+        truth = int(result.responses[0].label)
+        platform.reveal_ground_truth(result.query.query_id, truth)
+        for worker_id in set(result.worker_ids()):
+            graded, correct = platform.worker_track_record(worker_id)
+            assert graded == 1  # one query answered -> one graded entry
+            assert correct <= 1
 
     def test_counters_cover_all_kinds(self):
         inj = injector()

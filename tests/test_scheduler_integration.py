@@ -1,0 +1,247 @@
+"""System-level tests for the virtual-time crowd scheduler.
+
+Covers the deployment-shaped guarantees from the scheduler work:
+
+- scheduler *off* is byte-identical to the synchronous loop (and so is
+  scheduler *on* with a deadline no response can ever miss), verified
+  both field-by-field and through the outcome digest the CI parity job
+  uses;
+- under the paper's delay model with a tightened cycle, late responses
+  show up (concentrated at low-incentive contexts), all-late queries are
+  charged rather than refunded, and harvested stragglers feed MIC
+  retraining;
+- a checkpoint taken with straggler responses still in flight resumes
+  bit-for-bit, scheduler heap included.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.config import CrowdLearnConfig
+from repro.core.system import CrowdLearnSystem, RunOutcome
+from repro.eval.persistence import (
+    load_checkpoint,
+    run_outcome_digest,
+    save_checkpoint,
+)
+from repro.eval.runner import build_crowdlearn, prepare
+from repro.telemetry.runtime import Telemetry, use_telemetry
+
+from tests.test_guards_integration import assert_runs_equal
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=0, fast=True)
+
+
+def tight_config(setup) -> CrowdLearnConfig:
+    """A cycle short enough that the paper's crowds cannot keep up.
+
+    Mean delays run ~270-1150s depending on context and incentive
+    (Figure 5), so a 150s sensing cycle makes lateness routine while a
+    generous harvest window keeps the stragglers collectable within the
+    fast run's eight cycles.
+    """
+    return dataclasses.replace(
+        setup.config,
+        scheduler_enabled=True,
+        cycle_seconds=150.0,
+        straggler_max_cycles=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def tight_run(setup):
+    """One scheduler-on run under the tight cycle, telemetry attached."""
+    telemetry = Telemetry()
+    system = build_crowdlearn(
+        setup,
+        config=tight_config(setup),
+        platform_name="sched-tight",
+        telemetry=telemetry,
+    )
+    with use_telemetry(telemetry):
+        outcome = system.run(setup.make_stream("sched-tight"))
+    return system, outcome, telemetry
+
+
+class TestSchedulerParity:
+    def test_disabled_matches_synchronous_loop(self, setup):
+        """Scheduler off twice -> identical digests (the CI parity check)."""
+        digests = []
+        for _ in range(2):
+            system = build_crowdlearn(setup, platform_name="sched-parity")
+            assert system.scheduler is None
+            outcome = system.run(setup.make_stream("sched-parity"))
+            digests.append(run_outcome_digest(outcome))
+        assert digests[0] == digests[1]
+
+    def test_enabled_with_unmissable_deadline_matches_disabled(self, setup):
+        """The scheduled code path is inert when nothing is ever late.
+
+        With a deadline of 1e9 seconds no lognormal draw can miss it, so
+        harvest phases find nothing and every query's realized delay
+        equals its plain mean delay.  Stream and platform seeds are
+        shared by name; the only difference is whether ``run_cycle``
+        goes through the scheduler plumbing at all.
+        """
+        config = dataclasses.replace(
+            setup.config, scheduler_enabled=True, cycle_seconds=1e9
+        )
+        scheduled = build_crowdlearn(
+            setup, config=config, platform_name="sched-inert"
+        )
+        assert scheduled.scheduler is not None
+        on = scheduled.run(setup.make_stream("sched-inert"))
+
+        plain = build_crowdlearn(setup, platform_name="sched-inert")
+        off = plain.run(setup.make_stream("sched-inert"))
+
+        totals = on.resilience_totals()
+        assert totals.late_queries == 0
+        assert totals.stragglers_harvested == 0
+        assert scheduled.scheduler.pending_count == 0
+        assert_runs_equal(on, off)
+        assert run_outcome_digest(on) == run_outcome_digest(off)
+
+    def test_drop_policy_keeps_platform_synchronous(self, setup):
+        """``straggler_policy="drop"`` never wires the scheduler into the
+        platform, so late responses vanish exactly as without one."""
+        config = dataclasses.replace(
+            setup.config,
+            scheduler_enabled=True,
+            cycle_seconds=150.0,
+            straggler_policy="drop",
+        )
+        system = build_crowdlearn(setup, config=config, platform_name="sched-drop")
+        assert system.scheduler is not None
+        assert system.platform.scheduler is None
+        outcome = system.run(setup.make_stream("sched-drop"))
+        assert outcome.resilience_totals().stragglers_harvested == 0
+        assert system.scheduler.pending_count == 0
+
+
+class TestTightCycle:
+    def test_late_responses_and_harvest(self, tight_run):
+        system, outcome, telemetry = tight_run
+        totals = outcome.resilience_totals()
+        registry = telemetry.registry
+        assert registry.value("platform_late_responses_total") > 0
+        assert totals.stragglers_harvested > 0
+        assert registry.value("stragglers_harvested_total") == (
+            totals.stragglers_harvested
+        )
+
+    def test_lateness_concentrates_at_slow_contexts(self, tight_run):
+        """Figure 5's shape survives the deadline: the low-incentive
+        midnight crowd (mean ~330-750s) misses a 150s cycle."""
+        _, _, telemetry = tight_run
+        assert telemetry.registry.value(
+            "platform_late_responses_total", context="midnight"
+        ) > 0
+
+    def test_all_late_queries_are_charged_not_refunded(self, tight_run):
+        system, outcome, _ = tight_run
+        totals = outcome.resilience_totals()
+        assert totals.late_queries > 0
+        assert totals.late_spent_cents > 0
+        # the sunk cost is real money out of the ledger, not a refund
+        assert system.ledger.spent >= totals.late_spent_cents
+        # abandoned-query refunds are a separate, fault-only path
+        assert totals.refunds == 0
+        assert totals.refunded_cents == 0.0
+
+    def test_harvested_stragglers_reach_retraining(self, tight_run):
+        _, _, telemetry = tight_run
+        assert telemetry.registry.value("stragglers_retrained_total") > 0
+
+    def test_harvest_spans_emitted(self, tight_run):
+        _, outcome, telemetry = tight_run
+        harvest = [
+            s for s in telemetry.tracer.spans if s.name == "scheduler.harvest"
+        ]
+        assert len(harvest) == len(outcome.cycles)
+
+    def test_virtual_time_tracks_cycle_boundaries(self, tight_run):
+        system, outcome, _ = tight_run
+        # the harvest phase advanced the clock to the last cycle's start
+        # (plus any retry backoff, zero on this fault-free platform)
+        last_start = system.scheduler.cycle_start(len(outcome.cycles) - 1)
+        assert system.scheduler.now >= last_start
+
+
+class TestCheckpointWithPendingStragglers:
+    def build(self, setup, telemetry=None) -> CrowdLearnSystem:
+        return build_crowdlearn(
+            setup,
+            config=tight_config(setup),
+            platform_name="sched-resume",
+            telemetry=telemetry,
+        )
+
+    def test_resume_matches_uninterrupted(self, setup, tmp_path):
+        """Crash with straggler responses in flight, resume -> identical.
+
+        The checkpoint must round-trip the scheduler's event heap, the
+        virtual clock and the straggler-query registry, not just the
+        committee and RNGs.
+        """
+        uninterrupted = self.build(setup).run(setup.make_stream("sched-resume"))
+        assert uninterrupted.resilience_totals().stragglers_harvested > 0
+
+        path = tmp_path / "scheduled.ckpt"
+        system = self.build(setup)
+        stream = setup.make_stream("sched-resume")
+        outcome = RunOutcome()
+        k = 3  # crash after three completed cycles
+        for t in range(k):
+            outcome.append(system.run_cycle(stream.cycle(t)))
+        assert system.scheduler.pending_count > 0  # responses in flight
+        save_checkpoint(path, system, stream, outcome, next_cycle=k)
+
+        resumed_system, resumed_stream, resumed_outcome, next_cycle = (
+            load_checkpoint(path)
+        )
+        assert next_cycle == k
+        assert resumed_system.scheduler.pending_count == (
+            system.scheduler.pending_count
+        )
+        for t in range(next_cycle, setup.config.n_cycles):
+            resumed_outcome.append(
+                resumed_system.run_cycle(resumed_stream.cycle(t))
+            )
+        assert_runs_equal(resumed_outcome, uninterrupted)
+        assert run_outcome_digest(resumed_outcome) == run_outcome_digest(
+            uninterrupted
+        )
+
+    def test_envelope_carries_scheduler_summary(self, setup, tmp_path):
+        system = self.build(setup)
+        stream = setup.make_stream("sched-resume")
+        outcome = RunOutcome()
+        outcome.append(system.run_cycle(stream.cycle(0)))
+        path = save_checkpoint(
+            tmp_path / "summary.ckpt", system, stream, outcome, next_cycle=1
+        )
+        envelope = pickle.loads(path.read_bytes())
+        summary = envelope["scheduler"]
+        assert summary is not None
+        assert summary["pending_events"] == system.scheduler.pending_count
+        assert summary["cycle_seconds"] == 150.0
+
+
+class TestConfigValidation:
+    def test_cycle_seconds_must_be_positive(self):
+        with pytest.raises(ValueError, match="cycle_seconds"):
+            dataclasses.replace(CrowdLearnConfig(), cycle_seconds=0.0)
+
+    def test_straggler_policy_is_closed_set(self):
+        with pytest.raises(ValueError, match="straggler_policy"):
+            dataclasses.replace(CrowdLearnConfig(), straggler_policy="defer")
+
+    def test_straggler_max_cycles_must_be_positive(self):
+        with pytest.raises(ValueError, match="straggler_max_cycles"):
+            dataclasses.replace(CrowdLearnConfig(), straggler_max_cycles=0)

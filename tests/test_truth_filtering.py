@@ -26,18 +26,24 @@ def meta(image_id=0, label=DamageLabel.SEVERE):
 
 
 def grade_worker_history(platform, worker_id, n, n_correct):
-    """Inject a synthetic graded history for one worker."""
+    """Inject a synthetic graded history for one worker.
+
+    Goes through ``_record_history`` + ``reveal_ground_truth`` (rather than
+    appending pre-graded rows) so the platform's running per-worker
+    graded/correct index sees every entry, exactly as live grading would.
+    """
     from repro.crowd.platform import WorkerHistoryEntry
 
     for i in range(n):
-        platform._history.append(
+        platform._record_history(
             WorkerHistoryEntry(
                 worker_id=worker_id,
                 query_id=10_000 + i,
-                label=0,
-                correct=i < n_correct,
+                label=0 if i < n_correct else 1,
+                correct=None,
             )
         )
+        platform.reveal_ground_truth(10_000 + i, 0)
 
 
 class TestQualityFilter:
