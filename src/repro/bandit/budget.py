@@ -64,6 +64,17 @@ class BudgetLedger:
         return len(self._refunds)
 
     @property
+    def total_charged(self) -> float:
+        """Gross amount taken via :meth:`charge` (before refunds).
+
+        With :attr:`total_refunded` this lets an auditor balance the
+        books: ``total_charged − total_refunded`` must equal
+        :attr:`spent`, or a charge was applied twice (e.g. a crash-replay
+        double-charging a journaled post).
+        """
+        return float(sum(self._charges))
+
+    @property
     def total_refunded(self) -> float:
         """Total amount returned via :meth:`refund`."""
         return float(sum(self._refunds))

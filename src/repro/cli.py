@@ -10,6 +10,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro fig9       # regenerate Figure 9
     python -m repro budget     # regenerate Figures 10 & 11
     python -m repro chaos      # degradation curves under injected faults
+    python -m repro supervise  # watchdog: restart crashed/hung runs
     python -m repro diagnose   # per-archetype failure report of each expert
     python -m repro trace      # telemetry: per-stage wall-time/cost breakdown
     python -m repro bench      # time cycle stages, write BENCH_cycle.json
@@ -42,18 +43,10 @@ def _prepare(args):
     return setup
 
 
-def cmd_run(args) -> int:
-    import dataclasses
-
-    from repro.eval.runner import build_crowdlearn, scheme_result_from_run
+def _print_run_report(system, outcome) -> None:
+    from repro.eval.runner import scheme_result_from_run
     from repro.metrics import classification_report
 
-    setup = _prepare(args)
-    config = None
-    if getattr(args, "scheduler", False):
-        config = dataclasses.replace(setup.config, scheduler_enabled=True)
-    system = build_crowdlearn(setup, config=config)
-    outcome = system.run(setup.make_stream("cli-run"))
     result = scheme_result_from_run("CrowdLearn", outcome)
     report = classification_report(result.y_true, result.y_pred)
     print(f"CrowdLearn: {report}")
@@ -79,7 +72,209 @@ def cmd_run(args) -> int:
             f"{system.scheduler.pending_count} still in flight "
             f"at t={system.scheduler.now:.0f}s"
         )
+
+
+def _crash_specs(args) -> list[str]:
+    """Crash-point specs from ``--crash-at`` or ``REPRO_CRASH_AT``."""
+    import os
+
+    specs = list(getattr(args, "crash_at", None) or [])
+    if not specs and getattr(args, "journal", None):
+        env = os.environ.get("REPRO_CRASH_AT", "").strip()
+        if env:
+            specs = [s.strip() for s in env.split(",") if s.strip()]
+    return specs
+
+
+def cmd_run(args) -> int:
+    import dataclasses
+
+    from repro.eval.runner import build_crowdlearn
+
+    durable = any(
+        getattr(args, flag, None)
+        for flag in (
+            "checkpoint", "journal", "resume", "crash_at",
+            "digest_file", "cycles",
+        )
+    )
+    if durable:
+        return _cmd_run_durable(args)
+    setup = _prepare(args)
+    config = None
+    if getattr(args, "scheduler", False):
+        config = dataclasses.replace(setup.config, scheduler_enabled=True)
+    system = build_crowdlearn(setup, config=config)
+    outcome = system.run(setup.make_stream("cli-run"))
+    _print_run_report(system, outcome)
     return 0
+
+
+def _cmd_run_durable(args) -> int:
+    """``repro run`` with a checkpoint, a write-ahead journal, or both."""
+    import dataclasses
+    import os
+    from pathlib import Path
+
+    from repro.crowd.faults import (
+        CrashPoint,
+        FaultInjector,
+        FaultPlan,
+        InjectedCrash,
+    )
+    from repro.eval.journal import CycleJournal, heartbeat_writer, resume_run
+    from repro.eval.persistence import (
+        CheckpointIntegrityError,
+        run_outcome_digest,
+    )
+    from repro.utils.rng import SeedSequencer
+
+    specs = _crash_specs(args)
+    if args.resume and not (args.journal and args.checkpoint):
+        print("--resume requires --journal and --checkpoint", file=sys.stderr)
+        return 2
+    if getattr(args, "crash_at", None) and not args.journal:
+        print(
+            "--crash-at requires --journal "
+            "(crash points fire at journal stage boundaries)",
+            file=sys.stderr,
+        )
+        return 2
+    on_record = None
+    heartbeat = os.environ.get("REPRO_HEARTBEAT", "").strip()
+    if heartbeat:
+        on_record = heartbeat_writer(heartbeat)
+
+    def build_fresh():
+        from repro.eval.runner import build_crowdlearn
+
+        setup = _prepare(args)
+        overrides = {}
+        if getattr(args, "scheduler", False):
+            overrides["scheduler_enabled"] = True
+        if getattr(args, "cycles", None):
+            overrides["n_cycles"] = args.cycles
+        if overrides:
+            setup.config = dataclasses.replace(setup.config, **overrides)
+        system = build_crowdlearn(setup, config=setup.config)
+        if specs:
+            plan = FaultPlan(
+                crash_points=tuple(CrashPoint.parse(s) for s in specs)
+            )
+            system.platform.faults = FaultInjector(
+                plan, SeedSequencer(args.seed).get("faults")
+            )
+        return system, setup.make_stream("cli-run")
+
+    audit = {}
+    try:
+        if args.resume:
+            recovery = resume_run(
+                args.checkpoint,
+                args.journal,
+                checkpoint_every=args.checkpoint_every,
+                fsync=args.fsync,
+                fresh=build_fresh,
+                on_record=on_record,
+            )
+            system, outcome, info = (
+                recovery.system, recovery.outcome, recovery.info,
+            )
+            audit = info.get("audit", {})
+            print(
+                f"recovery: resumed at cycle {info['resumed_at_cycle']}, "
+                f"replayed {info['replayed_records']} journal records, "
+                f"served {info['requeries_avoided_cents'] / 100:.2f} USD "
+                "of posts from the journal; audit "
+                f"{'passed' if audit.get('ok') else 'FAILED'}",
+                file=sys.stderr,
+            )
+        else:
+            system, stream = build_fresh()
+            journal = None
+            if args.journal:
+                journal = CycleJournal.create(
+                    args.journal,
+                    fsync=args.fsync,
+                    crash_injector=getattr(system.platform, "faults", None),
+                    on_record=on_record,
+                )
+            try:
+                outcome = system.run(
+                    stream,
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    journal=journal,
+                )
+            finally:
+                if journal is not None:
+                    journal.close()
+    except CheckpointIntegrityError as exc:
+        print(
+            f"corrupt checkpoint ({exc.check} check failed): {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    except InjectedCrash as exc:
+        print(f"injected crash: {exc}", file=sys.stderr)
+        return 75
+    digest = run_outcome_digest(outcome)
+    if getattr(args, "digest_file", None):
+        Path(args.digest_file).write_text(digest + "\n")
+    _print_run_report(system, outcome)
+    print(f"run digest {digest}")
+    if args.resume and not audit.get("ok", True):
+        print("post-recovery invariant audit FAILED", file=sys.stderr)
+        return 4
+    return 0
+
+
+def cmd_supervise(args) -> int:
+    from repro.eval.supervisor import (
+        SupervisorConfig,
+        render_recovery_table,
+        supervise,
+    )
+
+    argv = [
+        sys.executable, "-m", "repro", "run",
+        "--seed", str(args.seed),
+        "--checkpoint", args.checkpoint,
+        "--journal", args.journal,
+        "--checkpoint-every", str(args.checkpoint_every),
+        "--fsync", args.fsync,
+    ]
+    if args.full:
+        argv.append("--full")
+    if getattr(args, "scheduler", False):
+        argv.append("--scheduler")
+    if getattr(args, "cycles", None):
+        argv += ["--cycles", str(args.cycles)]
+    if getattr(args, "digest_file", None):
+        argv += ["--digest-file", args.digest_file]
+    heartbeat = args.heartbeat or f"{args.journal}.heartbeat"
+    config = SupervisorConfig(
+        watchdog_seconds=args.watchdog,
+        max_restarts=args.max_restarts,
+        backoff_base_seconds=args.backoff,
+    )
+    first_env = None
+    if getattr(args, "crash_at", None):
+        first_env = {"REPRO_CRASH_AT": ",".join(args.crash_at)}
+    outcome = supervise(
+        argv,
+        heartbeat,
+        config=config,
+        journal_path=args.journal,
+        first_launch_env=first_env,
+    )
+    print(render_recovery_table(args.journal, outcome))
+    if outcome.gave_up:
+        print(
+            f"supervisor gave up after {config.max_restarts} restarts",
+            file=sys.stderr,
+        )
+    return outcome.returncode
 
 
 def cmd_pilot(args) -> int:
@@ -141,6 +336,18 @@ def cmd_budget(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if getattr(args, "crash", False):
+        from repro.eval.supervisor import run_crash_chaos
+
+        kwargs = {}
+        if getattr(args, "crash_at", None):
+            kwargs["crash_specs"] = tuple(args.crash_at)
+        return run_crash_chaos(
+            seed=args.seed,
+            cycles=getattr(args, "cycles", None) or 3,
+            full=args.full,
+            **kwargs,
+        )
     if getattr(args, "workers", None):
         return _cmd_chaos_parallel(args)
     from repro.eval.experiments import run_chaos, run_guard_chaos
@@ -229,9 +436,19 @@ def cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 1
+        journal = report.get("journal", {})
+        if journal and journal.get("overhead_fraction", 0.0) >= 0.05:
+            print(
+                "FAIL: journal overhead is "
+                f"{journal['overhead_fraction'] * 100:.2f}% of cycle "
+                "wall time (budget: < 5%)",
+                file=sys.stderr,
+            )
+            return 1
         print(
             "bench check passed: cached vote at least as fast as uncached, "
-            "and the loop served predictions from the cache",
+            "the loop served predictions from the cache, and journaling "
+            "cost under 5% of cycle wall time",
             file=sys.stderr,
         )
     return 0
@@ -299,6 +516,11 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig9": (cmd_fig9, "regenerate Figure 9 (query-set size sweep)"),
     "budget": (cmd_budget, "regenerate Figures 10 & 11 (budget sweep)"),
     "chaos": (cmd_chaos, "degradation curves under injected platform faults"),
+    "supervise": (
+        cmd_supervise,
+        "run the loop in a watched child process; restart from the "
+        "journal and checkpoint after crashes or hangs",
+    ),
     "diagnose": (cmd_diagnose, "per-archetype failure report of each expert"),
     "trace": (cmd_trace, "run with telemetry: stage wall-time/cost breakdown"),
     "bench": (cmd_bench, "time cycle stages and cache wins; write BENCH_cycle.json"),
@@ -329,17 +551,87 @@ def build_parser() -> argparse.ArgumentParser:
                 "--prometheus", metavar="PATH",
                 help="also export metrics in Prometheus text format",
             )
-        if name in ("run", "chaos", "bench"):
+        if name in ("run", "chaos", "bench", "supervise"):
             sub.add_argument(
                 "--scheduler", action="store_true",
                 help="enable the virtual-time scheduler: each sensing "
                      "cycle becomes a real deadline and late responses "
                      "are harvested into later cycles",
             )
+        if name in ("run", "supervise"):
+            sub.add_argument(
+                "--checkpoint", metavar="PATH",
+                required=(name == "supervise"),
+                help="write a checkpoint after each sensing cycle "
+                     "(and resume from it with --resume)",
+            )
+            sub.add_argument(
+                "--journal", metavar="PATH",
+                required=(name == "supervise"),
+                help="write-ahead journal of intra-cycle stage effects; "
+                     "rotated atomically at each checkpoint",
+            )
+            sub.add_argument(
+                "--checkpoint-every", type=int, default=1, metavar="N",
+                dest="checkpoint_every",
+                help="checkpoint every N cycles (default 1)",
+            )
+            sub.add_argument(
+                "--digest-file", metavar="PATH", dest="digest_file",
+                help="write the run-outcome digest here (parity checks)",
+            )
+            sub.add_argument(
+                "--fsync", choices=("always", "rotate", "never"),
+                default="always",
+                help="journal durability policy (default always: fsync "
+                     "every record)",
+            )
+        if name in ("run", "supervise", "chaos"):
+            sub.add_argument(
+                "--cycles", type=int, metavar="N",
+                help="trim the deployment to N sensing cycles",
+            )
+            sub.add_argument(
+                "--crash-at", action="append", metavar="SPEC",
+                dest="crash_at",
+                help="inject a crash at stage[:cycle[:occurrence[:action]]] "
+                     "(action: raise|kill|hang); repeatable",
+            )
+        if name == "run":
+            sub.add_argument(
+                "--resume", action="store_true",
+                help="resume from --checkpoint, replaying --journal "
+                     "past it (exit 3 on a corrupt checkpoint)",
+            )
+        if name == "supervise":
+            sub.add_argument(
+                "--watchdog", type=float, default=300.0, metavar="SECONDS",
+                help="restart the child if its heartbeat is silent this "
+                     "long (default 300)",
+            )
+            sub.add_argument(
+                "--max-restarts", type=int, default=5, metavar="N",
+                dest="max_restarts",
+                help="restart budget before giving up (default 5)",
+            )
+            sub.add_argument(
+                "--backoff", type=float, default=1.0, metavar="SECONDS",
+                help="first restart backoff; doubles per restart",
+            )
+            sub.add_argument(
+                "--heartbeat", metavar="PATH",
+                help="heartbeat file (default <journal>.heartbeat)",
+            )
         if name == "chaos":
             sub.add_argument(
                 "--workers", type=int, metavar="N",
                 help="run the intensity arms across N worker processes",
+            )
+            sub.add_argument(
+                "--crash", action="store_true",
+                help="crash-recovery chaos: kill the loop at stage "
+                     "boundaries, supervise the restarts, and assert "
+                     "digest parity with an uninterrupted run",
             )
         if name == "bench":
             sub.add_argument(

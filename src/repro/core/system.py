@@ -226,6 +226,11 @@ class CrowdLearnSystem:
         #: each sensing cycle becomes a real deadline and late responses
         #: are harvested into later cycles (under the "harvest" policy).
         self.scheduler = scheduler
+        #: Write-ahead journal (:class:`repro.eval.journal.CycleJournal`);
+        #: ``None`` runs without crash-tolerance.  Attached by
+        #: :meth:`run`/``repro.eval.journal.resume_run`` for the duration
+        #: of the run and never pickled into checkpoints.
+        self.journal = None
         #: Queries with late responses still in flight, by query id.
         self._straggler_queries: dict[int, StragglerRecord] = {}
         if scheduler is not None and config.straggler_policy == "harvest":
@@ -236,6 +241,13 @@ class CrowdLearnSystem:
 
     def _telemetry(self) -> Telemetry:
         return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    def __getstate__(self) -> dict:
+        # The journal holds an open file handle and belongs to exactly one
+        # process's run; a checkpoint must never capture it.
+        state = self.__dict__.copy()
+        state["journal"] = None
+        return state
 
     @classmethod
     def build(
@@ -417,6 +429,152 @@ class CrowdLearnSystem:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
+    @staticmethod
+    def _pre_post_marks(
+        counters: ResilienceCounters, scheduler: VirtualTimeScheduler | None
+    ) -> dict:
+        """Counter marks taken just before a post, to journal its deltas."""
+        return {
+            "retries": counters.retries,
+            "backoff_seconds": counters.backoff_seconds,
+            "outages_hit": counters.outages_hit,
+            "next_seq": scheduler.next_seq if scheduler is not None else 0,
+            "expired": scheduler.expired_total if scheduler is not None else 0,
+        }
+
+    def _post_counter_deltas(
+        self, counters: ResilienceCounters, before: dict
+    ) -> dict:
+        faults = self.platform.faults
+        return {
+            "retries": int(counters.retries - before["retries"]),
+            "backoff_seconds": float(
+                counters.backoff_seconds - before["backoff_seconds"]
+            ),
+            "outages_hit": int(counters.outages_hit - before["outages_hit"]),
+            "faults_state": None if faults is None else faults.state_dict(),
+        }
+
+    def _post_failure_payload(
+        self, kind: str, index, arm: int, incentive: float,
+        counters: ResilienceCounters, before: dict,
+    ) -> dict:
+        """Journal payload for a post that charged nothing.
+
+        ``budget`` (the ledger refused the charge) and ``dropped`` (outage
+        retries exhausted) have no external effects, so recovery simply
+        re-executes them; the record exists to anchor crash points and to
+        verify that re-execution reaches the same outcome.
+        """
+        return {
+            "kind": kind,
+            "index": int(index),
+            "arm": int(arm),
+            "incentive": float(incentive),
+            **self._post_counter_deltas(counters, before),
+        }
+
+    def _post_success_payload(
+        self, result: QueryResult, paid: float, index, arm: int,
+        incentive: float, counters: ResilienceCounters, before: dict,
+        scheduler: VirtualTimeScheduler | None,
+    ) -> dict:
+        """Journal payload capturing a charged post's full effects.
+
+        Everything :meth:`_replay_post` needs to re-apply the post without
+        touching the crowd: the charge, the query id, the delivered
+        responses, the scheduler events it queued, and the platform/fault
+        RNG states after the call.
+        """
+        from repro.eval.journal import encode_pending, encode_response
+
+        scheduled = []
+        n_expired = 0
+        if scheduler is not None:
+            scheduled = [
+                encode_pending(e)
+                for e in scheduler.events_since(before["next_seq"])
+            ]
+            n_expired = int(scheduler.expired_total - before["expired"])
+        return {
+            "kind": "posted",
+            "index": int(index),
+            "arm": int(arm),
+            "incentive": float(incentive),
+            "paid": float(paid),
+            "query_id": int(result.query.query_id),
+            "image_id": result.query.image_id,
+            "deadline": (
+                None if result.deadline_seconds is None
+                else float(result.deadline_seconds)
+            ),
+            "n_late": int(result.n_late),
+            "n_expired": n_expired,
+            "responses": [encode_response(r) for r in result.responses],
+            "scheduled": scheduled,
+            "rng_state": self.platform.rng.bit_generator.state,
+            **self._post_counter_deltas(counters, before),
+        }
+
+    def _replay_post(
+        self,
+        cycle: SensingCycle,
+        payload: dict,
+        counters: ResilienceCounters,
+        scheduler: VirtualTimeScheduler | None,
+    ) -> tuple[QueryResult, float]:
+        """Re-apply a journaled ``posted`` record instead of re-posting.
+
+        Restores the retry/backoff counters (advancing virtual time by the
+        recorded backoff), the fault injector's clock and RNG, and then
+        the platform-side effects via
+        :meth:`CrowdsourcingPlatform.restore_posted_query` — charging the
+        restored (pre-post) ledger exactly once and never assigning a new
+        query id.  Returns ``(result, paid)`` shaped exactly like
+        :meth:`_post_with_retries`, so the rest of the loop cannot tell a
+        replayed post from a live one.
+        """
+        from repro.crowd.tasks import CrowdQuery
+        from repro.eval.journal import decode_response
+
+        counters.retries += int(payload["retries"])
+        counters.backoff_seconds += float(payload["backoff_seconds"])
+        counters.outages_hit += int(payload["outages_hit"])
+        if scheduler is not None and payload["backoff_seconds"]:
+            scheduler.advance(float(payload["backoff_seconds"]))
+        faults = self.platform.faults
+        if faults is not None and payload.get("faults_state") is not None:
+            faults.restore_state(payload["faults_state"])
+        paid = float(payload["paid"])
+        query = CrowdQuery(
+            query_id=int(payload["query_id"]),
+            image_id=payload["image_id"],
+            incentive_cents=paid,
+            context=cycle.context,
+        )
+        responses = [decode_response(d) for d in payload["responses"]]
+        scheduled = [
+            (
+                float(e["arrival_time"]),
+                int(e["seq"]),
+                float(e["posted_at"]),
+                decode_response(e["response"]),
+            )
+            for e in payload["scheduled"]
+        ]
+        result = self.platform.restore_posted_query(
+            query,
+            responses,
+            scheduled,
+            n_late=int(payload["n_late"]),
+            n_expired=int(payload["n_expired"]),
+            rng_state=payload["rng_state"],
+            ledger=self.ledger,
+            paid_cents=paid,
+            deadline_seconds=payload["deadline"],
+        )
+        return result, paid
+
     def run_cycle(self, cycle: SensingCycle) -> CycleOutcome:
         """Execute the full CrowdLearn loop on one sensing cycle.
 
@@ -525,6 +683,14 @@ class CrowdLearnSystem:
         # getattr: systems unpickled from pre-scheduler checkpoints have no
         # scheduler attribute; they keep running synchronously.
         scheduler = getattr(self, "scheduler", None)
+        # Write-ahead journal (pre-journal checkpoints lack the attribute).
+        # Each append below marks a stage boundary; during crash recovery
+        # the same appends are verified against the journaled history, and
+        # journaled posts are served from the log instead of re-posted.
+        jrn = getattr(self, "journal", None)
+        if jrn is not None:
+            jrn.append(cycle.index, "cycle_start",
+                       {"context": cycle.context.value})
         straggler_images: list[DisasterImage] = []
         straggler_labels: list[int] = []
         if scheduler is not None:
@@ -545,6 +711,10 @@ class CrowdLearnSystem:
                         harvested=len(harvested),
                         pending=scheduler.pending_count,
                     )
+            if jrn is not None:
+                jrn.append(cycle.index, "harvest",
+                           {"harvested": len(harvested),
+                            "pending": scheduler.pending_count})
         if guard is not None and guard.n_experts != self.committee.n_experts:
             # A new committee was swapped into a live system: per-expert
             # guard memory no longer describes anything real.
@@ -571,6 +741,9 @@ class CrowdLearnSystem:
         with tel.span("cycle.qss"):
             query_size = min(self.config.queries_per_cycle, len(dataset))
             query_indices = self.qss.select(entropy, query_size, self.rng)
+        if jrn is not None:
+            jrn.append(cycle.index, "qss",
+                       {"indices": [int(i) for i in query_indices]})
 
         incentives: list[float] = []
         results: list[QueryResult] = []
@@ -592,18 +765,50 @@ class CrowdLearnSystem:
                 with tel.span("cycle.ipd.price"):
                     arm, incentive = self.ipd.price_query(cycle.context)
                 metadata = dataset[int(index)].metadata
-                try:
-                    result, paid = self._post_with_retries(
-                        metadata, incentive, cycle.context, counters,
-                        deadline_seconds=deadline,
+                replayed = None
+                before = None
+                if jrn is not None:
+                    jrn.append(cycle.index, "post_intent",
+                               {"index": int(index), "arm": int(arm),
+                                "incentive": float(incentive)})
+                    replayed = jrn.peek_replay(cycle.index, "post")
+                    before = self._pre_post_marks(counters, scheduler)
+                if replayed is not None and replayed.get("kind") == "posted":
+                    # The crashed run already paid for this query: apply
+                    # the journaled effects, never post or charge again.
+                    result, paid = self._replay_post(
+                        cycle, replayed, counters, scheduler
                     )
-                except BudgetExhausted:
-                    break  # budget gone: remaining images stay with the AI
-                except PlatformUnavailable:
-                    if not policy.enabled:
-                        raise
-                    counters.dropped_queries += 1
-                    continue  # this image stays with the AI
+                    jrn.append(cycle.index, "post", replayed)
+                    jrn.requeries_avoided_cents += paid
+                else:
+                    try:
+                        result, paid = self._post_with_retries(
+                            metadata, incentive, cycle.context, counters,
+                            deadline_seconds=deadline,
+                        )
+                    except BudgetExhausted:
+                        if jrn is not None:
+                            jrn.append(cycle.index, "post",
+                                       self._post_failure_payload(
+                                           "budget", index, arm, incentive,
+                                           counters, before))
+                        break  # budget gone: images stay with the AI
+                    except PlatformUnavailable:
+                        if not policy.enabled:
+                            raise
+                        counters.dropped_queries += 1
+                        if jrn is not None:
+                            jrn.append(cycle.index, "post",
+                                       self._post_failure_payload(
+                                           "dropped", index, arm, incentive,
+                                           counters, before))
+                        continue  # this image stays with the AI
+                    if jrn is not None:
+                        jrn.append(cycle.index, "post",
+                                   self._post_success_payload(
+                                       result, paid, index, arm, incentive,
+                                       counters, before, scheduler))
                 if not result.responses and policy.enabled:
                     if result.n_late:
                         # Every worker answered — after the deadline.  The
@@ -668,6 +873,12 @@ class CrowdLearnSystem:
                     self.platform.reveal_ground_truth(
                         result.query.query_id, int(label)
                     )
+            if jrn is not None:
+                jrn.append(cycle.index, "cqc",
+                           {"labels": [int(x) for x in truthful],
+                            "query_ids": [
+                                int(r.query.query_id) for r in results
+                            ]})
             query_votes = [v[query_indices] for v in votes]
             pre_vote: np.ndarray | None = None
             if guard is not None or isinstance(self.qss, AdaptiveQuerySetSelector):
@@ -693,6 +904,8 @@ class CrowdLearnSystem:
                 flagged = guard.observe_labels(
                     consensus, truthful, reliability, gcounters
                 )
+            if jrn is not None:
+                jrn.append(cycle.index, "guard", {"flagged": bool(flagged)})
             with tel.span("cycle.mic.reweight"):
                 if (
                     flagged
@@ -745,6 +958,8 @@ class CrowdLearnSystem:
                         self.replay_pool,
                         self.rng,
                     )
+            if jrn is not None:
+                jrn.append(cycle.index, "retrain", {})
             with tel.span("cycle.ipd.observe"):
                 for result, arm in zip(results, arms):
                     self.ipd.observe(
@@ -785,6 +1000,8 @@ class CrowdLearnSystem:
                             self.replay_pool,
                             self.rng,
                         )
+                if jrn is not None:
+                    jrn.append(cycle.index, "retrain", {})
 
         # Final labels: reweighted committee, query set offloaded to the
         # crowd — unless the drift detector flagged this cycle's labels, in
@@ -851,6 +1068,8 @@ class CrowdLearnSystem:
                     help="prediction/feature cache activity "
                     "(see repro.core.cache)",
                 )
+        if jrn is not None:
+            jrn.append(cycle.index, "cycle_end", {"cost_cents": float(cost)})
         return CycleOutcome(
             cycle_index=cycle.index,
             context=cycle.context,
@@ -871,6 +1090,7 @@ class CrowdLearnSystem:
         stream: SensingCycleStream,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 1,
+        journal=None,
     ) -> RunOutcome:
         """Run the system over an entire sensing-cycle stream.
 
@@ -881,33 +1101,57 @@ class CrowdLearnSystem:
         can continue from the last completed cycle with
         :meth:`resume_from_checkpoint` and produce the same final outcome
         as an uninterrupted run.
+
+        With ``journal`` set (a :class:`repro.eval.journal.CycleJournal`),
+        every intra-cycle stage boundary is additionally written ahead to
+        the journal and the file is rotated at each checkpoint, so a run
+        killed *mid-cycle* can be resumed with
+        :func:`repro.eval.journal.resume_run` — journaled crowd posts are
+        served from the log instead of being re-posted and re-charged.
         """
         if checkpoint_every <= 0:
             raise ValueError(
                 f"checkpoint_every must be positive, got {checkpoint_every}"
             )
-        if checkpoint_path is None:
+        if checkpoint_path is None and journal is None:
             outcome = RunOutcome()
             for cycle in stream:
                 outcome.append(self.run_cycle(cycle))
             return outcome
         return self._run_from(stream, RunOutcome(), 0, checkpoint_path,
-                              checkpoint_every)
+                              checkpoint_every, journal=journal)
 
     def _run_from(
         self,
         stream: SensingCycleStream,
         outcome: RunOutcome,
         start_cycle: int,
-        checkpoint_path: str | Path,
+        checkpoint_path: str | Path | None,
         checkpoint_every: int,
+        journal=None,
     ) -> RunOutcome:
         from repro.eval.persistence import save_checkpoint
 
-        for t in range(start_cycle, len(stream)):
-            outcome.append(self.run_cycle(stream.cycle(t)))
-            if (t + 1) % checkpoint_every == 0 or t == len(stream) - 1:
-                save_checkpoint(checkpoint_path, self, stream, outcome, t + 1)
+        if journal is not None:
+            self.journal = journal
+        try:
+            for t in range(start_cycle, len(stream)):
+                outcome.append(self.run_cycle(stream.cycle(t)))
+                at_checkpoint = (
+                    (t + 1) % checkpoint_every == 0 or t == len(stream) - 1
+                )
+                if checkpoint_path is not None and at_checkpoint:
+                    save_checkpoint(
+                        checkpoint_path, self, stream, outcome, t + 1
+                    )
+                    if journal is not None:
+                        # Everything the journal recorded is now inside
+                        # the snapshot: rotate to a fresh file whose base
+                        # names the checkpoint's resume cycle.
+                        journal.rotate(t + 1)
+        finally:
+            if journal is not None:
+                self.journal = None
         return outcome
 
     @classmethod

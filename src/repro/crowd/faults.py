@@ -31,6 +31,9 @@ malformed           a response arrives unattributable (``worker_id = -1``)
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,7 +41,8 @@ import numpy as np
 from repro.crowd.tasks import QuestionnaireAnswers, WorkerResponse
 from repro.data.metadata import DamageLabel, ImageMetadata, SceneType
 
-__all__ = ["PlatformUnavailable", "FaultPlan", "FaultInjector"]
+__all__ = ["PlatformUnavailable", "InjectedCrash", "CrashPoint",
+           "FaultPlan", "FaultInjector"]
 
 #: Names of the per-fault event counters a :class:`FaultInjector` keeps.
 FAULT_KINDS: tuple[str, ...] = (
@@ -49,7 +53,11 @@ FAULT_KINDS: tuple[str, ...] = (
     "delay_spikes",
     "duplicates",
     "malformed",
+    "crashes",
 )
+
+#: Actions a :class:`CrashPoint` may take when its boundary is reached.
+CRASH_ACTIONS: tuple[str, ...] = ("raise", "kill", "hang")
 
 
 class PlatformUnavailable(RuntimeError):
@@ -58,6 +66,97 @@ class PlatformUnavailable(RuntimeError):
     Raised *before* the ledger is charged — an unreachable platform cannot
     take your money — so the caller can retry or give up without refunding.
     """
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by a :class:`CrashPoint` with ``action="raise"``.
+
+    Models a process that dies mid-cycle with a Python-level failure (the
+    ``"kill"`` action models the harder SIGKILL case).  The loop never
+    catches it: it propagates out of ``run_cycle`` so the process exits and
+    the supervisor (or a test) resumes from checkpoint + journal.
+    """
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Crash the process at a named journal stage boundary.
+
+    Boundaries are the write-ahead-journal record points inside
+    ``run_cycle`` (``cycle_start``, ``harvest``, ``qss``, ``post_intent``,
+    ``post``, ``cqc``, ``guard``, ``retrain``, ``cycle_end``) plus the
+    checkpoint-time ``rotate``.  The crash fires the ``occurrence``-th time
+    (0-based) the ``(stage, cycle)`` boundary is reached in this process.
+
+    Parameters
+    ----------
+    stage:
+        Journal stage name to crash at.
+    cycle:
+        Cycle index to match, or ``None`` for any cycle.
+    occurrence:
+        Which occurrence of the boundary within the matched cycle (0-based;
+        e.g. ``post`` fires once per posted query).
+    action:
+        ``"raise"`` raises :class:`InjectedCrash`; ``"kill"`` SIGKILLs the
+        process (no chance to clean up); ``"hang"`` sleeps forever so a
+        supervisor's watchdog must detect the stall.
+    """
+
+    stage: str
+    cycle: int | None = None
+    occurrence: int = 0
+    action: str = "raise"
+
+    def __post_init__(self) -> None:
+        if not self.stage:
+            raise ValueError("crash point needs a stage name")
+        if self.cycle is not None and self.cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {self.cycle}")
+        if self.occurrence < 0:
+            raise ValueError(
+                f"occurrence must be >= 0, got {self.occurrence}"
+            )
+        if self.action not in CRASH_ACTIONS:
+            raise ValueError(
+                f"action must be one of {CRASH_ACTIONS}, got {self.action!r}"
+            )
+
+    def matches(self, stage: str, cycle: int, occurrence: int) -> bool:
+        """Whether this point fires at the given boundary occurrence."""
+        return (
+            stage == self.stage
+            and (self.cycle is None or cycle == self.cycle)
+            and occurrence == self.occurrence
+        )
+
+    def spec(self) -> str:
+        """The ``stage[:cycle[:occurrence[:action]]]`` string form."""
+        cycle = "*" if self.cycle is None else str(self.cycle)
+        return f"{self.stage}:{cycle}:{self.occurrence}:{self.action}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "CrashPoint":
+        """Parse ``stage[:cycle[:occurrence[:action]]]`` (cycle ``*`` = any).
+
+        Examples: ``post``, ``cqc:1``, ``post:1:2``, ``retrain:2:0:kill``.
+        """
+        parts = spec.strip().split(":")
+        if not parts or not parts[0]:
+            raise ValueError(f"empty crash-point spec: {spec!r}")
+        if len(parts) > 4:
+            raise ValueError(
+                f"crash-point spec has too many fields: {spec!r} "
+                "(want stage[:cycle[:occurrence[:action]]])"
+            )
+        stage = parts[0]
+        cycle = None
+        if len(parts) > 1 and parts[1] not in ("", "*"):
+            cycle = int(parts[1])
+        occurrence = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+        action = parts[3] if len(parts) > 3 and parts[3] else "raise"
+        return cls(stage=stage, cycle=cycle, occurrence=occurrence,
+                   action=action)
 
 
 @dataclass(frozen=True)
@@ -89,6 +188,9 @@ class FaultPlan:
     outage_windows:
         ``[start, end)`` post-attempt intervals during which every post
         raises :class:`PlatformUnavailable`.
+    crash_points:
+        :class:`CrashPoint` instances that terminate the process at named
+        journal stage boundaries (crash-recovery chaos).
     """
 
     abandonment_rate: float = 0.0
@@ -99,6 +201,7 @@ class FaultPlan:
     duplicate_rate: float = 0.0
     malformed_rate: float = 0.0
     outage_windows: tuple[tuple[int, int], ...] = ()
+    crash_points: tuple[CrashPoint, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -124,6 +227,9 @@ class FaultPlan:
                 raise ValueError(
                     f"outage window must satisfy 0 <= start < end: {window}"
                 )
+        for point in self.crash_points:
+            if not isinstance(point, CrashPoint):
+                raise ValueError(f"not a CrashPoint: {point!r}")
 
     def is_noop(self) -> bool:
         """Whether this plan injects nothing at all."""
@@ -135,13 +241,14 @@ class FaultPlan:
             and self.duplicate_rate == 0.0
             and self.malformed_rate == 0.0
             and not self.outage_windows
+            and not self.crash_points
         )
 
     def scaled(self, intensity: float) -> "FaultPlan":
         """This plan with every rate multiplied by ``intensity`` (clipped).
 
-        Outage windows are kept as-is for any positive intensity and
-        dropped at zero — a window either exists or it does not.
+        Outage windows and crash points are kept as-is for any positive
+        intensity and dropped at zero — they either exist or they do not.
         """
         if intensity < 0:
             raise ValueError(f"intensity must be >= 0, got {intensity}")
@@ -155,6 +262,7 @@ class FaultPlan:
             duplicate_rate=clip(self.duplicate_rate),
             malformed_rate=clip(self.malformed_rate),
             outage_windows=self.outage_windows if intensity > 0 else (),
+            crash_points=self.crash_points if intensity > 0 else (),
         )
 
 
@@ -179,14 +287,69 @@ class FaultInjector:
     rng: np.random.Generator
     counters: dict[str, int] = field(init=False)
     _attempts: int = field(default=0, init=False)
+    _boundary_counts: dict[tuple[str, int], int] = field(init=False)
 
     def __post_init__(self) -> None:
         self.counters = {kind: 0 for kind in FAULT_KINDS}
+        self._boundary_counts = {}
 
     @property
     def attempts(self) -> int:
         """Post attempts seen so far (including ones that hit an outage)."""
         return self._attempts
+
+    def on_stage_boundary(self, stage: str, cycle: int) -> None:
+        """Fire any armed :class:`CrashPoint` matching this boundary.
+
+        Called by the journal layer *after* the boundary record is durable,
+        so a crash here never loses the record it follows.  Occurrence
+        counts are per ``(stage, cycle)`` within this process; resume
+        disarms ``plan.crash_points`` so a restarted run cannot crash-loop.
+        """
+        if not self.plan.crash_points:
+            return
+        key = (stage, cycle)
+        occurrence = self._boundary_counts.get(key, 0)
+        self._boundary_counts[key] = occurrence + 1
+        for point in self.plan.crash_points:
+            if not point.matches(stage, cycle, occurrence):
+                continue
+            self.counters["crashes"] += 1
+            if point.action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if point.action == "hang":  # wait for the watchdog to fire
+                while True:  # pragma: no cover - killed externally
+                    time.sleep(3600)
+            raise InjectedCrash(
+                f"injected crash at stage boundary {stage!r} "
+                f"(cycle {cycle}, occurrence {occurrence})"
+            )
+
+    def disarm_crashes(self) -> None:
+        """Drop all crash points (used after a recovery resume)."""
+        if self.plan.crash_points:
+            self.plan = dataclasses.replace(self.plan, crash_points=())
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the injector's mutable state.
+
+        Captures the attempt clock, counters and the fault RNG state so a
+        journal replay can restore the injector exactly as it was after a
+        journaled post (``_boundary_counts`` is deliberately process-local:
+        it exists only to aim crash points).
+        """
+        return {
+            "attempts": int(self._attempts),
+            "counters": {k: int(v) for k, v in self.counters.items()},
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._attempts = int(state["attempts"])
+        for kind in FAULT_KINDS:
+            self.counters[kind] = int(state["counters"].get(kind, 0))
+        self.rng.bit_generator.state = state["rng_state"]
 
     def on_post_attempt(self) -> None:
         """Advance the attempt clock; raise during an outage window."""

@@ -253,6 +253,98 @@ class CrowdsourcingPlatform:
                     ).observe(response.delay_seconds)
         return result
 
+    def restore_posted_query(
+        self,
+        query: CrowdQuery,
+        responses: list[WorkerResponse],
+        scheduled: list[tuple[float, int, float, WorkerResponse]],
+        n_late: int,
+        n_expired: int,
+        rng_state: dict,
+        ledger: BudgetLedger | None,
+        paid_cents: float,
+        deadline_seconds: float | None = None,
+    ) -> QueryResult:
+        """Re-apply a journaled post without re-running the crowd.
+
+        Journal replay after a mid-cycle crash must reproduce a post's
+        *effects* — the charge, the query id, the delivered responses, the
+        scheduler's arrival events, the worker history — without posting
+        anything: the money was already spent and the workers already
+        answered.  ``rng_state`` is the platform generator's state captured
+        right after the original post, so live posts that follow the
+        replayed ones continue the original draw sequence exactly.
+
+        ``scheduled`` carries ``(arrival_time, seq, posted_at, response)``
+        tuples for late responses that entered the virtual-time heap;
+        ``n_expired`` is how many aged out at scheduling time.  Raises
+        :class:`ValueError` if ``query.query_id`` is not the next id this
+        platform would assign — the journal and platform have diverged and
+        replaying would forge or duplicate a post.
+        """
+        if query.query_id != self._next_query_id:
+            raise ValueError(
+                f"journaled query id {query.query_id} does not match the "
+                f"platform's next id {self._next_query_id}; refusing to "
+                "replay a duplicate or out-of-order post"
+            )
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        if ledger is not None:
+            # The restored ledger predates this post (the checkpoint was
+            # taken a cycle earlier), so the journaled charge is applied
+            # exactly once here — never against a live platform.
+            ledger.charge(paid_cents)
+        self._next_query_id += 1
+        result = QueryResult(query=query, deadline_seconds=deadline_seconds)
+        for response in responses:
+            result.responses.append(response)
+            self._record_history(
+                WorkerHistoryEntry(
+                    worker_id=response.worker_id,
+                    query_id=query.query_id,
+                    label=int(response.label),
+                    correct=None,
+                )
+            )
+        result.n_late = n_late
+        if self.scheduler is not None:
+            for arrival_time, seq, posted_at, response in scheduled:
+                self.scheduler.restore_event(
+                    arrival_time, seq, query, response, posted_at
+                )
+            self.scheduler.expired_total += int(n_expired)
+        self.rng.bit_generator.state = rng_state
+        if tel.enabled:
+            tel.counter(
+                "platform_queries_total", help="queries posted and charged"
+            ).inc()
+            tel.counter(
+                "platform_responses_total",
+                help="worker responses delivered to the requester",
+            ).inc(len(result.responses))
+            if n_late:
+                tel.counter(
+                    "platform_late_responses_total",
+                    help="responses that missed the requester deadline",
+                ).inc(n_late)
+                tel.counter(
+                    "platform_late_responses_total",
+                    help="responses that missed the requester deadline",
+                    context=query.context.value,
+                ).inc(n_late)
+            if n_expired:
+                tel.counter(
+                    "stragglers_expired_total",
+                    help="late responses aged out before harvest",
+                ).inc(n_expired)
+            for response in result.responses:
+                tel.histogram(
+                    "platform_response_delay_seconds",
+                    help="per-response worker delay",
+                    context=query.context.value,
+                ).observe(response.delay_seconds)
+        return result
+
     def _record_history(self, entry: WorkerHistoryEntry) -> None:
         # One history row per (worker, query): duplicate-response faults
         # redeliver the same submission, and the Filtering baseline must not

@@ -182,6 +182,50 @@ class VirtualTimeScheduler:
         """Whether any response for ``query_id`` is still in flight."""
         return self._pending_per_query.get(query_id, 0) > 0
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next scheduled event will receive."""
+        return self._next_seq
+
+    def events_since(self, seq: int) -> list[PendingResponse]:
+        """Pending events with sequence ``>= seq``, in sequence order.
+
+        The journal layer uses this to serialize exactly the arrival
+        events one posted query added to the heap (its post captured
+        ``next_seq`` beforehand) without disturbing the heap itself.
+        """
+        return sorted(
+            (e for e in self._events if e.seq >= seq), key=lambda e: e.seq
+        )
+
+    def restore_event(
+        self,
+        arrival_time: float,
+        seq: int,
+        query: CrowdQuery,
+        response: WorkerResponse,
+        posted_at: float,
+    ) -> None:
+        """Re-insert a journaled arrival event exactly as it was queued.
+
+        Journal replay cannot go through :meth:`schedule` — the clock has
+        moved on and the sequence counter must match the original run — so
+        this restores the recorded ``(arrival_time, seq, posted_at)``
+        verbatim and bumps ``_next_seq`` past the restored sequence.
+        """
+        event = PendingResponse(
+            arrival_time=float(arrival_time),
+            seq=int(seq),
+            query=query,
+            response=response,
+            posted_at=float(posted_at),
+        )
+        heapq.heappush(self._events, event)
+        self._next_seq = max(self._next_seq, event.seq + 1)
+        self._pending_per_query[query.query_id] = (
+            self._pending_per_query.get(query.query_id, 0) + 1
+        )
+
     def snapshot(self) -> dict:
         """JSON-safe summary for checkpoint envelopes and telemetry."""
         return {

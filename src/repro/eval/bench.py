@@ -136,17 +136,56 @@ def _scheduler_benchmark(setup) -> dict[str, Any]:
     }
 
 
+def _journal_benchmark(setup) -> dict[str, Any]:
+    """Run the loop with the write-ahead journal and checkpoints on.
+
+    Overhead is the time spent inside journal appends (canonical
+    serialization + write + fsync, plus rotation) as a fraction of the
+    journaled run's wall time — the price of crash tolerance.  CI gates
+    on this staying under 5% of cycle wall time.
+    """
+    import tempfile
+
+    from repro.eval.journal import CycleJournal
+    from repro.eval.runner import build_crowdlearn
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        tmp_path = Path(tmp)
+        system = build_crowdlearn(setup, platform_name="bench-journal")
+        journal = CycleJournal.create(tmp_path / "bench.journal")
+        started = time.perf_counter()
+        try:
+            system.run(
+                setup.make_stream("bench-journal"),
+                checkpoint_path=tmp_path / "bench.ckpt",
+                journal=journal,
+            )
+        finally:
+            journal.close()
+        wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "journal_write_seconds": journal.write_seconds,
+        "records_written": journal.records_written,
+        "fsync_policy": journal.fsync_policy,
+        "overhead_fraction": (
+            journal.write_seconds / wall if wall > 0 else 0.0
+        ),
+    }
+
+
 def run_bench(
     seed: int = 0, fast: bool = True, repeats: int = 3,
     scheduler: bool = False,
 ) -> dict[str, Any]:
     """Benchmark one deployment; returns a JSON-safe report.
 
-    The report has three sections: ``loop`` (a full instrumented run with
+    The report has four sections: ``loop`` (a full instrumented run with
     per-stage span aggregates and end-of-run cache statistics),
-    ``committee_vote`` (the cached-vs-uncached micro-benchmark) and
+    ``committee_vote`` (the cached-vs-uncached micro-benchmark),
+    ``journal`` (the write-ahead journal's overhead fraction) and
     ``meta`` (seed, scale, interpreter — enough to compare artifacts
-    across CI runs).  With ``scheduler`` set, a fourth section A/Bs the
+    across CI runs).  With ``scheduler`` set, a fifth section A/Bs the
     loop with the virtual-time scheduler off vs on.
     """
     if repeats <= 0:
@@ -181,6 +220,7 @@ def run_bench(
             "cache": cache.stats() if cache is not None else {},
         },
         "committee_vote": _vote_benchmark(setup, repeats),
+        "journal": _journal_benchmark(setup),
     }
     if scheduler:
         report["scheduler"] = _scheduler_benchmark(setup)
@@ -232,6 +272,17 @@ def render_bench(report: dict[str, Any]) -> str:
         f"cached {vote['cached_best_seconds'] * 1e3:.2f}ms "
         f"({vote['speedup']:.0f}x)",
     ]
+    jrn = report.get("journal")
+    if jrn:
+        lines += [
+            "",
+            "journal: "
+            f"{jrn['records_written']} records "
+            f"(fsync={jrn['fsync_policy']}) in "
+            f"{jrn['journal_write_seconds'] * 1e3:.1f}ms of "
+            f"{jrn['wall_seconds']:.2f}s journaled run "
+            f"({jrn['overhead_fraction'] * 100:.2f}% overhead)",
+        ]
     sched = report.get("scheduler")
     if sched:
         lines += [

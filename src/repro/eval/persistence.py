@@ -43,13 +43,33 @@ __all__ = ["scheme_result_to_dict", "scheme_result_from_dict",
            "cycle_outcome_to_dict", "cycle_outcome_from_dict",
            "run_outcome_to_dict", "run_outcome_from_dict",
            "run_outcome_digest",
+           "CheckpointIntegrityError",
            "save_checkpoint", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
 # Version 2 wraps the pickled deployment state in an envelope carrying its
 # SHA-256 digest, so a truncated or bit-flipped checkpoint fails loudly at
 # load time instead of resuming a silently corrupted deployment.
-_CHECKPOINT_VERSION = 2
+# Version 3 adds the state's byte length, so truncation is distinguishable
+# from bit corruption (length vs sha256) in the load error.
+_CHECKPOINT_VERSION = 3
+
+
+class CheckpointIntegrityError(ValueError):
+    """A checkpoint failed to load, with the failing check identified.
+
+    ``check`` names the first integrity check that failed: ``"format"``
+    (unreadable pickle / not a snapshot envelope), ``"version"`` (written
+    by an incompatible code version), ``"length"`` (state truncated or
+    padded), or ``"sha256"`` (state bytes corrupted in place).  Subclasses
+    :class:`ValueError` so existing ``except ValueError`` callers and
+    tests keep working; ``repro run --resume`` maps it to a distinct
+    nonzero exit code.
+    """
+
+    def __init__(self, message: str, check: str):
+        super().__init__(message)
+        self.check = check
 
 
 def scheme_result_to_dict(result: SchemeResult) -> dict:
@@ -240,6 +260,7 @@ def save_checkpoint(
     envelope = {
         "checkpoint_version": _CHECKPOINT_VERSION,
         "sha256": hashlib.sha256(state).hexdigest(),
+        "length": len(state),
         "state": state,
         # Advisory inspection copy; the digest covers only the restorable
         # state, so a telemetry-only diff never invalidates a checkpoint.
@@ -251,7 +272,10 @@ def save_checkpoint(
         "scheduler": None if scheduler is None else scheduler.snapshot(),
     }
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+    with open(tmp, "wb") as handle:
+        handle.write(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
     return path
 
@@ -261,35 +285,58 @@ def load_checkpoint(
 ) -> tuple["CrowdLearnSystem", "SensingCycleStream", "RunOutcome", int]:
     """Load ``(system, stream, outcome, next_cycle)`` from a checkpoint.
 
-    The deployment state's SHA-256 digest is verified before the state is
-    unpickled; a mismatch means the file was corrupted after it was
-    written (bad disk, interrupted copy, manual edit) and raises a
-    :class:`ValueError` telling the operator to fall back to an older
-    checkpoint or restart the run.
+    The deployment state's byte length and SHA-256 digest are verified
+    before the state is unpickled; a mismatch means the file was corrupted
+    after it was written (bad disk, interrupted copy, manual edit) and
+    raises a :class:`CheckpointIntegrityError` whose ``check`` attribute
+    names the failing check — ``format``, ``version``, ``length`` or
+    ``sha256`` — so the operator (and the ``repro run --resume`` exit
+    path) can tell truncation from bit rot from a version skew.
     """
     try:
         envelope = pickle.loads(Path(path).read_bytes())
     except (pickle.UnpicklingError, EOFError) as exc:
-        raise ValueError(f"corrupt checkpoint file {path}: {exc}") from exc
+        raise CheckpointIntegrityError(
+            f"corrupt checkpoint file {path}: {exc}", check="format"
+        ) from exc
     if not isinstance(envelope, dict):
-        raise ValueError(f"corrupt checkpoint file {path}: not a snapshot")
+        raise CheckpointIntegrityError(
+            f"corrupt checkpoint file {path}: not a snapshot", check="format"
+        )
     version = envelope.get("checkpoint_version")
     if version != _CHECKPOINT_VERSION:
-        raise ValueError(
+        raise CheckpointIntegrityError(
             f"unsupported checkpoint version {version!r} "
-            f"(expected {_CHECKPOINT_VERSION})"
+            f"(expected {_CHECKPOINT_VERSION})",
+            check="version",
         )
     state = envelope.get("state")
     recorded = envelope.get("sha256")
-    if not isinstance(state, bytes) or not isinstance(recorded, str):
-        raise ValueError(f"corrupt checkpoint file {path}: not a snapshot")
+    length = envelope.get("length")
+    if (
+        not isinstance(state, bytes)
+        or not isinstance(recorded, str)
+        or not isinstance(length, int)
+    ):
+        raise CheckpointIntegrityError(
+            f"corrupt checkpoint file {path}: not a snapshot", check="format"
+        )
+    if len(state) != length:
+        raise CheckpointIntegrityError(
+            f"checkpoint {path} failed its integrity check (length): "
+            f"recorded {length} state bytes, found {len(state)}.  The "
+            "snapshot was truncated or padded after it was written; resume "
+            "from an older checkpoint or restart the deployment.",
+            check="length",
+        )
     computed = hashlib.sha256(state).hexdigest()
     if computed != recorded:
-        raise ValueError(
-            f"checkpoint {path} failed its integrity check: recorded sha256 "
-            f"{recorded[:12]}..., computed {computed[:12]}....  The file was "
-            "corrupted after it was written; resume from an older checkpoint "
-            "or restart the deployment from scratch."
+        raise CheckpointIntegrityError(
+            f"checkpoint {path} failed its integrity check (sha256): "
+            f"recorded {recorded[:12]}..., computed {computed[:12]}....  The "
+            "file was corrupted after it was written; resume from an older "
+            "checkpoint or restart the deployment from scratch.",
+            check="sha256",
         )
     payload = pickle.loads(state)
     return (

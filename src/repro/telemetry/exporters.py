@@ -229,4 +229,18 @@ def summary_report(telemetry: "Telemetry", title: str = "Telemetry") -> str:
                 title=f"{title}: guard interventions",
             )
         )
+    recovery_rows = [
+        [instrument.name, float(instrument.value)]
+        for instrument in telemetry.registry
+        if instrument.name.startswith("recovery_")
+        and instrument.name not in dict(_COST_COUNTERS)
+    ]
+    if any(value for _, value in recovery_rows):
+        parts.append(
+            format_table(
+                ["counter", "value"],
+                recovery_rows,
+                title=f"{title}: Recovery",
+            )
+        )
     return "\n\n".join(parts)

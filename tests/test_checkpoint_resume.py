@@ -171,3 +171,60 @@ class TestOutcomeJsonRoundtrip:
         del data["final_labels"]
         with pytest.raises(ValueError, match="missing field"):
             cycle_outcome_from_dict(data)
+
+
+class TestIntegrityCheckNames:
+    """CheckpointIntegrityError names the specific failing check."""
+
+    @pytest.fixture()
+    def checkpoint(self, setup, tmp_path):
+        path = tmp_path / "named.ckpt"
+        system = build_crowdlearn(setup)
+        save_checkpoint(path, system, setup.make_stream("named"), RunOutcome(), 0)
+        return path
+
+    @staticmethod
+    def _tamper(path, mutate):
+        import pickle
+
+        envelope = pickle.loads(path.read_bytes())
+        mutate(envelope)
+        path.write_bytes(pickle.dumps(envelope))
+
+    def _check_of(self, path):
+        from repro.eval.persistence import CheckpointIntegrityError
+
+        with pytest.raises(CheckpointIntegrityError) as excinfo:
+            load_checkpoint(path)
+        return excinfo.value.check
+
+    def test_format(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        assert self._check_of(path) == "format"
+
+    def test_version(self, checkpoint):
+        self._tamper(
+            checkpoint, lambda env: env.update(checkpoint_version=999)
+        )
+        assert self._check_of(checkpoint) == "version"
+
+    def test_length(self, checkpoint):
+        self._tamper(
+            checkpoint, lambda env: env.update(length=env["length"] + 1)
+        )
+        assert self._check_of(checkpoint) == "length"
+
+    def test_sha256(self, checkpoint):
+        def flip_one_byte(env):
+            state = bytearray(env["state"])
+            state[len(state) // 2] ^= 0xFF
+            env["state"] = bytes(state)
+
+        self._tamper(checkpoint, flip_one_byte)
+        assert self._check_of(checkpoint) == "sha256"
+
+    def test_error_is_value_error(self):
+        from repro.eval.persistence import CheckpointIntegrityError
+
+        assert issubclass(CheckpointIntegrityError, ValueError)

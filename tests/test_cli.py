@@ -10,9 +10,12 @@ class TestParser:
         parser = build_parser()
         for command in (
             "run", "pilot", "table1", "table2", "fig8", "fig9",
-            "budget", "chaos", "diagnose", "trace", "bench",
+            "budget", "chaos", "diagnose", "trace", "bench", "supervise",
         ):
-            args = parser.parse_args([command, "--seed", "5"])
+            argv = [command, "--seed", "5"]
+            if command == "supervise":
+                argv += ["--checkpoint", "c.ckpt", "--journal", "c.journal"]
+            args = parser.parse_args(argv)
             assert args.seed == 5
             assert callable(args.func)
 
@@ -27,6 +30,27 @@ class TestParser:
     def test_full_flag(self):
         args = build_parser().parse_args(["run", "--full"])
         assert args.full is True
+
+    def test_run_durable_flags(self):
+        args = build_parser().parse_args([
+            "run", "--checkpoint", "c.ckpt", "--journal", "c.journal",
+            "--resume", "--cycles", "3", "--crash-at", "cqc:1:0:kill",
+            "--crash-at", "post:2", "--fsync", "rotate",
+            "--digest-file", "d.txt", "--checkpoint-every", "2",
+        ])
+        assert args.resume is True
+        assert args.cycles == 3
+        assert args.crash_at == ["cqc:1:0:kill", "post:2"]
+        assert args.fsync == "rotate"
+        assert args.checkpoint_every == 2
+
+    def test_supervise_requires_journal_and_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["supervise"])
+
+    def test_chaos_crash_flag(self):
+        args = build_parser().parse_args(["chaos", "--crash"])
+        assert args.crash is True
 
 
 class TestCommands:
@@ -107,6 +131,26 @@ class TestCommands:
 
     def test_bench_rejects_fast_and_full(self, capsys):
         assert main(["bench", "--fast", "--full"]) == 2
+
+    def test_run_resume_requires_paths(self, capsys):
+        assert main(["run", "--resume", "--seed", "61"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_run_crash_at_requires_journal(self, capsys):
+        assert main(["run", "--crash-at", "cqc:0", "--seed", "61"]) == 2
+        assert "--crash-at requires --journal" in capsys.readouterr().err
+
+    def test_run_resume_corrupt_checkpoint_exits_3(self, tmp_path, capsys):
+        ckpt = tmp_path / "c.ckpt"
+        ckpt.write_bytes(b"garbage")
+        assert main([
+            "run", "--seed", "61", "--resume",
+            "--checkpoint", str(ckpt),
+            "--journal", str(tmp_path / "c.journal"),
+        ]) == 3
+        err = capsys.readouterr().err
+        assert "corrupt checkpoint" in err
+        assert "format check failed" in err
 
     def test_chaos_workers(self, capsys):
         assert main(["chaos", "--seed", "61", "--workers", "2"]) == 0

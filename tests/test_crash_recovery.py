@@ -1,0 +1,246 @@
+"""Crash/recovery round trips over real deployments.
+
+The property at stake: killing the loop at ANY journaled stage boundary
+and resuming from the journal + checkpoint must produce the same
+RunOutcome digest as the uninterrupted run, with no duplicate posted
+query ids and a conserved budget ledger.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.crowd.faults import (
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+)
+from repro.eval.journal import (
+    CycleJournal,
+    audit_recovery,
+    read_journal,
+    resume_run,
+)
+from repro.eval.persistence import run_outcome_digest
+from repro.eval.runner import build_crowdlearn, fast_config, prepare
+from repro.utils.rng import SeedSequencer
+
+SEED = 7
+N_CYCLES = 3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = dataclasses.replace(
+        fast_config(), n_cycles=N_CYCLES, images_per_cycle=3
+    )
+    return prepare(seed=SEED, config=config, fast=True)
+
+
+def build(setup, crash_spec=None, scheduler=False):
+    config = setup.config
+    if scheduler:
+        config = dataclasses.replace(config, scheduler_enabled=True)
+    system = build_crowdlearn(setup, config=config)
+    if crash_spec is not None:
+        plan = FaultPlan(crash_points=(CrashPoint.parse(crash_spec),))
+        system.platform.faults = FaultInjector(
+            plan, SeedSequencer(SEED).get("faults")
+        )
+    return system
+
+
+@pytest.fixture(scope="module")
+def reference(setup, tmp_path_factory):
+    """Uninterrupted journaled run: the parity digest + every boundary."""
+    tmp = tmp_path_factory.mktemp("crash-reference")
+    system = build(setup)
+    journal = CycleJournal.create(tmp / "ref.journal")
+    try:
+        outcome = system.run(setup.make_stream("crash-ref"), journal=journal)
+    finally:
+        journal.close()
+    records = read_journal(tmp / "ref.journal").records
+    return run_outcome_digest(outcome), records
+
+
+def boundary_specs(records):
+    """Every (stage, cycle, occurrence) a crash point could fire at."""
+    counts = {}
+    specs = []
+    for record in records:
+        if record["stage"] == "rotate":
+            continue
+        key = (record["stage"], record["cycle"])
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        specs.append(f"{record['stage']}:{record['cycle']}:{occurrence}:raise")
+    return specs
+
+
+def crash_then_resume(setup, spec, tmp_path, checkpoint_every=1,
+                      scheduler=False):
+    """Run until the injected crash, then resume from journal+checkpoint."""
+    safe = spec.replace(":", "_").replace("*", "any")
+    ckpt = tmp_path / f"{safe}.ckpt"
+    jrn = tmp_path / f"{safe}.journal"
+    system = build(setup, crash_spec=spec, scheduler=scheduler)
+    journal = CycleJournal.create(
+        jrn, crash_injector=system.platform.faults
+    )
+    stream = setup.make_stream("crash-ref")
+    with pytest.raises(InjectedCrash):
+        try:
+            system.run(
+                stream,
+                checkpoint_path=ckpt,
+                checkpoint_every=checkpoint_every,
+                journal=journal,
+            )
+        finally:
+            journal.close()
+    crashed_before_checkpoint = not ckpt.exists()
+
+    def fresh():
+        return (
+            build(setup, scheduler=scheduler),
+            setup.make_stream("crash-ref"),
+        )
+
+    result = resume_run(
+        ckpt, jrn, checkpoint_every=checkpoint_every, fresh=fresh
+    )
+    return result, crashed_before_checkpoint
+
+
+class TestEveryBoundary:
+    def test_killed_at_every_boundary_resumes_to_same_digest(
+        self, setup, reference, tmp_path
+    ):
+        ref_digest, records = reference
+        specs = boundary_specs(records)
+        # 3 cycles x (cycle_start, qss, 3x(post_intent+post), cqc, guard,
+        # retrain, cycle_end) boundaries
+        assert len(specs) >= N_CYCLES * 10
+        fresh_recoveries = 0
+        for spec in specs:
+            result, was_fresh = crash_then_resume(setup, spec, tmp_path)
+            fresh_recoveries += was_fresh
+            assert run_outcome_digest(result.outcome) == ref_digest, spec
+            audit = result.info["audit"]
+            assert audit["ok"], (spec, audit)
+            ledger = result.system.ledger
+            assert abs(ledger.total - ledger.spent - ledger.remaining) < 1e-6
+            assert abs(
+                ledger.total_charged - ledger.total_refunded - ledger.spent
+            ) < 1e-6, spec
+        # cycle-0 crashes happen before the first checkpoint: the resume
+        # path must also work from a rebuilt (fresh) deployment
+        assert fresh_recoveries > 0
+
+    def test_crash_at_rotation_boundary(self, setup, reference, tmp_path):
+        """A crash right after checkpoint+rotate resumes with nothing to
+        replay — the snapshot already covers every journaled effect."""
+        ref_digest, _ = reference
+        result, _ = crash_then_resume(setup, "rotate:1:0:raise", tmp_path)
+        assert run_outcome_digest(result.outcome) == ref_digest
+        assert result.info["replayed_records"] == 0
+        assert result.info["audit"]["ok"]
+
+    def test_sparse_checkpoints_replay_whole_cycles(
+        self, setup, reference, tmp_path
+    ):
+        """checkpoint_every=2: the journal alone carries cycle 2's posts."""
+        ref_digest, _ = reference
+        result, _ = crash_then_resume(
+            setup, "cqc:2:0:raise", tmp_path, checkpoint_every=2
+        )
+        assert run_outcome_digest(result.outcome) == ref_digest
+        # cycle 2 re-ran from the cycle-2 checkpoint... the crash in cqc:2
+        # means its posts were journaled and must be served, not re-posted
+        assert result.info["requeries_avoided_cents"] > 0
+        assert result.info["audit"]["ok"]
+
+    def test_scheduler_run_recovers_to_parity_digest(
+        self, setup, reference, tmp_path
+    ):
+        """The virtual-time scheduler keeps the scheduler-off parity
+        guarantee across a crash: pending straggler events travel through
+        the checkpoint and journaled posts restore their heap entries."""
+        ref_digest, _ = reference
+        result, _ = crash_then_resume(
+            setup, "post:1:1:raise", tmp_path, scheduler=True
+        )
+        assert run_outcome_digest(result.outcome) == ref_digest
+        assert result.info["audit"]["ok"]
+
+
+class TestRecoveryAccounting:
+    def test_replay_serves_posts_and_counts_spend(self, setup, tmp_path):
+        result, _ = crash_then_resume(setup, "cqc:1:0:raise", tmp_path)
+        info = result.info
+        assert info["replayed_records"] > 0
+        assert info["requeries_avoided_cents"] > 0
+        sidecar_keys = info["audit"]["checks"]
+        assert sidecar_keys["no_duplicate_query_ids"]
+        assert sidecar_keys["ledger_conservation"]
+        assert sidecar_keys["ledger_books_balance"]
+
+    def test_audit_flags_double_charge(self, setup, reference, tmp_path):
+        """A genuinely double-charged ledger fails the books-balance check."""
+        result, _ = crash_then_resume(setup, "guard:1:0:raise", tmp_path)
+        system, outcome = result.system, result.outcome
+        assert audit_recovery(system, outcome)["ok"]
+        system.ledger._spent -= 1.0  # simulate a lost/duplicated entry
+        tampered = audit_recovery(system, outcome)
+        assert not tampered["ok"]
+        assert not tampered["checks"]["ledger_books_balance"]
+
+    def test_divergent_journal_refuses_replay(self, setup, tmp_path):
+        """A journal from a different world must not be replayed into this
+        one: re-execution diverges and raises instead of forking history."""
+        from repro.eval.journal import JournalReplayError
+
+        ckpt = tmp_path / "div.ckpt"
+        jrn = tmp_path / "div.journal"
+        system = build(setup, crash_spec="cqc:1:0:raise")
+        journal = CycleJournal.create(
+            jrn, crash_injector=system.platform.faults
+        )
+        with pytest.raises(InjectedCrash):
+            try:
+                system.run(
+                    setup.make_stream("crash-ref"),
+                    checkpoint_path=ckpt,
+                    journal=journal,
+                )
+            finally:
+                journal.close()
+        # corrupt the journaled history: flip a qss selection and re-seal
+        # the record so the checksum passes but re-execution disagrees
+        import json
+
+        from repro.eval.journal import _record_checksum
+
+        lines = jrn.read_text().splitlines()
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if record["stage"] == "qss":
+                record["payload"]["indices"] = [0] * len(
+                    record["payload"]["indices"]
+                )
+                record["sha256"] = _record_checksum(
+                    record["seq"], record["cycle"], record["stage"],
+                    record["payload"],
+                )
+                lines[i] = json.dumps(record, sort_keys=True,
+                                      separators=(",", ":"))
+                break
+        jrn.write_text("\n".join(lines) + "\n")
+
+        def fresh():
+            return build(setup), setup.make_stream("crash-ref")
+
+        with pytest.raises(JournalReplayError, match="diverged"):
+            resume_run(ckpt, jrn, fresh=fresh)

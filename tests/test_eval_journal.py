@@ -1,0 +1,287 @@
+"""Unit tests for the write-ahead cycle journal (no deployments here;
+
+crash/resume round trips over real runs live in test_crash_recovery.py).
+"""
+
+import json
+
+import pytest
+
+from repro.crowd.faults import CrashPoint, FaultInjector, FaultPlan, InjectedCrash
+from repro.crowd.tasks import QuestionnaireAnswers, WorkerResponse
+from repro.data.metadata import DamageLabel, SceneType
+from repro.eval.journal import (
+    CycleJournal,
+    JournalError,
+    JournalReplayError,
+    decode_response,
+    encode_response,
+    heartbeat_writer,
+    load_recovery_info,
+    read_journal,
+    recovery_sidecar_path,
+    update_recovery_info,
+)
+from repro.utils.rng import SeedSequencer
+
+
+def write_sample(path, n_cycles=2):
+    journal = CycleJournal.create(path)
+    for cycle in range(n_cycles):
+        journal.append(cycle, "cycle_start", {"context": "day"})
+        journal.append(cycle, "qss", {"indices": [cycle, cycle + 1]})
+        journal.append(cycle, "cycle_end", {"cost_cents": 10.0 * cycle})
+    journal.close()
+    return journal
+
+
+class TestReadWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path)
+        read = read_journal(path)
+        assert read.torn_lines == 0
+        assert read.base_cycle == 0
+        assert read.max_cycle == 1
+        stages = [r["stage"] for r in read.records]
+        assert stages[0] == "rotate"
+        assert stages.count("cycle_start") == 2
+        # seq is dense and ordered
+        assert [r["seq"] for r in read.records] == list(range(len(read.records)))
+
+    def test_checksum_failure_ends_prefix(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        record["payload"] = {"indices": [99]}  # tamper without re-checksumming
+        lines[2] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        read = read_journal(path)
+        assert len(read.records) == 2
+        assert read.torn_lines == len(lines) - 2
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path)
+        intact = read_journal(path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 7, "cycle": 1, "stage": "cqc", "payl')
+        read = read_journal(path)
+        assert len(read.records) == len(intact.records)
+        assert read.torn_lines == 1
+        assert read.good_bytes == intact.good_bytes
+
+    def test_resume_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path, n_cycles=1)
+        with open(path, "ab") as fh:
+            fh.write(b"garbage that never parses")
+        journal, info = CycleJournal.resume(path, 0)
+        journal.close()
+        assert info["torn_lines"] == 1
+        assert read_journal(path).torn_lines == 0
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(JournalError, match="fsync"):
+            CycleJournal(tmp_path / "j.journal", fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", ["always", "rotate", "never"])
+    def test_fsync_policies_write_identical_records(self, tmp_path, policy):
+        path = tmp_path / f"{policy}.journal"
+        journal = CycleJournal.create(path, fsync=policy)
+        journal.append(0, "qss", {"indices": [1, 2, 3]})
+        journal.close()
+        read = read_journal(path)
+        assert [r["stage"] for r in read.records] == ["rotate", "qss"]
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = CycleJournal.create(tmp_path / "j.journal")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append(0, "qss", {"indices": []})
+
+    def test_rotate_starts_fresh_base(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = CycleJournal.create(path)
+        journal.append(0, "cycle_start", {"context": "day"})
+        journal.rotate(1)
+        journal.append(1, "cycle_start", {"context": "night"})
+        journal.close()
+        read = read_journal(path)
+        assert read.base_cycle == 1
+        assert [r["stage"] for r in read.records] == ["rotate", "cycle_start"]
+
+
+class TestReplay:
+    def test_replay_verifies_and_drains(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path, n_cycles=1)
+        journal, info = CycleJournal.resume(path, 0)
+        assert info["replay_records"] == 3
+        assert journal.replaying
+        assert journal.peek_replay(0, "cycle_start") == {"context": "day"}
+        assert journal.peek_replay(0, "qss") is None
+        journal.append(0, "cycle_start", {"context": "day"})
+        journal.append(0, "qss", {"indices": [0, 1]})
+        journal.append(0, "cycle_end", {"cost_cents": 0.0})
+        assert not journal.replaying
+        assert journal.replayed_records == 3
+        # live appends continue the same file with increasing seq
+        record = journal.append(1, "cycle_start", {"context": "day"})
+        journal.close()
+        assert record["seq"] == 4
+
+    def test_replay_divergence_raises(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path, n_cycles=1)
+        journal, _ = CycleJournal.resume(path, 0)
+        with pytest.raises(JournalReplayError, match="diverged"):
+            journal.append(0, "cycle_start", {"context": "night"})
+        journal.close()
+
+    def test_rotate_with_unreached_records_raises(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path, n_cycles=1)
+        journal, _ = CycleJournal.resume(path, 0)
+        with pytest.raises(JournalReplayError, match="never"):
+            journal.rotate(1)
+        journal.close()
+
+    def test_trailing_post_intent_is_in_doubt(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = CycleJournal.create(path)
+        journal.append(0, "cycle_start", {"context": "day"})
+        journal.append(0, "post_intent", {"index": 4, "arm": 1, "incentive": 5.0})
+        journal.close()
+        resumed, info = CycleJournal.resume(path, 0)
+        resumed.close()
+        assert info["in_doubt_posts"] == 1
+
+    def test_base_mismatch_quarantines(self, tmp_path):
+        path = tmp_path / "j.journal"
+        write_sample(path, n_cycles=1)
+        journal, info = CycleJournal.resume(path, 3)
+        journal.close()
+        assert info["quarantined"] == str(path) + ".stale"
+        assert (tmp_path / "j.journal.stale").exists()
+        # the fresh journal is anchored at the checkpoint's cycle
+        assert read_journal(path).base_cycle == 3
+        # the quarantined file is intact for post-mortems
+        assert read_journal(str(path) + ".stale").base_cycle == 0
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        journal, info = CycleJournal.resume(tmp_path / "none.journal", 2)
+        journal.close()
+        assert info["replay_records"] == 0
+        assert read_journal(tmp_path / "none.journal").base_cycle == 2
+
+
+class TestCrashPoints:
+    def test_parse_full_spec(self):
+        point = CrashPoint.parse("post:2:1:kill")
+        assert (point.stage, point.cycle, point.occurrence, point.action) == (
+            "post", 2, 1, "kill"
+        )
+
+    def test_parse_defaults(self):
+        point = CrashPoint.parse("cqc")
+        assert point.stage == "cqc"
+        assert point.cycle is None
+        assert point.occurrence == 0
+        assert point.action == "raise"
+
+    def test_parse_wildcard_cycle(self):
+        assert CrashPoint.parse("qss:*").cycle is None
+        assert CrashPoint.parse("qss:3").cycle == 3
+
+    @pytest.mark.parametrize("spec", ["", "qss:x", "qss:1:0:explode"])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            CrashPoint.parse(spec)
+
+    def test_boundary_fires_at_occurrence(self):
+        plan = FaultPlan(crash_points=(CrashPoint.parse("post:1:1"),))
+        injector = FaultInjector(plan, SeedSequencer(0).get("faults"))
+        injector.on_stage_boundary("post", 0)
+        injector.on_stage_boundary("post", 1)  # occurrence 0: no fire
+        with pytest.raises(InjectedCrash):
+            injector.on_stage_boundary("post", 1)  # occurrence 1
+
+    def test_disarm_prevents_crash_loop(self):
+        plan = FaultPlan(crash_points=(CrashPoint.parse("cqc"),))
+        injector = FaultInjector(plan, SeedSequencer(0).get("faults"))
+        injector.disarm_crashes()
+        injector.on_stage_boundary("cqc", 0)  # no raise
+
+    def test_journal_append_survives_its_crash(self, tmp_path):
+        plan = FaultPlan(crash_points=(CrashPoint.parse("qss:0"),))
+        injector = FaultInjector(plan, SeedSequencer(0).get("faults"))
+        path = tmp_path / "j.journal"
+        journal = CycleJournal.create(path, crash_injector=injector)
+        journal.append(0, "cycle_start", {"context": "day"})
+        with pytest.raises(InjectedCrash):
+            journal.append(0, "qss", {"indices": [5]})
+        # the record the crash followed is already durable on disk
+        read = read_journal(path)
+        assert [r["stage"] for r in read.records] == [
+            "rotate", "cycle_start", "qss",
+        ]
+
+
+class TestSidecarAndHeartbeat:
+    def test_sidecar_accumulates_counters(self, tmp_path):
+        journal_path = tmp_path / "j.journal"
+        update_recovery_info(journal_path, recovery_restarts=1, note="a")
+        update_recovery_info(journal_path, recovery_restarts=2, note="b")
+        info = load_recovery_info(journal_path)
+        assert info["recovery_restarts"] == 3  # accumulating key adds
+        assert info["note"] == "b"  # plain key overwrites
+        assert recovery_sidecar_path(journal_path).exists()
+
+    def test_sidecar_missing_or_corrupt_is_empty(self, tmp_path):
+        journal_path = tmp_path / "j.journal"
+        assert load_recovery_info(journal_path) == {}
+        recovery_sidecar_path(journal_path).write_text("{not json")
+        assert load_recovery_info(journal_path) == {}
+
+    def test_heartbeat_touches_on_attach_and_call(self, tmp_path):
+        import os
+
+        hb = tmp_path / "beat"
+        beat = heartbeat_writer(hb)
+        assert hb.exists()
+        past = hb.stat().st_mtime - 100
+        os.utime(hb, (past, past))
+        beat({"seq": 0})
+        assert hb.stat().st_mtime > past + 50
+
+
+class TestResponseCodec:
+    def test_roundtrip_with_questionnaire(self):
+        response = WorkerResponse(
+            worker_id=7,
+            label=DamageLabel.SEVERE,
+            questionnaire=QuestionnaireAnswers(
+                says_fake=False,
+                scene=SceneType.BUILDING,
+                says_people_in_danger=True,
+            ),
+            delay_seconds=123.25,
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded == response
+
+    def test_roundtrip_without_questionnaire(self):
+        response = WorkerResponse(
+            worker_id=0, label=DamageLabel.NO_DAMAGE,
+            questionnaire=None, delay_seconds=0.5,
+        )
+        assert decode_response(encode_response(response)) == response
+
+    def test_encoding_is_json_safe(self):
+        response = WorkerResponse(
+            worker_id=3, label=DamageLabel.MODERATE,
+            questionnaire=None, delay_seconds=9.0,
+        )
+        json.dumps(encode_response(response))

@@ -164,3 +164,23 @@ class TestSummaryReport:
     def test_guard_section_hidden_when_all_zero(self, telemetry):
         telemetry.counter("guard_rollbacks_total", help="rollbacks").inc(0)
         assert "guard interventions" not in summary_report(telemetry)
+
+    def test_recovery_section_appears_after_a_resume(self, telemetry):
+        assert "Recovery" not in summary_report(telemetry)
+        telemetry.counter(
+            "recovery_restarts", help="times a run resumed after a crash"
+        ).inc()
+        telemetry.counter(
+            "recovery_replayed_records", help="records replayed"
+        ).inc(7)
+        telemetry.counter(
+            "recovery_requeries_avoided_cents", help="spend served from log"
+        ).inc(40.0)
+        report = summary_report(telemetry)
+        assert "Recovery" in report
+        assert "recovery_restarts" in report
+        assert "recovery_requeries_avoided_cents" in report
+
+    def test_recovery_section_hidden_when_all_zero(self, telemetry):
+        telemetry.counter("recovery_restarts", help="restarts").inc(0)
+        assert "Recovery" not in summary_report(telemetry)
