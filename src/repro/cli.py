@@ -490,6 +490,177 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run (or resume) a multi-event serving fleet to drain."""
+    import os
+    import signal
+    from pathlib import Path
+
+    from repro.eval.persistence import CheckpointIntegrityError
+    from repro.serve import (
+        CrowdLearnService,
+        SharedCrowdPool,
+        create_admission_policy,
+    )
+    from repro.serve.service import ServeJournalError
+
+    if args.resume and not args.serve_dir:
+        print("--resume requires --serve-dir", file=sys.stderr)
+        return 2
+    try:
+        policy = create_admission_policy(args.policy)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            service = CrowdLearnService.resume(args.serve_dir)
+        else:
+            setup = _prepare(args)
+            pool = SharedCrowdPool(
+                capacity_per_cycle=args.capacity,
+                policy=policy,
+                max_backlog=args.max_backlog,
+            )
+            service = CrowdLearnService(
+                setup,
+                pool=pool,
+                serve_dir=args.serve_dir,
+                fsync=args.fsync,
+            )
+            for i in range(args.events):
+                service.submit_event(f"event-{i + 1:02d}")
+        while True:
+            if (
+                args.crash_at_tick is not None
+                and service.ticks >= args.crash_at_tick
+            ):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if service.step() is None:
+                break
+    except CheckpointIntegrityError as exc:
+        print(
+            f"corrupt event checkpoint ({exc.check} check failed): {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    except ServeJournalError as exc:
+        print(f"serve journal integrity failure: {exc}", file=sys.stderr)
+        return 3
+    for deployment in service.registry.all():
+        status = service.event_status(deployment.event_id)
+        books = status.pool
+        print(
+            f"{status.event_id}: F1 {status.macro_f1:.3f}, "
+            f"cycles {status.next_cycle}/{status.n_cycles}, "
+            f"admitted {books['admitted']}, deferred {books['deferred']}, "
+            f"shed {books['shed']}, "
+            f"spent {status.budget['spent_cents'] / 100:.2f} USD"
+        )
+    digest = service.combined_digest()
+    if getattr(args, "digest_file", None):
+        Path(args.digest_file).write_text(digest + "\n")
+    print(f"serve digest {digest}")
+    if not service.pool.conserved():
+        print("pool conservation violated", file=sys.stderr)
+        service.close()
+        return 4
+    service.close()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Surge bench over the serving layer; writes BENCH_serve.json."""
+    from repro.eval.persistence import CheckpointIntegrityError
+    from repro.serve.loadgen import (
+        DEFAULT_OUTPUT,
+        build_report,
+        check_report,
+        drive,
+        render_report,
+        run_loadgen,
+        write_report,
+    )
+    from repro.serve.service import CrowdLearnService, ServeJournalError
+
+    if args.resume and not args.serve_dir:
+        print("--resume requires --serve-dir", file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            service = CrowdLearnService.resume(args.serve_dir)
+            already_burst = any(
+                d.bursts for d in service.registry.all()
+            )
+            started = time.perf_counter()
+            drive(
+                service,
+                burst_images=0 if already_burst else args.burst_images,
+                burst_seed=args.burst_seed,
+                crash_at_tick=args.crash_at_tick,
+            )
+            wall = time.perf_counter() - started
+            manifest = service._manifest
+            meta = {
+                "bench": "serve-loadgen",
+                "seed": manifest["seed"],
+                "fast": manifest["fast"],
+                "n_events": len(service.registry),
+                "capacity_per_cycle": service.pool.capacity_per_cycle,
+                "policy": service.pool.policy.name,
+                "max_backlog": service.pool.max_backlog,
+                "burst": {
+                    "images": args.burst_images, "seed": args.burst_seed,
+                },
+                "durable": True,
+                "fsync": manifest["fsync"],
+                "resumed": True,
+            }
+            report = build_report(service, wall, meta)
+            service.close()
+        else:
+            report = run_loadgen(
+                seed=args.seed,
+                fast=not args.full,
+                n_events=args.events,
+                capacity=args.capacity,
+                policy=args.policy,
+                max_backlog=args.max_backlog,
+                burst_images=args.burst_images,
+                burst_seed=args.burst_seed,
+                serve_dir=args.serve_dir,
+                fsync=args.fsync,
+                crash_at_tick=args.crash_at_tick,
+            )
+    except CheckpointIntegrityError as exc:
+        print(
+            f"corrupt event checkpoint ({exc.check} check failed): {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    except ServeJournalError as exc:
+        print(f"serve journal integrity failure: {exc}", file=sys.stderr)
+        return 3
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_report(report))
+    path = write_report(report, args.output or DEFAULT_OUTPUT)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.check:
+        failures = check_report(report, p99_gate_seconds=args.p99_gate)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "loadgen check passed: fleet drained, query and money books "
+            "conserved, and the shared crowd was genuinely contended",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_diagnose(args) -> int:
     from repro.eval.diagnostics import diagnose
 
@@ -524,6 +695,14 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "diagnose": (cmd_diagnose, "per-archetype failure report of each expert"),
     "trace": (cmd_trace, "run with telemetry: stage wall-time/cost breakdown"),
     "bench": (cmd_bench, "time cycle stages and cache wins; write BENCH_cycle.json"),
+    "serve": (
+        cmd_serve,
+        "run N concurrent disaster deployments over one shared crowd",
+    ),
+    "loadgen": (
+        cmd_loadgen,
+        "surge-replay bench for the serving layer; write BENCH_serve.json",
+    ),
 }
 
 
@@ -632,6 +811,81 @@ def build_parser() -> argparse.ArgumentParser:
                 help="crash-recovery chaos: kill the loop at stage "
                      "boundaries, supervise the restarts, and assert "
                      "digest parity with an uninterrupted run",
+            )
+        if name in ("serve", "loadgen"):
+            sub.add_argument(
+                "--events", type=int, default=3, metavar="N",
+                help="number of concurrent disaster events (default 3)",
+            )
+            sub.add_argument(
+                "--capacity", type=int, metavar="N",
+                help="shared crowd capacity in query slots per sensing "
+                     "window across all events (serve default: unmetered; "
+                     "loadgen default: half the fleet's demand)",
+            )
+            sub.add_argument(
+                "--policy", default="fair-share",
+                choices=("fair-share", "priority", "deadline"),
+                help="admission policy splitting window capacity",
+            )
+            sub.add_argument(
+                "--max-backlog", type=int, metavar="N", dest="max_backlog",
+                help="per-event deferred-query bound; overflow is shed "
+                     "(default: unbounded)",
+            )
+            sub.add_argument(
+                "--serve-dir", metavar="DIR", dest="serve_dir",
+                help="durable mode: per-event checkpoints/journals plus "
+                     "the service manifest and journal live here",
+            )
+            sub.add_argument(
+                "--resume", action="store_true",
+                help="resume a crashed fleet from --serve-dir "
+                     "(exit 3 on integrity failures)",
+            )
+            sub.add_argument(
+                "--fsync", choices=("always", "rotate", "never"),
+                default="always",
+                help="journal durability policy (default always)",
+            )
+            sub.add_argument(
+                "--crash-at-tick", type=int, metavar="K",
+                dest="crash_at_tick",
+                help="SIGKILL the process once K global sensing cycles "
+                     "have run (crash/recovery drills)",
+            )
+        if name == "serve":
+            sub.add_argument(
+                "--digest-file", metavar="PATH", dest="digest_file",
+                help="write the fleet's combined digest here "
+                     "(parity checks)",
+            )
+        if name == "loadgen":
+            sub.add_argument(
+                "--burst-images", type=int, default=10, metavar="N",
+                dest="burst_images",
+                help="imagery-burst size injected into the first event "
+                     "mid-run (0 disables; default 10)",
+            )
+            sub.add_argument(
+                "--burst-seed", type=int, default=1234, metavar="SEED",
+                dest="burst_seed",
+                help="seed regenerating the burst (journaled for resume)",
+            )
+            sub.add_argument(
+                "--output", metavar="PATH",
+                help="where to write BENCH_serve.json "
+                     "(default benchmarks/results/BENCH_serve.json)",
+            )
+            sub.add_argument(
+                "--check", action="store_true",
+                help="exit nonzero unless the fleet drained, the books "
+                     "conserve, and contention actually occurred",
+            )
+            sub.add_argument(
+                "--p99-gate", type=float, metavar="SECONDS",
+                dest="p99_gate",
+                help="also fail --check if p99 cycle latency exceeds this",
             )
         if name == "bench":
             sub.add_argument(

@@ -158,26 +158,56 @@ class PredictionCache:
         Bound on memoized per-image feature vectors (shared by every
         expert that calls :meth:`~repro.models.base.DDAModel.attach_cache`
         with feature state — currently BoVW).
+    namespace:
+        Key prefix isolating this handle's prediction entries.  Expert
+        names repeat across deployments (every event clones the same base
+        committee) and model-version counters restart per process, so two
+        events sharing one physical store would otherwise serve each
+        other's vote arrays.  Use :meth:`scoped` to derive a per-event
+        view over the same bounded stores.
     """
 
-    def __init__(self, max_pools: int = 256, max_features: int = 8192) -> None:
+    def __init__(
+        self,
+        max_pools: int = 256,
+        max_features: int = 8192,
+        namespace: str = "",
+    ) -> None:
         self.predictions = BoundedCache(max_pools)
         self.features = BoundedCache(max_features)
+        self.namespace = namespace
+
+    def scoped(self, namespace: str) -> "PredictionCache":
+        """A view over the *same* bounded stores under another namespace.
+
+        The view shares entries, bounds and statistics with its parent —
+        only the key prefix differs, so deployments share capacity while
+        their prediction entries can never collide.
+        """
+        view = object.__new__(PredictionCache)
+        view.predictions = self.predictions
+        view.features = self.features
+        view.namespace = namespace
+        return view
 
     def predict_proba(
         self, expert: "DDAModel", dataset: "DisasterDataset"
     ) -> np.ndarray:
-        """``expert.predict_proba(dataset)``, memoized per (name, version, pool).
+        """``expert.predict_proba(dataset)``, memoized per
+        (namespace, name, version, pool).
 
         On a miss the freshly computed array is stored and every entry of
         the same expert at *any other* version is dropped (the expert has
         moved on; those arrays can never be served again).
         """
-        key = (expert.name, expert.model_version, pool_key(dataset))
+        namespace = getattr(self, "namespace", "")
+        key = (
+            namespace, expert.name, expert.model_version, pool_key(dataset)
+        )
         cached = self.predictions.get(key)
         if cached is None:
             cached = expert.predict_proba(dataset)
-            self.invalidate_expert(expert.name, keep_version=key[1])
+            self.invalidate_expert(expert.name, keep_version=key[2])
             self.predictions.put(key, cached)
         return cached
 
@@ -186,12 +216,18 @@ class PredictionCache:
     ) -> int:
         """Drop an expert's cached votes, optionally sparing one version.
 
-        Called automatically when a newer version stores a result, and
-        explicitly by the guard after a rollback so a restored snapshot
-        never shares the store with its discarded candidate's arrays.
+        Scoped to this handle's namespace: another deployment's entries
+        for a same-named expert are never touched.  Called automatically
+        when a newer version stores a result, and explicitly by the guard
+        after a rollback so a restored snapshot never shares the store
+        with its discarded candidate's arrays.
         """
+        namespace = getattr(self, "namespace", "")
         return self.predictions.invalidate(
-            lambda key: key[0] == name and key[1] != keep_version
+            lambda key: (
+                key[0] == namespace and key[1] == name
+                and key[2] != keep_version
+            )
         )
 
     def stats(self) -> dict[str, int]:

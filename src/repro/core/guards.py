@@ -45,6 +45,7 @@ import hashlib
 import math
 import pickle
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -414,27 +415,31 @@ class DivergenceSentinel:
         return (self.aborts, self.retries, self.failures)
 
 
-_sentinel_default: DivergenceSentinel | None = None
+#: Context-local default sentinel.  A :class:`~contextvars.ContextVar`
+#: rather than a module global so two interleaved deployments (asyncio
+#: tasks, copied contexts) can never observe each other's guard state.
+_sentinel_default: ContextVar[DivergenceSentinel | None] = ContextVar(
+    "repro_divergence_sentinel", default=None
+)
 
 
 def get_divergence_sentinel() -> DivergenceSentinel | None:
-    """The process-default sentinel (``None`` unless a guard installed one)."""
-    return _sentinel_default
+    """The context-default sentinel (``None`` unless a guard installed one)."""
+    return _sentinel_default.get()
 
 
 def set_divergence_sentinel(
     sentinel: DivergenceSentinel | None,
 ) -> DivergenceSentinel | None:
-    """Install ``sentinel`` as the process default; returns the previous one.
+    """Install ``sentinel`` as the context default; returns the previous one.
 
     Mirrors :func:`repro.telemetry.runtime.set_telemetry`: trainers are
     constructed deep inside the expert models, so the guard reaches them
-    through a process default rather than threading a parameter through
-    every model.
+    through a context-local default rather than threading a parameter
+    through every model.
     """
-    global _sentinel_default
-    previous = _sentinel_default
-    _sentinel_default = sentinel
+    previous = _sentinel_default.get()
+    _sentinel_default.set(sentinel)
     return previous
 
 

@@ -193,6 +193,7 @@ class CrowdLearnSystem:
         telemetry: Telemetry | None = None,
         cache: PredictionCache | None = None,
         scheduler: VirtualTimeScheduler | None = None,
+        event_id: str | None = None,
     ) -> None:
         self.committee = committee
         self.platform = platform
@@ -231,6 +232,22 @@ class CrowdLearnSystem:
         #: :meth:`run`/``repro.eval.journal.resume_run`` for the duration
         #: of the run and never pickled into checkpoints.
         self.journal = None
+        #: Identity of the disaster event this system serves, set by the
+        #: serving layer (``repro.serve``); ``None`` for standalone runs.
+        #: Scopes the prediction-cache namespace and telemetry labels.
+        self.event_id = event_id
+        if event_id is not None and cache is not None:
+            # Share the physical stores, isolate the key space: a served
+            # event must never read another event's memoized votes.
+            self.cache = cache.scoped(event_id)
+            self.committee.attach_cache(self.cache)
+            if self.guards is not None:
+                self.guards.cache = self.cache
+        #: Per-cycle admission cap imposed by the shared crowd pool;
+        #: ``None`` (standalone runs) falls back to
+        #: ``config.queries_per_cycle``.  May exceed the nominal per-cycle
+        #: size when the pool grants catch-up capacity for a backlog.
+        self.cycle_query_cap: int | None = None
         #: Queries with late responses still in flight, by query id.
         self._straggler_queries: dict[int, StragglerRecord] = {}
         if scheduler is not None and config.straggler_policy == "harvest":
@@ -262,6 +279,7 @@ class CrowdLearnSystem:
         guards: ModelGuard | GuardPolicy | None = None,
         telemetry: Telemetry | None = None,
         cache: PredictionCache | None = None,
+        event_id: str | None = None,
     ) -> "CrowdLearnSystem":
         """Assemble and pre-train the full system as the paper deploys it.
 
@@ -372,6 +390,7 @@ class CrowdLearnSystem:
             telemetry=telemetry,
             cache=cache,
             scheduler=scheduler,
+            event_id=event_id,
         )
 
     def _post_with_retries(
@@ -739,7 +758,11 @@ class CrowdLearnSystem:
             votes = self.committee.expert_votes(dataset)
             entropy = self.committee.committee_entropy(dataset, votes, mask=mask)
         with tel.span("cycle.qss"):
-            query_size = min(self.config.queries_per_cycle, len(dataset))
+            # getattr: systems unpickled from pre-serve checkpoints lack
+            # the attribute; they keep the config's nominal cycle size.
+            cap = getattr(self, "cycle_query_cap", None)
+            desired = self.config.queries_per_cycle if cap is None else cap
+            query_size = min(desired, len(dataset))
             query_indices = self.qss.select(entropy, query_size, self.rng)
         if jrn is not None:
             jrn.append(cycle.index, "qss",

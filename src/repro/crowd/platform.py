@@ -15,6 +15,7 @@ visible on real MTurk through HIT bookkeeping).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -107,6 +108,13 @@ class CrowdsourcingPlatform:
     faults: FaultInjector | None = None
     telemetry: Telemetry | None = None
     scheduler: VirtualTimeScheduler | None = None
+    #: Capacity-accounting observer (see :mod:`repro.serve.pool`): called
+    #: with every :class:`QueryResult` this platform produces, live or
+    #: journal-replayed, so a shared crowd pool can meter actual worker
+    #: assignments.  Never pickled — observers are per-process wiring.
+    on_post: Callable[[QueryResult], None] | None = field(
+        default=None, repr=False
+    )
     _next_query_id: int = field(default=0, init=False)
     _history: list[WorkerHistoryEntry] = field(default_factory=list, init=False)
     _history_by_query: dict[int, list[int]] = field(
@@ -251,6 +259,9 @@ class CrowdsourcingPlatform:
                         help="per-response worker delay",
                         context=context.value,
                     ).observe(response.delay_seconds)
+        on_post = getattr(self, "on_post", None)
+        if on_post is not None:
+            on_post(result)
         return result
 
     def restore_posted_query(
@@ -343,7 +354,17 @@ class CrowdsourcingPlatform:
                     help="per-response worker delay",
                     context=query.context.value,
                 ).observe(response.delay_seconds)
+        on_post = getattr(self, "on_post", None)
+        if on_post is not None:
+            # Replays meter capacity exactly like the original posts did,
+            # so a resumed pool's books match the uninterrupted run's.
+            on_post(result)
         return result
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["on_post"] = None  # observer closures never cross processes
+        return state
 
     def _record_history(self, entry: WorkerHistoryEntry) -> None:
         # One history row per (worker, query): duplicate-response faults

@@ -70,6 +70,27 @@ class WorkerPopulation:
         """Population-average reliability (should hover near 0.8)."""
         return float(np.mean([w.reliability for w in self.workers]))
 
+    def capacity_per_cycle(
+        self, workers_per_query: int, utilization: float = 1.0
+    ) -> int:
+        """Nominal queries this pool can absorb in one sensing cycle.
+
+        Each worker handles roughly one HIT per cycle, and every query
+        fans out to ``workers_per_query`` assignments, so the pool
+        saturates at ``n_workers * utilization / workers_per_query``
+        concurrent queries.  The serving layer uses this as the default
+        cross-event capacity when none is configured explicitly.
+        """
+        if workers_per_query <= 0:
+            raise ValueError(
+                f"workers_per_query must be positive, got {workers_per_query}"
+            )
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {utilization}"
+            )
+        return max(1, int(len(self.workers) * utilization) // workers_per_query)
+
     def sample_workers(
         self,
         k: int,

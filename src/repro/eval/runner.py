@@ -203,6 +203,9 @@ def build_crowdlearn(
     platform_name: str = "crowdlearn",
     guards: "ModelGuard | GuardPolicy | None" = None,
     telemetry: "Telemetry | None" = None,
+    seed: int | None = None,
+    event_id: str | None = None,
+    cache: "PredictionCache | None" = None,
 ) -> CrowdLearnSystem:
     """Assemble a CrowdLearn system from the shared setup.
 
@@ -214,6 +217,10 @@ def build_crowdlearn(
     :mod:`repro.core.guards`); ``None`` follows the config.
     ``telemetry`` instruments the system and its platform (see
     :mod:`repro.telemetry`); ``None`` keeps the no-op default.
+    ``seed`` overrides the setup's root seed for the system's own named
+    streams (the serving layer derives one per event); ``event_id`` and
+    ``cache`` let the serving layer give each deployment a namespaced
+    view of one shared prediction cache (see :mod:`repro.serve`).
     """
     platform = setup.make_platform(platform_name)
     if faults is not None:
@@ -223,13 +230,15 @@ def build_crowdlearn(
     return CrowdLearnSystem.build(
         training_set=setup.train_set,
         config=config or setup.config,
-        seed=setup.seed,
+        seed=setup.seed if seed is None else seed,
         committee=setup.clone_committee(),
         platform=platform,
         pilot=setup.pilot,
         resilience=resilience,
         guards=guards,
         telemetry=telemetry,
+        cache=cache,
+        event_id=event_id,
     )
 
 

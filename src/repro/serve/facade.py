@@ -1,0 +1,78 @@
+"""Async façade over :class:`~repro.serve.service.CrowdLearnService`.
+
+The serving core is synchronous and single-threaded by design — that is
+what makes its interleaving deterministic.  Real deployments, though,
+front it with an event loop: operators submit events and poll status
+while cycles grind in the background.  :class:`AsyncCrowdLearnService`
+provides that surface with plain ``asyncio``:
+
+- every method holds one :class:`asyncio.Lock`, so the core never sees
+  concurrent mutation (admission arithmetic and the heap stay
+  single-writer);
+- :meth:`drain` yields to the loop between sensing cycles, so status
+  queries and fresh submissions interleave with a long drain instead of
+  blocking behind it.
+
+Determinism is untouched: the lock serializes callers but never reorders
+the virtual-time heap, so a drained fleet's digests match the
+synchronous service byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.service import CrowdLearnService, EventStatus
+
+__all__ = ["AsyncCrowdLearnService"]
+
+
+class AsyncCrowdLearnService:
+    """Cooperative wrapper: one lock, one yield point per sensing cycle."""
+
+    def __init__(self, service: CrowdLearnService) -> None:
+        self.service = service
+        self._lock = asyncio.Lock()
+
+    async def submit_event(self, event_id: str, **kwargs):
+        """Register an event (see :meth:`CrowdLearnService.submit_event`)."""
+        async with self._lock:
+            return self.service.submit_event(event_id, **kwargs)
+
+    async def ingest_images(self, event_id: str, **kwargs) -> int:
+        """Feed a burst into a live event; returns cycles added."""
+        async with self._lock:
+            return self.service.ingest_images(event_id, **kwargs)
+
+    async def step(self) -> str | None:
+        """Run the next due sensing cycle (``None`` when drained)."""
+        async with self._lock:
+            return self.service.step()
+
+    async def drain(self) -> int:
+        """Run every pending cycle, yielding to the loop between cycles."""
+        executed = 0
+        while True:
+            async with self._lock:
+                event_id = self.service.step()
+            if event_id is None:
+                return executed
+            executed += 1
+            # Let queued status calls / submissions in before the next tick.
+            await asyncio.sleep(0)
+
+    async def event_status(self, event_id: str) -> EventStatus:
+        async with self._lock:
+            return self.service.event_status(event_id)
+
+    async def digests(self) -> dict[str, str]:
+        async with self._lock:
+            return self.service.digests()
+
+    async def combined_digest(self) -> str:
+        async with self._lock:
+            return self.service.combined_digest()
+
+    async def close(self) -> None:
+        async with self._lock:
+            self.service.close()

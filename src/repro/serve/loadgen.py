@@ -1,0 +1,327 @@
+"""Surge load generator for the multi-event serving layer.
+
+Replays a deterministic disaster-surge timeline against a
+:class:`~repro.serve.service.CrowdLearnService`: N events submitted
+up-front with staggered priorities, a mid-run imagery burst into the
+first event, and a shared crowd sized *below* aggregate demand so
+admission, deferral and shedding all actually happen.  The run's
+figures land in ``benchmarks/results/BENCH_serve.json``:
+
+- **throughput** — sensing cycles per wall second across the fleet,
+- **latency** — p50/p99/mean wall seconds per sensing cycle,
+- **quality** — per-event macro-F1 over fused labels,
+- **books** — per-event and aggregate pool ledgers, checked against the
+  conservation invariant (requested == admitted + shed + backlog), and
+  money books checked against charged − refunded == spent,
+- **digests** — per-event run-outcome digests plus the combined digest,
+  the reproducibility anchor CI compares across runs.
+
+``check_report`` is the ``--check`` gate: it returns a list of failure
+strings (empty means pass) so CI can fail loudly on a broken invariant
+rather than silently uploading a bad artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.serve.admission import create_admission_policy
+from repro.serve.pool import SharedCrowdPool
+from repro.serve.service import CrowdLearnService
+
+__all__ = ["run_loadgen", "check_report", "write_report", "render_report",
+           "DEFAULT_OUTPUT"]
+
+DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_serve.json")
+
+#: Priority cycle for submitted events: a hot event, a routine one, a
+#: middling one — enough spread that priority/deadline policies differ
+#: visibly from fair-share.
+_PRIORITIES = (2.0, 1.0, 1.5)
+
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    import numpy as np
+
+    if not values:
+        return {"p50": 0.0, "p99": 0.0, "mean": 0.0}
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p99": float(np.percentile(values, 99)),
+        "mean": float(np.mean(values)),
+    }
+
+
+def build_service(
+    setup,
+    n_events: int = 3,
+    capacity: int | None = None,
+    policy: str = "fair-share",
+    max_backlog: int | None = None,
+    serve_dir: str | Path | None = None,
+    fsync: str = "always",
+) -> CrowdLearnService:
+    """Assemble the surge fleet: N events over one under-provisioned crowd.
+
+    ``capacity=None`` sizes the shared pool at half the fleet's fresh
+    per-window demand (at least one slot), which guarantees contention —
+    the whole point of the bench.  Pass an explicit capacity (or ``0``
+    for a fully saturated crowd) to override.
+    """
+    if n_events < 1:
+        raise ValueError(f"n_events must be >= 1, got {n_events}")
+    if capacity is None:
+        demand = n_events * setup.config.queries_per_cycle
+        capacity = max(1, demand // 2)
+    pool = SharedCrowdPool(
+        capacity_per_cycle=capacity,
+        policy=create_admission_policy(policy),
+        max_backlog=max_backlog,
+    )
+    service = CrowdLearnService(
+        setup, pool=pool, serve_dir=serve_dir, fsync=fsync
+    )
+    for i in range(n_events):
+        service.submit_event(
+            f"event-{i + 1:02d}",
+            priority=_PRIORITIES[i % len(_PRIORITIES)],
+        )
+    return service
+
+
+def drive(
+    service: CrowdLearnService,
+    burst_images: int = 10,
+    burst_seed: int = 1234,
+    burst_after_ticks: int | None = None,
+    crash_at_tick: int | None = None,
+) -> int:
+    """Run the surge timeline to drain; returns ticks executed.
+
+    The imagery burst lands on the first event once ``burst_after_ticks``
+    cycles have run (default: one full fleet round).  ``crash_at_tick``
+    SIGKILLs the process after that many ticks — the crash half of the
+    serve crash/recovery drill; a supervisor is expected to ``resume``.
+
+    Both thresholds compare against ``service.ticks`` — the *global*
+    cycle count, restored on resume — so a resumed drive continues the
+    original timeline instead of restarting it.
+    """
+    n_events = len(service.registry)
+    if burst_after_ticks is None:
+        burst_after_ticks = n_events
+    first_event = min(d.event_id for d in service.registry.all())
+    executed = 0
+    burst_done = burst_images <= 0
+    while True:
+        if crash_at_tick is not None and service.ticks >= crash_at_tick:
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        if not burst_done and service.ticks >= burst_after_ticks:
+            service.ingest_images(
+                first_event, n_images=burst_images, burst_seed=burst_seed
+            )
+            burst_done = True
+        if service.step() is None:
+            return executed
+        executed += 1
+
+
+def build_report(
+    service: CrowdLearnService,
+    wall_seconds: float,
+    meta: dict[str, Any],
+) -> dict[str, Any]:
+    """Collect the drained fleet's figures into the bench report."""
+    events: dict[str, Any] = {}
+    all_walls: list[float] = []
+    charged = refunded = spent = 0.0
+    for deployment in service.registry.all():
+        status = service.event_status(deployment.event_id)
+        events[deployment.event_id] = {
+            "macro_f1": status.macro_f1,
+            "cycles": status.n_cycles,
+            "grants": deployment.grants,
+            "pool": status.pool,
+            "budget_cents": status.budget,
+            "latency_seconds": status.latency_seconds,
+        }
+        all_walls.extend(deployment.cycle_wall_seconds)
+        charged += status.budget["charged_cents"]
+        refunded += status.budget["refunded_cents"]
+        spent += status.budget["spent_cents"]
+    totals = service.pool.totals()
+    drained = all(d.done for d in service.registry.all())
+    report = {
+        "meta": meta,
+        "service": {
+            "ticks": service.ticks,
+            "wall_seconds": wall_seconds,
+            "events_per_second": (
+                len(events) / wall_seconds if wall_seconds > 0 else 0.0
+            ),
+            "cycles_per_second": (
+                service.ticks / wall_seconds if wall_seconds > 0 else 0.0
+            ),
+            "cycle_latency_seconds": _percentiles(all_walls),
+            "drained": drained,
+        },
+        "events": events,
+        "pool": {
+            "totals": totals,
+            "conserved": service.pool.conserved(),
+            "contended": (totals["deferred"] + totals["shed"]) > 0,
+            "per_event_conserved": {
+                event_id: led.conserved()
+                for event_id, led in sorted(service.pool.ledgers.items())
+            },
+        },
+        "budget_cents": {
+            "charged": charged,
+            "refunded": refunded,
+            "spent": spent,
+            "conserved": abs((charged - refunded) - spent) < 1e-6,
+        },
+        "digests": {
+            "per_event": service.digests(),
+            "combined": service.combined_digest(),
+        },
+    }
+    return report
+
+
+def run_loadgen(
+    seed: int = 0,
+    fast: bool = True,
+    n_events: int = 3,
+    capacity: int | None = None,
+    policy: str = "fair-share",
+    max_backlog: int | None = None,
+    burst_images: int = 10,
+    burst_seed: int = 1234,
+    serve_dir: str | Path | None = None,
+    fsync: str = "always",
+    crash_at_tick: int | None = None,
+) -> dict[str, Any]:
+    """One full surge run: build, drive to drain, report."""
+    from repro.eval.runner import prepare
+
+    setup = prepare(seed=seed, fast=fast)
+    service = build_service(
+        setup,
+        n_events=n_events,
+        capacity=capacity,
+        policy=policy,
+        max_backlog=max_backlog,
+        serve_dir=serve_dir,
+        fsync=fsync,
+    )
+    started = time.perf_counter()
+    drive(
+        service,
+        burst_images=burst_images,
+        burst_seed=burst_seed,
+        crash_at_tick=crash_at_tick,
+    )
+    wall_seconds = time.perf_counter() - started
+    meta = {
+        "bench": "serve-loadgen",
+        "seed": seed,
+        "fast": fast,
+        "n_events": n_events,
+        "capacity_per_cycle": service.pool.capacity_per_cycle,
+        "policy": policy,
+        "max_backlog": max_backlog,
+        "burst": {"images": burst_images, "seed": burst_seed},
+        "durable": service.durable,
+        "fsync": fsync,
+    }
+    report = build_report(service, wall_seconds, meta)
+    service.close()
+    return report
+
+
+def check_report(
+    report: dict[str, Any], p99_gate_seconds: float | None = None
+) -> list[str]:
+    """The ``--check`` gates; returns failure strings (empty = pass).
+
+    Gates: every event drained; pool books conserved per event and in
+    aggregate; contention actually occurred (a surge bench that never
+    defers or sheds is not testing backpressure); money books balance;
+    optionally p99 cycle latency under ``p99_gate_seconds``.
+    """
+    failures: list[str] = []
+    if not report["service"]["drained"]:
+        failures.append("fleet did not drain: some events have cycles left")
+    if not report["pool"]["conserved"]:
+        failures.append(
+            "pool conservation violated: requested != admitted + shed + "
+            f"backlog in aggregate ({report['pool']['totals']})"
+        )
+    for event_id, ok in report["pool"]["per_event_conserved"].items():
+        if not ok:
+            failures.append(
+                f"pool conservation violated for {event_id}: "
+                f"{report['events'][event_id]['pool']}"
+            )
+    if not report["pool"]["contended"]:
+        failures.append(
+            "no contention observed (deferred + shed == 0); the pool was "
+            "over-provisioned and backpressure went untested"
+        )
+    if not report["budget_cents"]["conserved"]:
+        failures.append(
+            f"budget books do not balance: {report['budget_cents']}"
+        )
+    if p99_gate_seconds is not None:
+        p99 = report["service"]["cycle_latency_seconds"]["p99"]
+        if p99 > p99_gate_seconds:
+            failures.append(
+                f"p99 cycle latency {p99:.3f}s exceeds the "
+                f"{p99_gate_seconds:.3f}s gate"
+            )
+    return failures
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Pretty-print the report to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable summary for the CLI."""
+    service = report["service"]
+    pool = report["pool"]["totals"]
+    lines = [
+        "serve loadgen "
+        f"({report['meta']['n_events']} events, "
+        f"capacity {report['meta']['capacity_per_cycle']}/window, "
+        f"policy {report['meta']['policy']})",
+        f"  ticks {service['ticks']}  "
+        f"cycles/s {service['cycles_per_second']:.2f}  "
+        f"p50 {service['cycle_latency_seconds']['p50'] * 1e3:.0f}ms  "
+        f"p99 {service['cycle_latency_seconds']['p99'] * 1e3:.0f}ms",
+        f"  pool: requested {pool['requested']}  admitted "
+        f"{pool['admitted']}  deferred {pool['deferred']}  shed "
+        f"{pool['shed']}  conserved "
+        f"{'yes' if report['pool']['conserved'] else 'NO'}",
+    ]
+    for event_id, entry in sorted(report["events"].items()):
+        lines.append(
+            f"  {event_id}: F1 {entry['macro_f1']:.3f}  "
+            f"cycles {entry['cycles']}  "
+            f"admitted {entry['pool']['admitted']}  "
+            f"deferred {entry['pool']['deferred']}  "
+            f"shed {entry['pool']['shed']}"
+        )
+    lines.append(f"  combined digest {report['digests']['combined'][:16]}…")
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Iterator
 
 from repro.telemetry.metrics import (
@@ -50,34 +51,50 @@ class Telemetry:
         Monotonic seconds source for spans and event timestamps.
         Injectable (e.g. :class:`~repro.telemetry.tracing.ManualClock`)
         so traces are deterministic in tests.
+    base_labels:
+        Labels stamped on *every* instrument, span and event this handle
+        records (explicit labels win on collision).  The serving layer
+        uses ``{"event": <event id>}`` so N interleaved deployments stay
+        distinguishable in one registry.
     """
 
     enabled: bool = True
 
-    def __init__(self, clock: Clock = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Clock = time.perf_counter,
+        base_labels: dict[str, Any] | None = None,
+    ) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(clock=clock, on_finish=self._on_span_finish)
         self.events: list[dict[str, Any]] = []
+        self.base_labels: dict[str, Any] = dict(base_labels or {})
+
+    def _labels(self, labels: dict[str, Any]) -> dict[str, Any]:
+        base = getattr(self, "base_labels", None)
+        if not base:
+            return labels
+        return {**base, **labels}
 
     def _on_span_finish(self, record: SpanRecord) -> None:
         self.registry.histogram(
             SPAN_SECONDS,
             help="wall seconds per traced stage",
             buckets=DEFAULT_TIME_BUCKETS,
-            stage=record.name,
+            **self._labels({"stage": record.name}),
         ).observe(record.duration)
 
     # -- tracing ---------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a span context manager around a pipeline stage."""
-        return self.tracer.span(name, **attributes)
+        return self.tracer.span(name, **self._labels(attributes))
 
     # -- metrics ---------------------------------------------------------
     def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
-        return self.registry.counter(name, help=help, **labels)
+        return self.registry.counter(name, help=help, **self._labels(labels))
 
     def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
-        return self.registry.gauge(name, help=help, **labels)
+        return self.registry.gauge(name, help=help, **self._labels(labels))
 
     def histogram(
         self,
@@ -87,13 +104,17 @@ class Telemetry:
         **labels: Any,
     ) -> Histogram:
         return self.registry.histogram(
-            name, help=help, buckets=buckets, **labels
+            name, help=help, buckets=buckets, **self._labels(labels)
         )
 
     # -- structured events -----------------------------------------------
     def event(self, name: str, **fields: Any) -> dict[str, Any]:
         """Append a timestamped structured record and return it."""
-        entry = {"event": name, "time": self.tracer.clock(), **fields}
+        entry = {
+            "event": name,
+            "time": self.tracer.clock(),
+            **self._labels(fields),
+        }
         self.events.append(entry)
         return entry
 
@@ -214,22 +235,27 @@ def _null_telemetry() -> "NullTelemetry":
 #: Process-wide no-op instance; identity-comparable (`tel is NULL_TELEMETRY`).
 NULL_TELEMETRY = NullTelemetry()
 
-_default: Telemetry = NULL_TELEMETRY
+#: Context-local default handle.  A :class:`~contextvars.ContextVar`
+#: rather than a module global so concurrent deployments (asyncio tasks,
+#: ``contextvars.copy_context`` runs) each see their own default instead
+#: of racing on one process-wide slot.
+_default: ContextVar[Telemetry] = ContextVar(
+    "repro_telemetry_default", default=NULL_TELEMETRY
+)
 
 
 def get_telemetry() -> Telemetry:
-    """The current process-default telemetry (no-op unless swapped in)."""
-    return _default
+    """The current context-default telemetry (no-op unless swapped in)."""
+    return _default.get()
 
 
 def set_telemetry(telemetry: Telemetry | None) -> Telemetry:
-    """Install ``telemetry`` as the process default; returns the previous one.
+    """Install ``telemetry`` as the context default; returns the previous one.
 
     ``None`` restores the no-op singleton.
     """
-    global _default
-    previous = _default
-    _default = telemetry if telemetry is not None else NULL_TELEMETRY
+    previous = _default.get()
+    _default.set(telemetry if telemetry is not None else NULL_TELEMETRY)
     return previous
 
 

@@ -210,7 +210,7 @@ class TestRollbackInvalidation:
         restored = committee.experts[0]
         assert restored.n_correct == 8
         # No entry for "a" at any version other than the restored one.
-        for name, version, _pool in cache.predictions.keys():
+        for _ns, name, version, _pool in cache.predictions.keys():
             if name == "a":
                 assert version == restored.model_version
         served = cache.predict_proba(restored, holdout)

@@ -52,6 +52,48 @@ class TestParser:
         args = build_parser().parse_args(["chaos", "--crash"])
         assert args.crash is True
 
+    def test_serve_and_loadgen_registered(self):
+        parser = build_parser()
+        for command in ("serve", "loadgen"):
+            args = parser.parse_args([command, "--seed", "5"])
+            assert args.seed == 5
+            assert callable(args.func)
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--events", "4", "--capacity", "6",
+            "--policy", "deadline", "--max-backlog", "2",
+            "--serve-dir", "fleet", "--resume", "--fsync", "rotate",
+            "--crash-at-tick", "9", "--digest-file", "d.txt",
+        ])
+        assert args.events == 4
+        assert args.capacity == 6
+        assert args.policy == "deadline"
+        assert args.max_backlog == 2
+        assert args.serve_dir == "fleet"
+        assert args.resume is True
+        assert args.fsync == "rotate"
+        assert args.crash_at_tick == 9
+        assert args.digest_file == "d.txt"
+
+    def test_loadgen_flags(self):
+        args = build_parser().parse_args([
+            "loadgen", "--events", "2", "--policy", "priority",
+            "--burst-images", "20", "--burst-seed", "7",
+            "--output", "out.json", "--check", "--p99-gate", "2.5",
+        ])
+        assert args.events == 2
+        assert args.policy == "priority"
+        assert args.burst_images == 20
+        assert args.burst_seed == 7
+        assert args.output == "out.json"
+        assert args.check is True
+        assert args.p99_gate == 2.5
+
+    def test_unknown_admission_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "round-robin"])
+
 
 class TestCommands:
     """Each command runs end-to-end on the fast deployment."""
@@ -151,6 +193,40 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "corrupt checkpoint" in err
         assert "format check failed" in err
+
+    def test_serve_resume_requires_dir(self, capsys):
+        assert main(["serve", "--resume", "--seed", "61"]) == 2
+        assert "--resume requires --serve-dir" in capsys.readouterr().err
+
+    def test_loadgen_resume_requires_dir(self, capsys):
+        assert main(["loadgen", "--resume", "--seed", "61"]) == 2
+        assert "--resume requires --serve-dir" in capsys.readouterr().err
+
+    def test_serve(self, capsys, tmp_path):
+        digest_file = tmp_path / "digest.txt"
+        assert main([
+            "serve", "--seed", "61", "--events", "1",
+            "--digest-file", str(digest_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "event-01: F1" in out
+        assert "serve digest" in out
+        assert len(digest_file.read_text().strip()) == 64
+
+    def test_loadgen(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_serve.json"
+        assert main([
+            "loadgen", "--seed", "61", "--events", "2",
+            "--output", str(out_path), "--check",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "serve loadgen" in captured.out
+        assert "loadgen check passed" in captured.err
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["pool"]["conserved"]
+        assert report["service"]["drained"]
 
     def test_chaos_workers(self, capsys):
         assert main(["chaos", "--seed", "61", "--workers", "2"]) == 0

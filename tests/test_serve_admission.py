@@ -1,0 +1,136 @@
+"""Tests for the serving layer's admission policies."""
+
+import pytest
+
+from repro.serve.admission import (
+    POLICIES,
+    AdmissionRequest,
+    DeadlineAwarePolicy,
+    FairSharePolicy,
+    PriorityPolicy,
+    create_admission_policy,
+)
+
+
+def req(event_id, demand, priority=1.0, cycles_remaining=1):
+    return AdmissionRequest(
+        event_id=event_id,
+        demand=demand,
+        priority=priority,
+        cycles_remaining=cycles_remaining,
+    )
+
+
+class TestAdmissionRequest:
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError, match="demand"):
+            req("a", -1)
+
+    def test_rejects_nonpositive_priority(self):
+        with pytest.raises(ValueError, match="priority"):
+            req("a", 1, priority=0.0)
+
+
+class TestFairShare:
+    def test_equal_split(self):
+        quotas = FairSharePolicy().allocate(
+            6, [req("a", 4), req("b", 4), req("c", 4)]
+        )
+        assert quotas == {"a": 2, "b": 2, "c": 2}
+
+    def test_small_demand_fully_served_before_levelling(self):
+        quotas = FairSharePolicy().allocate(
+            10, [req("a", 1), req("b", 100), req("c", 100)]
+        )
+        assert quotas["a"] == 1
+        # The freed slot is re-levelled across the hungry pair.
+        assert quotas["b"] + quotas["c"] == 9
+        assert abs(quotas["b"] - quotas["c"]) <= 1
+
+    def test_overprovisioned_grants_all_demand(self):
+        quotas = FairSharePolicy().allocate(100, [req("a", 3), req("b", 5)])
+        assert quotas == {"a": 3, "b": 5}
+
+    def test_zero_capacity(self):
+        assert FairSharePolicy().allocate(0, [req("a", 3)]) == {"a": 0}
+
+    def test_fewer_slots_than_events_go_in_id_order(self):
+        quotas = FairSharePolicy().allocate(
+            2, [req("c", 5), req("a", 5), req("b", 5)]
+        )
+        assert quotas == {"a": 1, "b": 1, "c": 0}
+
+    def test_order_independent(self):
+        requests = [req("b", 7), req("a", 2), req("c", 9)]
+        forward = FairSharePolicy().allocate(10, requests)
+        backward = FairSharePolicy().allocate(10, list(reversed(requests)))
+        assert forward == backward
+
+    def test_zero_demand_gets_zero(self):
+        quotas = FairSharePolicy().allocate(5, [req("a", 0), req("b", 9)])
+        assert quotas == {"a": 0, "b": 5}
+
+
+class TestPriority:
+    def test_proportional_to_priority(self):
+        quotas = PriorityPolicy().allocate(
+            9, [req("a", 10, priority=2.0), req("b", 10, priority=1.0)]
+        )
+        assert quotas == {"a": 6, "b": 3}
+
+    def test_demand_cap_redistributes(self):
+        quotas = PriorityPolicy().allocate(
+            9, [req("a", 2, priority=2.0), req("b", 10, priority=1.0)]
+        )
+        assert quotas == {"a": 2, "b": 7}
+
+    def test_never_exceeds_capacity_or_demand(self):
+        quotas = PriorityPolicy().allocate(
+            7,
+            [req("a", 3, priority=5.0), req("b", 2), req("c", 4)],
+        )
+        assert sum(quotas.values()) <= 7
+        assert quotas["a"] <= 3 and quotas["b"] <= 2 and quotas["c"] <= 4
+
+
+class TestDeadlineAware:
+    def test_urgent_event_beats_relaxed_one(self):
+        quotas = DeadlineAwarePolicy().allocate(
+            6,
+            [
+                req("ending", 6, cycles_remaining=1),
+                req("fresh", 6, cycles_remaining=6),
+            ],
+        )
+        assert quotas["ending"] > quotas["fresh"]
+
+    def test_priority_scales_urgency(self):
+        quotas = DeadlineAwarePolicy().allocate(
+            6,
+            [
+                req("hot", 6, priority=3.0, cycles_remaining=3),
+                req("cold", 6, priority=1.0, cycles_remaining=3),
+            ],
+        )
+        assert quotas["hot"] > quotas["cold"]
+
+
+class TestRegistry:
+    def test_three_policies_registered(self):
+        assert set(POLICIES) == {"fair-share", "priority", "deadline"}
+
+    def test_create_by_name(self):
+        for name, cls in POLICIES.items():
+            assert isinstance(create_admission_policy(name), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            create_admission_policy("round-robin")
+
+    def test_duplicate_event_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FairSharePolicy().allocate(4, [req("a", 1), req("a", 2)])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FairSharePolicy().allocate(-1, [req("a", 1)])

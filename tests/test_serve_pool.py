@@ -1,0 +1,161 @@
+"""Tests for the shared crowd pool: metering, backpressure, conservation."""
+
+import pytest
+
+from repro.serve.admission import AdmissionRequest
+from repro.serve.pool import EventLedger, SharedCrowdPool
+
+
+def requests(*pairs):
+    return [AdmissionRequest(event_id=e, demand=d) for e, d in pairs]
+
+
+class TestUnmetered:
+    def test_admits_everything(self):
+        pool = SharedCrowdPool()
+        pool.begin_window(0, requests(("a", 5)))
+        decision = pool.admit("a", 5)
+        assert decision.granted == 5
+        assert decision.deferred == 0
+        assert pool.ledger("a").conserved()
+
+    def test_metered_property(self):
+        assert not SharedCrowdPool().metered
+        assert SharedCrowdPool(capacity_per_cycle=4).metered
+
+
+class TestMetered:
+    def test_quota_enforced_and_overflow_deferred(self):
+        pool = SharedCrowdPool(capacity_per_cycle=4)
+        pool.begin_window(0, requests(("a", 4), ("b", 4)))
+        da = pool.admit("a", 4)
+        db = pool.admit("b", 4)
+        assert da.granted == 2 and da.deferred == 2
+        assert db.granted == 2 and db.deferred == 2
+        assert pool.ledger("a").backlog == 2
+        assert pool.conserved()
+
+    def test_backlog_served_as_catchup_in_later_window(self):
+        pool = SharedCrowdPool(capacity_per_cycle=4)
+        pool.begin_window(0, requests(("a", 4), ("b", 4)))
+        pool.admit("a", 4)
+        pool.admit("b", 4)
+        # b finished; window 1 is a's alone: fresh 2 + backlog 2.
+        pool.begin_window(1, requests(("a", 4)))
+        decision = pool.admit("a", 2)
+        assert decision.granted == 4
+        assert decision.admitted_new == 2
+        assert decision.served_backlog == 2
+        assert pool.ledger("a").backlog == 0
+        assert pool.conserved()
+
+    def test_fresh_demand_served_before_backlog(self):
+        pool = SharedCrowdPool(capacity_per_cycle=3)
+        pool.begin_window(0, requests(("a", 5)))
+        pool.admit("a", 5)  # granted 3, backlog 2
+        pool.begin_window(1, requests(("a", 5)))
+        decision = pool.admit("a", 3)
+        assert decision.admitted_new == 3
+        assert decision.served_backlog == 0
+        assert pool.ledger("a").backlog == 2
+
+    def test_max_servable_caps_catchup(self):
+        pool = SharedCrowdPool(capacity_per_cycle=10)
+        pool.begin_window(0, requests(("a", 8)))
+        pool.ledger("a").backlog = 6
+        decision = pool.admit("a", 2, max_servable=5)
+        assert decision.granted == 5
+        assert decision.admitted_new == 2
+        assert decision.served_backlog == 3
+
+    def test_backlog_bound_sheds(self):
+        pool = SharedCrowdPool(capacity_per_cycle=0, max_backlog=3)
+        pool.begin_window(0, requests(("a", 5)))
+        decision = pool.admit("a", 5)
+        assert decision.granted == 0
+        assert decision.deferred == 5
+        assert decision.shed == 2
+        led = pool.ledger("a")
+        assert led.backlog == 3 and led.shed == 2
+        assert led.conserved()
+
+    def test_window_capacity_shared_across_events(self):
+        pool = SharedCrowdPool(capacity_per_cycle=5)
+        pool.begin_window(0, requests(("a", 3), ("b", 3)))
+        total = pool.admit("a", 3).granted + pool.admit("b", 3).granted
+        assert total <= 5
+
+    def test_windows_must_advance(self):
+        pool = SharedCrowdPool(capacity_per_cycle=4)
+        pool.begin_window(2, requests(("a", 1)))
+        with pytest.raises(ValueError, match="monotonically"):
+            pool.begin_window(2, requests(("a", 1)))
+
+    def test_negative_demand_rejected(self):
+        pool = SharedCrowdPool()
+        with pytest.raises(ValueError, match="demand_new"):
+            pool.admit("a", -1)
+
+
+class TestBooks:
+    def test_shed_backlog_closes_books(self):
+        pool = SharedCrowdPool(capacity_per_cycle=1)
+        pool.begin_window(0, requests(("a", 4)))
+        pool.admit("a", 4)
+        dropped = pool.shed_backlog("a")
+        led = pool.ledger("a")
+        assert dropped == 3
+        assert led.backlog == 0
+        assert led.conserved()
+
+    def test_note_post_meters_worker_assignments(self):
+        pool = SharedCrowdPool()
+        pool.note_post("a", workers_per_query=5)
+        pool.note_post("a", workers_per_query=5)
+        led = pool.ledger("a")
+        assert led.posted_queries == 2
+        assert led.worker_assignments == 10
+
+    def test_totals_aggregate(self):
+        pool = SharedCrowdPool(capacity_per_cycle=2)
+        pool.begin_window(0, requests(("a", 3), ("b", 3)))
+        pool.admit("a", 3)
+        pool.admit("b", 3)
+        totals = pool.totals()
+        assert totals["requested"] == 6
+        assert totals["admitted"] + totals["backlog"] + totals["shed"] == 6
+
+    def test_conservation_over_arbitrary_timeline(self):
+        pool = SharedCrowdPool(capacity_per_cycle=3, max_backlog=2)
+        for window in range(6):
+            pool.begin_window(
+                window, requests(("a", 4), ("b", 2), ("c", 1))
+            )
+            for event, demand in (("a", 4), ("b", 2), ("c", 1)):
+                pool.admit(event, demand)
+        for event in ("a", "b", "c"):
+            pool.shed_backlog(event)
+        assert pool.conserved()
+        assert pool.totals()["backlog"] == 0
+
+
+class TestSnapshotRestore:
+    def test_round_trip_is_identity(self):
+        pool = SharedCrowdPool(capacity_per_cycle=4, max_backlog=3)
+        pool.begin_window(0, requests(("a", 5), ("b", 2)))
+        pool.admit("a", 5)
+        pool.note_post("a", 5)
+        snap = pool.snapshot()
+        assert SharedCrowdPool.restore(snap).snapshot() == snap
+
+    def test_restore_continues_metering(self):
+        pool = SharedCrowdPool(capacity_per_cycle=4)
+        pool.begin_window(0, requests(("a", 6)))
+        pool.admit("a", 3)  # 3 of the 4-slot quota used
+        restored = SharedCrowdPool.restore(pool.snapshot())
+        decision = restored.admit("a", 3)
+        assert decision.granted == pool.admit("a", 3).granted
+
+    def test_ledger_dataclass_round_trip(self):
+        led = EventLedger(requested=5, admitted=3, deferred=2, backlog=2)
+        assert EventLedger(**led.as_dict()) == led

@@ -1,0 +1,191 @@
+"""Crash/recovery tests for the serving layer.
+
+The serve fault model (docs/FAULT_MODEL.md) promises that a SIGKILL at
+any point leaves the fleet resumable with byte-identical results.  These
+tests cover the kill windows in-process (abandoning a durable service
+mid-run), the one genuinely asymmetric window — an event checkpoint made
+durable but its serve-journal admission record lost — by truncating the
+journal, and the real thing: a subprocess SIGKILLed via
+``repro loadgen --crash-at-tick`` and resumed through the CLI.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.eval.runner import prepare
+from repro.serve import CrowdLearnService, SharedCrowdPool
+from repro.serve.service import ServeJournalError, _read_serve_journal
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=13, fast=True)
+
+
+def make_service(setup, serve_dir=None):
+    pool = SharedCrowdPool(capacity_per_cycle=4, max_backlog=3)
+    return CrowdLearnService(setup, pool=pool, serve_dir=serve_dir)
+
+
+def surge_timeline(service, interrupt_after=None):
+    """Submit two events, burst the first mid-run, run to drain (or stop)."""
+    service.submit_event("alpha", priority=2.0)
+    service.submit_event("bravo")
+    ticks = 0
+    while True:
+        if interrupt_after is not None and ticks >= interrupt_after:
+            return
+        if ticks == 5:
+            service.ingest_images("alpha", n_images=8, burst_seed=42)
+        if service.step() is None:
+            return
+        ticks += 1
+
+
+@pytest.fixture(scope="module")
+def reference(setup):
+    """Digest and books of the uninterrupted surge timeline."""
+    service = make_service(setup)
+    surge_timeline(service)
+    return service.combined_digest(), service.pool.totals()
+
+
+class TestResume:
+    @pytest.mark.parametrize("interrupt_after", [1, 5, 6, 9])
+    def test_abandon_and_resume_matches_uninterrupted(
+        self, setup, reference, tmp_path, interrupt_after
+    ):
+        serve_dir = tmp_path / "fleet"
+        service = make_service(setup, serve_dir=serve_dir)
+        surge_timeline(service, interrupt_after=interrupt_after)
+        # Simulate a crash: no close(), no further appends.
+        resumed = CrowdLearnService.resume(serve_dir, setup=setup)
+        # The burst must land if the crash predated it (same timeline).
+        if not resumed.registry.get("alpha").bursts:
+            while resumed.ticks < 5:
+                resumed.step()
+            resumed.ingest_images("alpha", n_images=8, burst_seed=42)
+        resumed.drain()
+        digest, totals = reference
+        assert resumed.combined_digest() == digest
+        assert resumed.pool.totals() == totals
+        assert resumed.pool.conserved()
+        resumed.close()
+
+    def test_missing_tick_record_is_reconstructed(
+        self, setup, reference, tmp_path
+    ):
+        """Kill window (c): event checkpoint durable, serve append lost."""
+        serve_dir = tmp_path / "fleet"
+        service = make_service(setup, serve_dir=serve_dir)
+        surge_timeline(service, interrupt_after=7)
+        journal_path = serve_dir / "serve.journal"
+        lines = journal_path.read_text().splitlines()
+        assert json.loads(lines[-1])["record"]["kind"] == "tick"
+        journal_path.write_text("\n".join(lines[:-1]) + "\n")
+
+        resumed = CrowdLearnService.resume(serve_dir, setup=setup)
+        records = _read_serve_journal(journal_path)
+        assert records[-1]["kind"] == "tick"
+        assert records[-1].get("reconstructed") is True
+        resumed.drain()
+        digest, totals = reference
+        assert resumed.combined_digest() == digest
+        assert resumed.pool.totals() == totals
+        resumed.close()
+
+    def test_torn_tail_is_tolerated(self, setup, tmp_path):
+        serve_dir = tmp_path / "fleet"
+        service = make_service(setup, serve_dir=serve_dir)
+        service.submit_event("alpha")
+        for _ in range(2):
+            service.step()
+        journal_path = serve_dir / "serve.journal"
+        with open(journal_path, "a") as fh:
+            fh.write('{"record": {"kind": "tick", "trunc')
+        resumed = CrowdLearnService.resume(serve_dir, setup=setup)
+        assert resumed.registry.get("alpha").next_cycle == 2
+        resumed.close()
+
+    def test_corrupt_middle_record_raises(self, setup, tmp_path):
+        serve_dir = tmp_path / "fleet"
+        service = make_service(setup, serve_dir=serve_dir)
+        service.submit_event("alpha")
+        for _ in range(3):
+            service.step()
+        journal_path = serve_dir / "serve.journal"
+        lines = journal_path.read_text().splitlines()
+        lines[1] = lines[1].replace('"kind"', '"kinD"')
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ServeJournalError, match="corrupt"):
+            CrowdLearnService.resume(serve_dir, setup=setup)
+
+    def test_resume_without_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            CrowdLearnService.resume(tmp_path / "nowhere")
+
+    def test_resume_restores_tick_counter(self, setup, tmp_path):
+        serve_dir = tmp_path / "fleet"
+        service = make_service(setup, serve_dir=serve_dir)
+        surge_timeline(service, interrupt_after=6)
+        resumed = CrowdLearnService.resume(serve_dir, setup=setup)
+        assert resumed.ticks == 6
+        resumed.close()
+
+
+class TestSigkillSubprocess:
+    """The real crash drill: SIGKILL mid-run, supervised CLI resume."""
+
+    def _loadgen(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--seed", "13", "--events", "2",
+                "--serve-dir", str(tmp_path / "fleet"),
+                "--output", str(tmp_path / "bench.json"),
+                *extra,
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+
+    def test_sigkill_then_resume_reproduces_the_run(self, tmp_path):
+        killed = self._loadgen(tmp_path, "--crash-at-tick", "5")
+        assert killed.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+
+        resumed = self._loadgen(tmp_path, "--resume", "--check")
+        assert resumed.returncode == 0, resumed.stderr
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert report["service"]["drained"]
+        assert report["pool"]["conserved"]
+
+        # Same timeline, never interrupted, no durability.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        clean = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--seed", "13", "--events", "2",
+                "--output", str(tmp_path / "clean.json"),
+            ],
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+        assert clean.returncode == 0, clean.stderr
+        clean_report = json.loads((tmp_path / "clean.json").read_text())
+        assert (
+            report["digests"]["combined"]
+            == clean_report["digests"]["combined"]
+        )
+        assert (
+            report["pool"]["totals"] == clean_report["pool"]["totals"]
+        )

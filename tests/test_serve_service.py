@@ -1,0 +1,291 @@
+"""Tests for the multi-event serving core: parity, isolation, backpressure."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.data.stream import SensingCycleStream
+from repro.eval.persistence import run_outcome_digest
+from repro.eval.runner import build_crowdlearn, prepare
+from repro.serve import (
+    CrowdLearnService,
+    AsyncCrowdLearnService,
+    SharedCrowdPool,
+    create_admission_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=21, fast=True)
+
+
+def standalone_digest(setup, event_id):
+    """What the single-tenant loop produces under the event's names."""
+    system = build_crowdlearn(
+        setup,
+        platform_name=f"event-{event_id}",
+        seed=setup.seeds.seed_for(f"event-{event_id}"),
+    )
+    stream = SensingCycleStream(
+        setup.test_set,
+        n_cycles=setup.config.n_cycles,
+        images_per_cycle=setup.config.images_per_cycle,
+        cycles_per_context=setup.config.cycles_per_context,
+        rng=setup.seeds.get(f"stream-event-{event_id}"),
+    )
+    return run_outcome_digest(system.run(stream))
+
+
+@pytest.fixture(scope="module")
+def alpha_digest(setup):
+    return standalone_digest(setup, "alpha")
+
+
+@pytest.fixture(scope="module")
+def bravo_digest(setup):
+    return standalone_digest(setup, "bravo")
+
+
+def contended_service(setup, **kwargs):
+    pool = SharedCrowdPool(
+        capacity_per_cycle=4,
+        policy=create_admission_policy(
+            kwargs.pop("policy", "fair-share")
+        ),
+        max_backlog=kwargs.pop("max_backlog", 3),
+    )
+    return CrowdLearnService(setup, pool=pool, **kwargs)
+
+
+class TestSingleEventParity:
+    def test_n1_served_is_byte_identical_to_standalone(
+        self, setup, alpha_digest
+    ):
+        service = CrowdLearnService(setup)
+        service.submit_event("alpha")
+        service.drain()
+        assert service.digests()["alpha"] == alpha_digest
+
+    def test_n2_unmetered_events_match_their_standalone_runs(
+        self, setup, alpha_digest, bravo_digest
+    ):
+        """Cross-event isolation: RNG streams, shared cache namespaces and
+        budget ledgers never leak between co-served events."""
+        service = CrowdLearnService(setup)
+        service.submit_event("alpha")
+        service.submit_event("bravo")
+        service.drain()
+        digests = service.digests()
+        assert digests["alpha"] == alpha_digest
+        assert digests["bravo"] == bravo_digest
+        assert service.cache is not None  # the isolation ran *through* it
+
+
+class TestInterleaving:
+    def test_n3_contended_run_is_repeat_stable(self, setup):
+        def run():
+            service = contended_service(setup)
+            for event_id in ("a", "b", "c"):
+                service.submit_event(event_id)
+            service.drain()
+            return service.combined_digest(), service.pool.totals()
+
+        (d1, t1), (d2, t2) = run(), run()
+        assert d1 == d2
+        assert t1 == t2
+        assert t1["deferred"] + t1["shed"] > 0  # genuinely contended
+
+    def test_ticks_round_robin_in_event_id_order(self, setup):
+        service = contended_service(setup)
+        for event_id in ("c", "a", "b"):  # submission order scrambled
+            service.submit_event(event_id)
+        order = [service.step() for _ in range(6)]
+        assert order == ["a", "b", "c", "a", "b", "c"]
+
+    def test_priority_policy_favours_hot_event(self, setup):
+        pool = SharedCrowdPool(
+            capacity_per_cycle=2,  # below the fleet's 4-query demand
+            policy=create_admission_policy("priority"),
+            max_backlog=3,
+        )
+        service = CrowdLearnService(setup, pool=pool)
+        service.submit_event("hot", priority=5.0)
+        service.submit_event("cold", priority=1.0)
+        service.drain()
+        pool = service.pool
+        assert pool.ledger("hot").admitted > pool.ledger("cold").admitted
+        assert pool.conserved()
+
+
+class TestSubmission:
+    def test_duplicate_event_rejected(self, setup):
+        service = CrowdLearnService(setup)
+        service.submit_event("dup")
+        with pytest.raises(ValueError, match="already registered"):
+            service.submit_event("dup")
+
+    def test_path_unsafe_event_id_rejected(self, setup):
+        service = CrowdLearnService(setup)
+        for bad in ("", "a/b", "a b"):
+            with pytest.raises(ValueError, match="path-safe"):
+                service.submit_event(bad)
+
+    def test_event_status_books(self, setup):
+        service = CrowdLearnService(setup)
+        service.submit_event("solo")
+        service.drain()
+        status = service.event_status("solo")
+        assert status.done
+        assert status.next_cycle == status.n_cycles
+        assert 0.0 < status.macro_f1 <= 1.0
+        assert status.pool["requested"] == status.pool["admitted"]
+        budget = status.budget
+        assert budget["charged_cents"] - budget["refunded_cents"] == (
+            pytest.approx(budget["spent_cents"])
+        )
+        assert status.latency_seconds["p99"] >= status.latency_seconds["p50"]
+
+
+class TestIngest:
+    def test_burst_extends_stream_and_reopens_event(self, setup):
+        service = CrowdLearnService(setup)
+        deployment = service.submit_event("surge")
+        service.drain()
+        assert deployment.done
+        added = service.ingest_images("surge", n_images=12, burst_seed=9)
+        assert added == 3  # 12 images / 5 per cycle, ragged final cycle
+        assert not deployment.done
+        service.drain()
+        assert deployment.next_cycle == deployment.n_cycles
+
+    def test_burst_image_ids_never_alias_the_world(self, setup):
+        service = CrowdLearnService(setup)
+        deployment = service.submit_event("re-id")
+        service.ingest_images("re-id", n_images=7, burst_seed=3)
+        service.ingest_images("re-id", n_images=7, burst_seed=3)
+        ids = [img.metadata.image_id for img in deployment.stream._images]
+        assert len(ids) == len(set(ids))  # two identical bursts, no clash
+
+    def test_generated_burst_requires_seed(self, setup):
+        service = CrowdLearnService(setup)
+        service.submit_event("strict")
+        with pytest.raises(ValueError, match="burst_seed"):
+            service.ingest_images("strict", n_images=5)
+
+
+class TestTelemetryIsolation:
+    def test_two_deployments_have_disjoint_counter_sets(self, setup):
+        """Satellite regression: per-event pipelines must not share the
+        process-global default (the old singleton bug)."""
+        service = contended_service(setup, instrument=True)
+        service.submit_event("x")
+        service.submit_event("y")
+        service.drain()
+        keys = {}
+        for event_id in ("x", "y"):
+            telemetry = service.telemetries[event_id]
+            instruments = list(telemetry.registry)
+            assert instruments, f"event {event_id} recorded no metrics"
+            for instrument in instruments:
+                assert ("event", event_id) in instrument.labels
+            keys[event_id] = {
+                (i.name, i.labels) for i in instruments
+            }
+        assert keys["x"].isdisjoint(keys["y"])
+
+
+class TestCacheNamespacing:
+    def test_events_share_physical_stores_but_not_keys(self, setup):
+        service = CrowdLearnService(setup)
+        service.submit_event("one")
+        service.submit_event("two")
+        sys_one = service.registry.get("one").system
+        sys_two = service.registry.get("two").system
+        assert sys_one.cache is not sys_two.cache
+        assert sys_one.cache.predictions is sys_two.cache.predictions
+        service.drain()
+        namespaces = {
+            key[0] for key in service.cache.predictions.keys()
+        }
+        assert namespaces == {"one", "two"}
+
+
+class TestAsyncFacade:
+    def test_async_drive_matches_sync_digests(self, setup):
+        sync = contended_service(setup)
+        sync.submit_event("a")
+        sync.submit_event("b")
+        sync.drain()
+
+        async def drive():
+            service = AsyncCrowdLearnService(contended_service(setup))
+            await service.submit_event("a")
+            await service.submit_event("b")
+            ticks = await service.drain()
+            status = await service.event_status("a")
+            assert status.done
+            return ticks, await service.combined_digest()
+
+        ticks, digest = asyncio.run(drive())
+        assert ticks == sync.ticks
+        assert digest == sync.combined_digest()
+
+    def test_status_interleaves_with_drain(self, setup):
+        async def drive():
+            service = AsyncCrowdLearnService(contended_service(setup))
+            await service.submit_event("a")
+            await service.submit_event("b")
+            drain_task = asyncio.create_task(service.drain())
+            statuses = []
+            while not drain_task.done():
+                statuses.append(await service.event_status("a"))
+                await asyncio.sleep(0)
+            await drain_task
+            return statuses
+
+        statuses = asyncio.run(drive())
+        # Mid-drain observations saw the event part-way through.
+        assert any(0 < s.next_cycle < s.n_cycles for s in statuses)
+
+
+class TestLoadgen:
+    def test_report_passes_its_own_gates(self, setup):
+        from repro.serve import loadgen
+
+        service = loadgen.build_service(setup, n_events=2, max_backlog=2)
+        loadgen.drive(service, burst_images=6, burst_seed=2)
+        report = loadgen.build_report(service, 1.0, {
+            "bench": "serve-loadgen", "n_events": 2,
+            "capacity_per_cycle": service.pool.capacity_per_cycle,
+            "policy": "fair-share",
+        })
+        assert loadgen.check_report(report) == []
+        assert report["service"]["drained"]
+        assert report["pool"]["contended"]
+        assert set(report["digests"]["per_event"]) == {
+            "event-01", "event-02",
+        }
+        assert "serve loadgen" in loadgen.render_report(report)
+
+    def test_check_report_catches_violations(self, setup):
+        import copy
+
+        from repro.serve import loadgen
+
+        service = loadgen.build_service(setup, n_events=2)
+        loadgen.drive(service, burst_images=0)
+        report = loadgen.build_report(service, 1.0, {"n_events": 2})
+        doctored = copy.deepcopy(report)
+        doctored["pool"]["conserved"] = False
+        doctored["service"]["drained"] = False
+        doctored["pool"]["contended"] = False
+        doctored["budget_cents"]["conserved"] = False
+        failures = loadgen.check_report(doctored, p99_gate_seconds=0.0)
+        assert len(failures) >= 4
+        messages = "\n".join(failures)
+        assert "conservation" in messages
+        assert "drain" in messages
+        assert "contention" in messages
+        assert "p99" in messages
