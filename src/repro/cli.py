@@ -17,6 +17,23 @@ Exposes the library's main entry points without writing any Python:
 
 All commands run the miniature (fast) deployment by default; pass ``--full``
 for the paper-scale configuration, ``--seed`` for a different world.
+
+Exit codes (shared across the run/serve/loadgen family):
+
+=====  ==================================================================
+code   meaning
+=====  ==================================================================
+0      success
+1      a ``--check`` gate failed (books, drain, contention, parity, p99)
+2      usage error (bad flag value or combination)
+3      integrity failure (corrupt checkpoint or journal)
+4      pool conservation violated after a serve drain
+5      serve completed, but one or more events ended **quarantined**
+       (the bulkhead/breaker parked them; healthy events drained)
+75     an injected crash (``--crash-at ...:raise``) escaped the loop
+137    the process was SIGKILLed (``--crash-at-tick`` / ``...:kill``
+       drills; the supervisor or CI is expected to ``--resume``)
+=====  ==================================================================
 """
 
 from __future__ import annotations
@@ -547,16 +564,23 @@ def cmd_serve(args) -> int:
     except ServeJournalError as exc:
         print(f"serve journal integrity failure: {exc}", file=sys.stderr)
         return 3
+    quarantined = service.quarantined_events()
     for deployment in service.registry.all():
         status = service.event_status(deployment.event_id)
         books = status.pool
+        state = ""
+        if status.health is not None and status.event_id in quarantined:
+            state = " [QUARANTINED]"
         print(
             f"{status.event_id}: F1 {status.macro_f1:.3f}, "
             f"cycles {status.next_cycle}/{status.n_cycles}, "
             f"admitted {books['admitted']}, deferred {books['deferred']}, "
             f"shed {books['shed']}, "
-            f"spent {status.budget['spent_cents'] / 100:.2f} USD"
+            f"spent {status.budget['spent_cents'] / 100:.2f} USD{state}"
         )
+    for event_id in quarantined:
+        reason = service.health[event_id].quarantine_reason or "breaker open"
+        print(f"quarantined {event_id}: {reason}", file=sys.stderr)
     digest = service.combined_digest()
     if getattr(args, "digest_file", None):
         Path(args.digest_file).write_text(digest + "\n")
@@ -566,6 +590,10 @@ def cmd_serve(args) -> int:
         service.close()
         return 4
     service.close()
+    if quarantined:
+        # Completed-with-casualties: the healthy events drained, the
+        # parked ones need operator attention (see docs/SERVING.md).
+        return 5
     return 0
 
 
@@ -577,6 +605,7 @@ def cmd_loadgen(args) -> int:
         build_report,
         check_report,
         drive,
+        reference_digests,
         render_report,
         run_loadgen,
         write_report,
@@ -601,6 +630,23 @@ def cmd_loadgen(args) -> int:
             )
             wall = time.perf_counter() - started
             manifest = service._manifest
+            # A chaos run announces itself in the manifest: events with
+            # fault plans.  Re-derive the clean reference digests (the
+            # reference run is deterministic and fault-free) so the
+            # resumed report carries the same blast-radius section.
+            faulted = [
+                entry["event_id"]
+                for entry in manifest["events"]
+                if entry.get("fault_plan")
+            ]
+            clean_digests = None
+            if faulted:
+                clean_digests = reference_digests(
+                    service.setup,
+                    n_events=len(service.registry),
+                    burst_images=args.burst_images,
+                    burst_seed=args.burst_seed,
+                )
             meta = {
                 "bench": "serve-loadgen",
                 "seed": manifest["seed"],
@@ -615,8 +661,12 @@ def cmd_loadgen(args) -> int:
                 "durable": True,
                 "fsync": manifest["fsync"],
                 "resumed": True,
+                "chaos": bool(faulted),
+                "faulted_event": faulted[0] if faulted else None,
             }
-            report = build_report(service, wall, meta)
+            report = build_report(
+                service, wall, meta, clean_digests=clean_digests
+            )
             service.close()
         else:
             report = run_loadgen(
@@ -631,6 +681,7 @@ def cmd_loadgen(args) -> int:
                 serve_dir=args.serve_dir,
                 fsync=args.fsync,
                 crash_at_tick=args.crash_at_tick,
+                chaos=args.chaos,
             )
     except CheckpointIntegrityError as exc:
         print(
@@ -653,11 +704,20 @@ def cmd_loadgen(args) -> int:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print(
-            "loadgen check passed: fleet drained, query and money books "
-            "conserved, and the shared crowd was genuinely contended",
-            file=sys.stderr,
-        )
+        if report.get("chaos") is not None:
+            print(
+                "loadgen chaos check passed: faulted event quarantined, "
+                "blast radius contained, healthy digests byte-identical, "
+                "books conserved",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "loadgen check passed: fleet drained, query and money "
+                "books conserved, and the shared crowd was genuinely "
+                "contended",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -886,6 +946,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "--p99-gate", type=float, metavar="SECONDS",
                 dest="p99_gate",
                 help="also fail --check if p99 cycle latency exceeds this",
+            )
+            sub.add_argument(
+                "--chaos", action="store_true",
+                help="blast-radius drill: run the fleet clean, then with "
+                     "a permanent platform outage scoped to the last "
+                     "event; with --check, fail unless the faulted event "
+                     "quarantines and every healthy event's digest is "
+                     "byte-identical to the clean run",
             )
         if name == "bench":
             sub.add_argument(

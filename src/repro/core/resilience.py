@@ -134,6 +134,18 @@ class ResilienceCounters:
         """Whether any intervention happened at all."""
         return any(getattr(self, f.name) for f in fields(self))
 
+    def platform_failures(self) -> int:
+        """Interventions that signal the *platform* misbehaved.
+
+        Outages hit, queries dropped after exhausted retries, and
+        all-late queries — the serving layer's circuit breaker
+        (:mod:`repro.serve.breaker`) treats a cycle with any of these as
+        a failure sample.  Refunds and committee fallbacks are excluded:
+        they are degradation working as designed, not the dependency
+        failing.
+        """
+        return self.outages_hit + self.dropped_queries + self.late_queries
+
     def as_dict(self) -> dict[str, float]:
         """JSON-safe mapping of counter name to value."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

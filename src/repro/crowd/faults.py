@@ -231,6 +231,51 @@ class FaultPlan:
             if not isinstance(point, CrashPoint):
                 raise ValueError(f"not a CrashPoint: {point!r}")
 
+    def as_dict(self) -> dict:
+        """JSON-safe form; crash points serialize as their spec strings.
+
+        The serving layer's manifest persists per-event fault plans this
+        way so :meth:`CrowdLearnService.resume` can re-arm injectors for
+        events rebuilt without a checkpoint.
+        """
+        return {
+            "abandonment_rate": self.abandonment_rate,
+            "spam_rate": self.spam_rate,
+            "adversarial_rate": self.adversarial_rate,
+            "delay_spike_rate": self.delay_spike_rate,
+            "delay_spike_factor": self.delay_spike_factor,
+            "duplicate_rate": self.duplicate_rate,
+            "malformed_rate": self.malformed_rate,
+            "outage_windows": [
+                [int(start), int(end)] for start, end in self.outage_windows
+            ],
+            "crash_points": [point.spec() for point in self.crash_points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`as_dict` (ignores unknown keys)."""
+        rates = {
+            name: data[name]
+            for name in (
+                "abandonment_rate", "spam_rate", "adversarial_rate",
+                "delay_spike_rate", "delay_spike_factor",
+                "duplicate_rate", "malformed_rate",
+            )
+            if name in data
+        }
+        return cls(
+            outage_windows=tuple(
+                (int(start), int(end))
+                for start, end in data.get("outage_windows", ())
+            ),
+            crash_points=tuple(
+                CrashPoint.parse(spec)
+                for spec in data.get("crash_points", ())
+            ),
+            **rates,
+        )
+
     def is_noop(self) -> bool:
         """Whether this plan injects nothing at all."""
         return (

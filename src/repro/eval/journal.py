@@ -64,7 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "JournalError", "JournalReplayError", "CycleJournal",
-    "JournalReadResult", "read_journal",
+    "JournalReadResult", "read_journal", "wal_tail_summary",
     "encode_response", "decode_response", "encode_pending",
     "RecoveryResult", "resume_run", "audit_recovery",
     "recovery_sidecar_path", "load_recovery_info", "update_recovery_info",
@@ -206,6 +206,41 @@ def read_journal(path: str | Path) -> JournalReadResult:
     tail = raw[result.good_bytes:]
     result.torn_lines = sum(1 for t in tail.split(b"\n") if t.strip())
     return result
+
+
+def wal_tail_summary(journal_path: str | Path) -> dict:
+    """Post-mortem summary of a journal's tail after an aborted cycle.
+
+    When the serving layer's bulkhead quarantines an event mid-cycle,
+    the event's write-ahead log is the authoritative record of how far
+    the interrupted cycle got — most importantly whether a crowd post is
+    in doubt (a ``post_intent`` journaled without its ``post``).  The
+    service embeds this summary in the quarantine record so operators can
+    assess a parked event without opening its WAL by hand.
+    """
+    path = Path(journal_path)
+    if not path.exists():
+        return {"exists": False}
+    read = read_journal(path)
+    live = [r for r in read.records if r["stage"] != "rotate"]
+    last = live[-1] if live else None
+    return {
+        "exists": True,
+        "records": len(read.records),
+        "torn_lines": read.torn_lines,
+        "base_cycle": read.base_cycle,
+        "last_cycle": None if last is None else int(last["cycle"]),
+        "last_stage": None if last is None else last["stage"],
+        "in_doubt_posts": int(
+            last is not None and last["stage"] == "post_intent"
+        ),
+        "journaled_posts": sum(
+            1 for r in live
+            if r["stage"] == "post"
+            and isinstance(r["payload"], dict)
+            and r["payload"].get("kind") == "posted"
+        ),
+    }
 
 
 class CycleJournal:

@@ -19,7 +19,11 @@ into a service:
   explicit backpressure (deferred to later windows or shed),
 - a synchronous service core (:class:`~repro.serve.service.CrowdLearnService`),
   an asyncio façade (:class:`~repro.serve.facade.AsyncCrowdLearnService`)
-  and a surge load generator (:mod:`~repro.serve.loadgen`).
+  and a surge load generator (:mod:`~repro.serve.loadgen`),
+- service-level resilience: per-event circuit breakers
+  (:mod:`~repro.serve.breaker`), a degradation ladder
+  (:mod:`~repro.serve.health`), and bulkhead isolation in the service
+  core so one faulted event never takes the fleet down.
 """
 
 from repro.serve.admission import (
@@ -30,8 +34,15 @@ from repro.serve.admission import (
     PriorityPolicy,
     create_admission_policy,
 )
+from repro.serve.breaker import BREAKER_STATES, BreakerPolicy, CircuitBreaker
 from repro.serve.deployment import Deployment
-from repro.serve.facade import AsyncCrowdLearnService
+from repro.serve.facade import AsyncCrowdLearnService, DrainOutcome
+from repro.serve.health import (
+    HEALTH_STATES,
+    EventHealth,
+    HealthPolicy,
+    tick_failed,
+)
 from repro.serve.pool import AdmissionDecision, EventLedger, SharedCrowdPool
 from repro.serve.registry import EventRegistry
 from repro.serve.service import CrowdLearnService, EventStatus
@@ -41,14 +52,22 @@ __all__ = [
     "AdmissionPolicy",
     "AdmissionRequest",
     "AsyncCrowdLearnService",
+    "BREAKER_STATES",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "CrowdLearnService",
     "DeadlineAwarePolicy",
     "Deployment",
+    "DrainOutcome",
+    "EventHealth",
     "EventLedger",
     "EventRegistry",
     "EventStatus",
     "FairSharePolicy",
+    "HEALTH_STATES",
+    "HealthPolicy",
     "PriorityPolicy",
     "SharedCrowdPool",
     "create_admission_policy",
+    "tick_failed",
 ]

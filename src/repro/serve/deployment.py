@@ -107,6 +107,14 @@ class Deployment:
             return 0
         return len(self.stream.cycle(self.next_cycle))
 
+    def releasable_budget_cents(self) -> float:
+        """Unspent crowd budget a parked event can no longer use.
+
+        Surfaced in quarantine journal records and the serve report so
+        operators can see what a faulted event leaves on the table.
+        """
+        return float(self.system.ledger.remaining)
+
     # -- the loop ----------------------------------------------------------
 
     def run_next_cycle(self, grant: int) -> CycleOutcome:

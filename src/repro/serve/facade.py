@@ -16,15 +16,48 @@ provides that surface with plain ``asyncio``:
 Determinism is untouched: the lock serializes callers but never reorders
 the virtual-time heap, so a drained fleet's digests match the
 synchronous service byte for byte.
+
+A tick that raises never aborts the drain: the core's bulkhead
+quarantines the faulted event and :meth:`drain` keeps going, returning a
+:class:`DrainOutcome` that names every event that finished and every
+event that was parked (with its quarantine reason) — structured results,
+not an exception that takes the surviving events down with it.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 
 from repro.serve.service import CrowdLearnService, EventStatus
 
-__all__ = ["AsyncCrowdLearnService"]
+__all__ = ["AsyncCrowdLearnService", "DrainOutcome"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DrainOutcome:
+    """What a full drain accomplished, event by event.
+
+    ``ticks`` counts executed sensing cycles; ``drained`` lists events
+    that ran to completion; ``quarantined`` maps each parked event to
+    its operator-facing quarantine reason.
+    """
+
+    ticks: int
+    drained: tuple[str, ...]
+    quarantined: dict[str, str]
+
+    @property
+    def clean(self) -> bool:
+        """Whether every event drained without a quarantine."""
+        return not self.quarantined
+
+    def as_dict(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "drained": list(self.drained),
+            "quarantined": dict(self.quarantined),
+        }
 
 
 class AsyncCrowdLearnService:
@@ -49,17 +82,38 @@ class AsyncCrowdLearnService:
         async with self._lock:
             return self.service.step()
 
-    async def drain(self) -> int:
-        """Run every pending cycle, yielding to the loop between cycles."""
+    async def drain(self) -> DrainOutcome:
+        """Run every pending cycle, yielding to the loop between cycles.
+
+        Per-event failures surface in the returned
+        :class:`DrainOutcome`, never as an exception: the bulkhead in
+        :meth:`CrowdLearnService.step` parks the faulted event and the
+        drain continues over the survivors.
+        """
         executed = 0
         while True:
             async with self._lock:
                 event_id = self.service.step()
             if event_id is None:
-                return executed
+                break
             executed += 1
             # Let queued status calls / submissions in before the next tick.
             await asyncio.sleep(0)
+        async with self._lock:
+            service = self.service
+            drained = tuple(
+                d.event_id for d in service.registry.all() if d.done
+            )
+            quarantined = {
+                event_id: (
+                    service.health[event_id].quarantine_reason
+                    or "breaker open"
+                )
+                for event_id in service.quarantined_events()
+            }
+        return DrainOutcome(
+            ticks=executed, drained=drained, quarantined=quarantined
+        )
 
     async def event_status(self, event_id: str) -> EventStatus:
         async with self._lock:

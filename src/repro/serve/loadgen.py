@@ -19,6 +19,16 @@ figures land in ``benchmarks/results/BENCH_serve.json``:
 ``check_report`` is the ``--check`` gate: it returns a list of failure
 strings (empty means pass) so CI can fail loudly on a broken invariant
 rather than silently uploading a bad artifact.
+
+**Chaos mode** (``--chaos``) is the blast-radius drill: the same fleet
+runs twice — once clean, once with a permanent platform outage scoped to
+the *last* event — and the report asserts that the faulted event ends
+QUARANTINED while every healthy event's digest is byte-identical to the
+clean run.  The chaos fleet is deliberately *unmetered*: under a metered
+pool a quarantine frees capacity and legitimately changes healthy
+events' grants, so byte-parity is only a theorem when events are
+capacity-independent (the metered release/re-water-fill path has its own
+conservation tests).
 """
 
 from __future__ import annotations
@@ -28,12 +38,13 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.crowd.faults import FaultPlan
 from repro.serve.admission import create_admission_policy
 from repro.serve.pool import SharedCrowdPool
 from repro.serve.service import CrowdLearnService
 
 __all__ = ["run_loadgen", "check_report", "write_report", "render_report",
-           "DEFAULT_OUTPUT"]
+           "chaos_plan", "DEFAULT_OUTPUT"]
 
 DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_serve.json")
 
@@ -41,6 +52,16 @@ DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_serve.json")
 #: middling one — enough spread that priority/deadline policies differ
 #: visibly from fair-share.
 _PRIORITIES = (2.0, 1.0, 1.5)
+
+
+def chaos_plan() -> FaultPlan:
+    """The drill's event-scoped fault: a permanent platform outage.
+
+    Every post attempt raises, so the faulted event fails every tick it
+    posts in, trips its breaker, fails both recovery probes and lands in
+    terminal quarantine — the full degradation ladder in one plan.
+    """
+    return FaultPlan(outage_windows=((0, 1 << 30),))
 
 
 def _percentiles(values: list[float]) -> dict[str, float]:
@@ -63,31 +84,41 @@ def build_service(
     max_backlog: int | None = None,
     serve_dir: str | Path | None = None,
     fsync: str = "always",
+    unmetered: bool = False,
+    fault_plans: dict[str, FaultPlan] | None = None,
 ) -> CrowdLearnService:
     """Assemble the surge fleet: N events over one under-provisioned crowd.
 
     ``capacity=None`` sizes the shared pool at half the fleet's fresh
     per-window demand (at least one slot), which guarantees contention —
     the whole point of the bench.  Pass an explicit capacity (or ``0``
-    for a fully saturated crowd) to override.
+    for a fully saturated crowd) to override, or ``unmetered=True`` for
+    the capacity-independent pool the chaos drill's byte-parity claim
+    needs.  ``fault_plans`` maps event ids to event-scoped
+    :class:`~repro.crowd.faults.FaultPlan`\\ s.
     """
     if n_events < 1:
         raise ValueError(f"n_events must be >= 1, got {n_events}")
-    if capacity is None:
-        demand = n_events * setup.config.queries_per_cycle
-        capacity = max(1, demand // 2)
-    pool = SharedCrowdPool(
-        capacity_per_cycle=capacity,
-        policy=create_admission_policy(policy),
-        max_backlog=max_backlog,
-    )
+    if unmetered:
+        pool = SharedCrowdPool()
+    else:
+        if capacity is None:
+            demand = n_events * setup.config.queries_per_cycle
+            capacity = max(1, demand // 2)
+        pool = SharedCrowdPool(
+            capacity_per_cycle=capacity,
+            policy=create_admission_policy(policy),
+            max_backlog=max_backlog,
+        )
     service = CrowdLearnService(
         setup, pool=pool, serve_dir=serve_dir, fsync=fsync
     )
     for i in range(n_events):
+        event_id = f"event-{i + 1:02d}"
         service.submit_event(
-            f"event-{i + 1:02d}",
+            event_id,
             priority=_PRIORITIES[i % len(_PRIORITIES)],
+            fault_plan=(fault_plans or {}).get(event_id),
         )
     return service
 
@@ -136,11 +167,18 @@ def build_report(
     service: CrowdLearnService,
     wall_seconds: float,
     meta: dict[str, Any],
+    clean_digests: dict[str, str] | None = None,
 ) -> dict[str, Any]:
-    """Collect the drained fleet's figures into the bench report."""
+    """Collect the drained fleet's figures into the bench report.
+
+    With ``clean_digests`` (the chaos drill's no-fault reference run),
+    the report gains a ``chaos`` section comparing every healthy event's
+    digest against its clean twin — the blast-radius assertion.
+    """
     events: dict[str, Any] = {}
     all_walls: list[float] = []
     charged = refunded = spent = 0.0
+    quarantined = service.quarantined_events()
     for deployment in service.registry.all():
         status = service.event_status(deployment.event_id)
         events[deployment.event_id] = {
@@ -150,13 +188,17 @@ def build_report(
             "pool": status.pool,
             "budget_cents": status.budget,
             "latency_seconds": status.latency_seconds,
+            "health": status.health,
         }
         all_walls.extend(deployment.cycle_wall_seconds)
         charged += status.budget["charged_cents"]
         refunded += status.budget["refunded_cents"]
         spent += status.budget["spent_cents"]
     totals = service.pool.totals()
-    drained = all(d.done for d in service.registry.all())
+    drained = all(
+        d.done or d.event_id in quarantined
+        for d in service.registry.all()
+    )
     report = {
         "meta": meta,
         "service": {
@@ -170,6 +212,7 @@ def build_report(
             ),
             "cycle_latency_seconds": _percentiles(all_walls),
             "drained": drained,
+            "quarantined": quarantined,
         },
         "events": events,
         "pool": {
@@ -192,7 +235,53 @@ def build_report(
             "combined": service.combined_digest(),
         },
     }
+    if clean_digests is not None:
+        faulted = meta.get("faulted_event")
+        digests = report["digests"]["per_event"]
+        parity = {
+            event_id: digests.get(event_id) == digest
+            for event_id, digest in sorted(clean_digests.items())
+            if event_id != faulted
+        }
+        report["chaos"] = {
+            "faulted_event": faulted,
+            "quarantined": quarantined,
+            "quarantine_reasons": {
+                event_id: (
+                    service.health[event_id].quarantine_reason
+                    or "breaker open"
+                )
+                for event_id in quarantined
+            },
+            "healthy_parity": parity,
+            "blast_radius_contained": (
+                faulted in quarantined
+                and all(parity.values())
+                and set(quarantined) <= {faulted}
+            ),
+            "clean_digests": dict(sorted(clean_digests.items())),
+        }
     return report
+
+
+def faulted_event_id(n_events: int) -> str:
+    """The chaos drill's victim: the last event, so the imagery burst
+    (which targets the first) lands on a healthy deployment."""
+    return f"event-{n_events:02d}"
+
+
+def reference_digests(
+    setup,
+    n_events: int = 3,
+    burst_images: int = 10,
+    burst_seed: int = 1234,
+) -> dict[str, str]:
+    """Digests of the clean (no-fault, unmetered) twin of the chaos fleet."""
+    reference = build_service(setup, n_events=n_events, unmetered=True)
+    drive(reference, burst_images=burst_images, burst_seed=burst_seed)
+    digests = reference.digests()
+    reference.close()
+    return digests
 
 
 def run_loadgen(
@@ -207,11 +296,30 @@ def run_loadgen(
     serve_dir: str | Path | None = None,
     fsync: str = "always",
     crash_at_tick: int | None = None,
+    chaos: bool = False,
 ) -> dict[str, Any]:
-    """One full surge run: build, drive to drain, report."""
+    """One full surge run: build, drive to drain, report.
+
+    ``chaos=True`` runs the blast-radius drill instead of the metered
+    surge: the clean reference fleet first (for parity digests), then
+    the same fleet with a permanent platform outage scoped to the last
+    event.  The chaos fleet is unmetered — see the module docstring.
+    """
     from repro.eval.runner import prepare
 
     setup = prepare(seed=seed, fast=fast)
+    clean_digests = None
+    fault_plans = None
+    faulted = None
+    if chaos:
+        faulted = faulted_event_id(n_events)
+        fault_plans = {faulted: chaos_plan()}
+        clean_digests = reference_digests(
+            setup,
+            n_events=n_events,
+            burst_images=burst_images,
+            burst_seed=burst_seed,
+        )
     service = build_service(
         setup,
         n_events=n_events,
@@ -220,6 +328,8 @@ def run_loadgen(
         max_backlog=max_backlog,
         serve_dir=serve_dir,
         fsync=fsync,
+        unmetered=chaos,
+        fault_plans=fault_plans,
     )
     started = time.perf_counter()
     drive(
@@ -240,8 +350,12 @@ def run_loadgen(
         "burst": {"images": burst_images, "seed": burst_seed},
         "durable": service.durable,
         "fsync": fsync,
+        "chaos": chaos,
+        "faulted_event": faulted,
     }
-    report = build_report(service, wall_seconds, meta)
+    report = build_report(
+        service, wall_seconds, meta, clean_digests=clean_digests
+    )
     service.close()
     return report
 
@@ -251,18 +365,24 @@ def check_report(
 ) -> list[str]:
     """The ``--check`` gates; returns failure strings (empty = pass).
 
-    Gates: every event drained; pool books conserved per event and in
-    aggregate; contention actually occurred (a surge bench that never
-    defers or sheds is not testing backpressure); money books balance;
-    optionally p99 cycle latency under ``p99_gate_seconds``.
+    Gates: every event drained (quarantined events count as handled, not
+    drained-in-place); pool books conserved per event and in aggregate;
+    contention actually occurred (a surge bench that never defers or
+    sheds is not testing backpressure — skipped in chaos mode, whose
+    fleet is deliberately unmetered); money books balance; optionally
+    p99 cycle latency under ``p99_gate_seconds``.  Chaos reports add the
+    blast-radius gates: the faulted event (and only it) quarantined, and
+    every healthy event's digest byte-identical to the clean run.
     """
     failures: list[str] = []
+    chaos = report.get("chaos")
     if not report["service"]["drained"]:
         failures.append("fleet did not drain: some events have cycles left")
     if not report["pool"]["conserved"]:
         failures.append(
             "pool conservation violated: requested != admitted + shed + "
-            f"backlog in aggregate ({report['pool']['totals']})"
+            "backlog + quarantined in aggregate "
+            f"({report['pool']['totals']})"
         )
     for event_id, ok in report["pool"]["per_event_conserved"].items():
         if not ok:
@@ -270,7 +390,7 @@ def check_report(
                 f"pool conservation violated for {event_id}: "
                 f"{report['events'][event_id]['pool']}"
             )
-    if not report["pool"]["contended"]:
+    if chaos is None and not report["pool"]["contended"]:
         failures.append(
             "no contention observed (deferred + shed == 0); the pool was "
             "over-provisioned and backpressure went untested"
@@ -279,6 +399,29 @@ def check_report(
         failures.append(
             f"budget books do not balance: {report['budget_cents']}"
         )
+    if chaos is not None:
+        faulted = chaos["faulted_event"]
+        if faulted not in chaos["quarantined"]:
+            failures.append(
+                f"chaos drill: faulted event {faulted} never reached "
+                f"QUARANTINED (quarantined: {chaos['quarantined']})"
+            )
+        extra = sorted(set(chaos["quarantined"]) - {faulted})
+        if extra:
+            failures.append(
+                f"chaos drill: blast radius escaped — healthy events "
+                f"{extra} were quarantined too"
+            )
+        broken = sorted(
+            event_id
+            for event_id, ok in chaos["healthy_parity"].items()
+            if not ok
+        )
+        if broken:
+            failures.append(
+                "chaos drill: healthy events diverged from the clean "
+                f"run: {broken}"
+            )
     if p99_gate_seconds is not None:
         p99 = report["service"]["cycle_latency_seconds"]["p99"]
         if p99 > p99_gate_seconds:
@@ -315,13 +458,25 @@ def render_report(report: dict[str, Any]) -> str:
         f"{pool['shed']}  conserved "
         f"{'yes' if report['pool']['conserved'] else 'NO'}",
     ]
+    quarantined = set(report["service"].get("quarantined", []))
     for event_id, entry in sorted(report["events"].items()):
+        marker = "  [QUARANTINED]" if event_id in quarantined else ""
         lines.append(
             f"  {event_id}: F1 {entry['macro_f1']:.3f}  "
             f"cycles {entry['cycles']}  "
             f"admitted {entry['pool']['admitted']}  "
             f"deferred {entry['pool']['deferred']}  "
-            f"shed {entry['pool']['shed']}"
+            f"shed {entry['pool']['shed']}{marker}"
+        )
+    chaos = report.get("chaos")
+    if chaos is not None:
+        contained = chaos["blast_radius_contained"]
+        lines.append(
+            f"  chaos: faulted {chaos['faulted_event']}  "
+            f"blast radius {'contained' if contained else 'ESCAPED'}  "
+            f"healthy parity "
+            f"{sum(chaos['healthy_parity'].values())}"
+            f"/{len(chaos['healthy_parity'])}"
         )
     lines.append(f"  combined digest {report['digests']['combined'][:16]}…")
     return "\n".join(lines)

@@ -16,10 +16,19 @@ meters every event's query demand against them:
 
 Conservation invariant, per event and in aggregate::
 
-    requested == admitted + shed + backlog
+    requested == admitted + shed + backlog + quarantined
 
-The load generator's ``--check`` gate asserts this exactly.  All state
-is JSON-serializable (:meth:`SharedCrowdPool.snapshot` /
+``quarantined`` holds demand whose event was parked by the service's
+bulkhead/breaker layer (:mod:`repro.serve.health`): those queries were
+requested and will never be served, but they were not *shed* by
+backpressure — keeping them in their own bucket keeps both stories
+auditable.  When an event is parked mid-window, :meth:`SharedCrowdPool.release`
+returns its unused grant to the window and re-water-fills the freed
+slots across the events still waiting in the *same* window, so released
+capacity is never stranded until the next rollover.
+
+The load generator's ``--check`` gate asserts the invariant exactly.
+All state is JSON-serializable (:meth:`SharedCrowdPool.snapshot` /
 :meth:`SharedCrowdPool.restore`) so the serving layer's own journal can
 restore the pool mid-run bit-for-bit.
 """
@@ -46,10 +55,12 @@ class EventLedger:
     ``admitted`` those granted a slot (immediately or as catch-up);
     ``deferred`` every demand pushed to a later window (cumulative — a
     query deferred twice counts twice); ``shed`` demand dropped past the
-    backlog bound; ``backlog`` the queries still waiting.  Worker-side
-    utilization (``posted_queries``/``worker_assignments``) is metered by
-    the platform's post observer, so granted-but-never-posted slots
-    (budget exhaustion, outages) stay visible.
+    backlog bound; ``backlog`` the queries still waiting; ``quarantined``
+    demand the service's health layer parked (never to be served, but
+    not shed by backpressure).  Worker-side utilization
+    (``posted_queries``/``worker_assignments``) is metered by the
+    platform's post observer, so granted-but-never-posted slots (budget
+    exhaustion, outages) stay visible.
     """
 
     requested: int = 0
@@ -57,6 +68,7 @@ class EventLedger:
     deferred: int = 0
     shed: int = 0
     backlog: int = 0
+    quarantined: int = 0
     posted_queries: int = 0
     worker_assignments: int = 0
 
@@ -65,7 +77,9 @@ class EventLedger:
 
     def conserved(self) -> bool:
         """Whether this event's books balance (see module docstring)."""
-        return self.requested == self.admitted + self.shed + self.backlog
+        return self.requested == (
+            self.admitted + self.shed + self.backlog + self.quarantined
+        )
 
 
 @dataclass(frozen=True)
@@ -104,6 +118,11 @@ class SharedCrowdPool:
     window: int = -1
     window_remaining: int = 0
     window_quotas: dict[str, int] = field(default_factory=dict)
+    #: The request set the current window's quotas were computed from
+    #: (kept so :meth:`release` can re-water-fill freed slots).
+    window_requests: list[AdmissionRequest] = field(default_factory=list)
+    #: Events that already admitted in the current window.
+    window_admitted: list[str] = field(default_factory=list)
     ledgers: dict[str, EventLedger] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -149,6 +168,8 @@ class SharedCrowdPool:
                 f"{self.window}"
             )
         self.window = window
+        self.window_requests = list(requests)
+        self.window_admitted = []
         if not self.metered:
             self.window_quotas = {}
             self.window_remaining = 0
@@ -178,6 +199,8 @@ class SharedCrowdPool:
             raise ValueError(f"demand_new must be >= 0, got {demand_new}")
         led = self.ledger(event_id)
         led.requested += demand_new
+        if event_id not in self.window_admitted:
+            self.window_admitted.append(event_id)
         want = demand_new + led.backlog
         if max_servable is not None:
             want = min(want, max_servable)
@@ -221,6 +244,91 @@ class SharedCrowdPool:
         led.backlog = 0
         return dropped
 
+    def release(
+        self, event_id: str, slots: int, requeue: bool = True
+    ) -> dict[str, int]:
+        """Un-admit ``slots`` the event will not use this window.
+
+        Two callers: the health layer shaving a grant down to a degraded
+        batch (``requeue=True`` — the shaved demand goes back to the
+        event's backlog, to be served once it recovers), and the
+        bulkhead parking a faulted event mid-tick (``requeue=False`` —
+        the demand moves to the ``quarantined`` bucket, never to be
+        served).  Either way the slots re-enter the *current* window:
+        ``window_remaining`` grows back and the freed capacity is
+        re-water-filled across the events still waiting to admit in this
+        window (returned as ``{event_id: extra_quota}``), so a parked
+        event's share is redistributed instead of stranded.
+        """
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0, got {slots}")
+        if slots == 0:
+            return {}
+        led = self.ledger(event_id)
+        if slots > led.admitted:
+            raise ValueError(
+                f"cannot release {slots} slots from {event_id!r}: only "
+                f"{led.admitted} were ever admitted"
+            )
+        led.admitted -= slots
+        if requeue:
+            led.deferred += slots
+            led.backlog += slots
+            if self.max_backlog is not None and led.backlog > self.max_backlog:
+                overflow = led.backlog - self.max_backlog
+                led.backlog = self.max_backlog
+                led.shed += overflow
+        else:
+            led.quarantined += slots
+        if not self.metered:
+            return {}
+        self.window_remaining += slots
+        return self._refill(slots, exclude=event_id)
+
+    def _refill(self, slots: int, exclude: str) -> dict[str, int]:
+        """Water-fill freed slots over this window's still-waiting events."""
+        waiting = []
+        for request in self.window_requests:
+            if request.event_id == exclude:
+                continue
+            if request.event_id in self.window_admitted:
+                continue
+            unmet = request.demand - self.window_quotas.get(
+                request.event_id, 0
+            )
+            if unmet <= 0:
+                continue
+            waiting.append(
+                AdmissionRequest(
+                    event_id=request.event_id,
+                    demand=unmet,
+                    priority=request.priority,
+                    cycles_remaining=request.cycles_remaining,
+                )
+            )
+        if not waiting:
+            return {}
+        extra = self.policy.allocate(slots, waiting)
+        granted = {k: v for k, v in extra.items() if v > 0}
+        for target, bonus in granted.items():
+            self.window_quotas[target] = (
+                self.window_quotas.get(target, 0) + bonus
+            )
+        return granted
+
+    def park(self, event_id: str) -> int:
+        """Move an event's waiting backlog into the quarantine bucket.
+
+        Called when the health layer parks the event: its backlog can no
+        longer be served, but it was never shed by backpressure either.
+        Returns the number of queries parked.
+        """
+        led = self.ledger(event_id)
+        moved = led.backlog
+        led.quarantined += moved
+        led.backlog = 0
+        return moved
+
     def note_post(self, event_id: str, workers_per_query: int) -> None:
         """Platform post observer hook: meter actual crowd utilization."""
         led = self.ledger(event_id)
@@ -242,6 +350,7 @@ class SharedCrowdPool:
             out.deferred += led.deferred
             out.shed += led.shed
             out.backlog += led.backlog
+            out.quarantined += led.quarantined
             out.posted_queries += led.posted_queries
             out.worker_assignments += led.worker_assignments
         return out.as_dict()
@@ -255,6 +364,10 @@ class SharedCrowdPool:
             "window": self.window,
             "window_remaining": self.window_remaining,
             "window_quotas": dict(self.window_quotas),
+            "window_requests": [
+                asdict(request) for request in self.window_requests
+            ],
+            "window_admitted": list(self.window_admitted),
             "ledgers": {
                 event_id: led.as_dict()
                 for event_id, led in sorted(self.ledgers.items())
@@ -274,6 +387,11 @@ class SharedCrowdPool:
         pool.window_quotas = {
             k: int(v) for k, v in state["window_quotas"].items()
         }
+        pool.window_requests = [
+            AdmissionRequest(**fields)
+            for fields in state.get("window_requests", [])
+        ]
+        pool.window_admitted = list(state.get("window_admitted", []))
         pool.ledgers = {
             event_id: EventLedger(**fields)
             for event_id, fields in state["ledgers"].items()

@@ -19,6 +19,23 @@ rebuilds the whole fleet from the manifest, replays each event's partial
 cycle through its own journal, restores the pool from the last service
 record, and reconstructs the at-most-one admission record a crash can
 swallow (killed between an event's checkpoint and the service append).
+
+Service-level resilience (this layer's blast-radius guarantees):
+
+- **Bulkheads** — every tick runs inside :meth:`step`'s isolation
+  boundary.  An exception escaping one event's cycle quarantines *that
+  event only*: its unused grant and waiting backlog move to the pool's
+  ``quarantined`` bucket (freed capacity re-enters the same window's
+  water-fill), its heap entries are parked, and every other event keeps
+  draining.
+- **Circuit breakers** (:mod:`repro.serve.breaker`) — each event's
+  completed ticks feed a deterministic closed→open→half-open machine;
+  an open breaker parks the event and schedules a cooldown probe on the
+  virtual-time heap.  Breaker and health state ride in every journal
+  record, so :meth:`resume` rebuilds them bit-for-bit.
+- **Degradation ladder** (:mod:`repro.serve.health`) — flaky-but-alive
+  events shrink to DEGRADED batches or BROWNOUT committee-only cycles
+  before they ever earn a quarantine, and climb back with hysteresis.
 """
 
 from __future__ import annotations
@@ -36,10 +53,12 @@ import numpy as np
 
 from repro.core.cache import PredictionCache
 from repro.core.system import CrowdLearnSystem
+from repro.crowd.faults import FaultInjector, FaultPlan, InjectedCrash
 from repro.data.dataset import build_dataset
 from repro.data.stream import SensingCycleStream
 from repro.eval.persistence import run_outcome_digest
 from repro.serve.deployment import Deployment
+from repro.serve.health import EventHealth, HealthPolicy, tick_failed
 from repro.serve.pool import AdmissionRequest, SharedCrowdPool
 from repro.serve.registry import EventRegistry
 from repro.telemetry.runtime import Telemetry, use_telemetry
@@ -66,6 +85,7 @@ class EventStatus:
     pool: dict[str, int]
     budget: dict[str, float]
     latency_seconds: dict[str, float]
+    health: dict[str, Any] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -142,6 +162,11 @@ class CrowdLearnService:
         ``{"event": <id>}`` (disjoint per event).  Off by default — the
         no-op pipeline keeps served runs byte-identical to standalone
         ones.
+    health_policy:
+        Thresholds for the per-event breaker and degradation ladder
+        (:class:`~repro.serve.health.HealthPolicy`).  Always on: a
+        healthy event's ladder never moves and never caps a grant, so
+        fault-free runs stay byte-identical.
     """
 
     def __init__(
@@ -151,6 +176,7 @@ class CrowdLearnService:
         serve_dir: str | Path | None = None,
         fsync: str = "always",
         instrument: bool = False,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         self.setup = setup
         self.pool = pool if pool is not None else SharedCrowdPool()
@@ -158,6 +184,11 @@ class CrowdLearnService:
         self.fsync = fsync
         self.instrument = instrument
         self.cycle_seconds = float(setup.config.cycle_seconds)
+        self.health_policy = (
+            health_policy if health_policy is not None else HealthPolicy()
+        )
+        #: Per-event breaker + ladder state, keyed by event id.
+        self.health: dict[str, EventHealth] = {}
         self.telemetries: dict[str, Telemetry] = {}
         self._heap: list[tuple[float, str, int]] = []
         self._seq = 0
@@ -182,6 +213,7 @@ class CrowdLearnService:
             "capacity_per_cycle": self.pool.capacity_per_cycle,
             "policy": self.pool.policy.name,
             "max_backlog": self.pool.max_backlog,
+            "health_policy": self.health_policy.as_dict(),
             "events": [],
         }
         if self.serve_dir is not None:
@@ -236,6 +268,27 @@ class CrowdLearnService:
             self.serve_dir / f"event-{event_id}.journal",
         )
 
+    def _health(self, event_id: str) -> EventHealth:
+        """The event's health record (created on first touch)."""
+        try:
+            return self.health[event_id]
+        except KeyError:
+            health = EventHealth(self.health_policy)
+            self.health[event_id] = health
+            return health
+
+    def _health_map(self) -> dict[str, dict]:
+        """JSON-safe per-event health snapshots (journaled per record)."""
+        return {
+            event_id: health.snapshot()
+            for event_id, health in sorted(self.health.items())
+        }
+
+    def _count(self, event_id: str, name: str, help_text: str) -> None:
+        telemetry = self.telemetries.get(event_id)
+        if telemetry is not None:
+            telemetry.counter(name, help=help_text).inc()
+
     def _telemetry_for(self, event_id: str) -> Telemetry | None:
         if not self.instrument:
             return None
@@ -267,6 +320,7 @@ class CrowdLearnService:
         system: CrowdLearnSystem | None = None,
         stream: SensingCycleStream | None = None,
         start_window: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> Deployment:
         """Register a new disaster event and schedule its first cycle.
 
@@ -278,6 +332,13 @@ class CrowdLearnService:
         of submission order (the
         :class:`~repro.utils.rng.SeedSequencer` hashes names, not call
         order).
+
+        ``fault_plan`` scopes chaos to this event alone: the plan is
+        armed on the event's own platform with an RNG stream derived
+        from ``faults-event-<id>`` and recorded in the manifest, so a
+        resumed fleet re-arms it deterministically.  Other events never
+        see the injector — that isolation is what the blast-radius drill
+        asserts.
         """
         if not event_id or any(c in event_id for c in "/\\ \t\n"):
             raise ValueError(
@@ -292,6 +353,12 @@ class CrowdLearnService:
         if seed is None:
             seed = setup.seeds.seed_for(f"event-{event_id}")
         telemetry = self._telemetry_for(event_id)
+        injector = None
+        if fault_plan is not None and not fault_plan.is_noop():
+            injector = FaultInjector(
+                plan=fault_plan,
+                rng=setup.seeds.get(f"faults-event-{event_id}"),
+            )
         if system is None:
             from repro.eval.runner import build_crowdlearn
 
@@ -302,7 +369,10 @@ class CrowdLearnService:
                 seed=seed,
                 event_id=event_id,
                 cache=self.cache,
+                faults=injector,
             )
+        elif injector is not None:
+            system.platform.faults = injector
         if stream is None:
             stream = SensingCycleStream(
                 setup.test_set,
@@ -333,6 +403,7 @@ class CrowdLearnService:
             journal=journal,
         )
         self.registry.add(deployment)
+        self._health(event_id)
         self._wire_pool_observer(deployment)
         self._push(deployment)
         self._manifest["events"].append(
@@ -344,6 +415,10 @@ class CrowdLearnService:
                 "start_window": int(start_window),
                 "platform_name": platform_name,
                 "stream_name": stream_name,
+                "fault_plan": (
+                    None if fault_plan is None or fault_plan.is_noop()
+                    else fault_plan.as_dict()
+                ),
             }
         )
         self._write_manifest()
@@ -390,6 +465,7 @@ class CrowdLearnService:
                 "n_cycles_after": deployment.n_cycles,
                 "n_images_total_after": len(deployment.stream._images),
                 "pool": self.pool.snapshot(),
+                "health": self._health_map(),
             }
         )
         return added
@@ -399,39 +475,77 @@ class CrowdLearnService:
     def step(self) -> str | None:
         """Run the next due sensing cycle; returns its event id.
 
-        ``None`` when every event has drained.  Window rollovers happen
-        here: the first tick whose due time crosses into a new window
-        fixes that window's quotas from *all* events due in it, in
-        event-id order.
+        ``None`` when every event has drained (or is parked with its
+        probe budget spent).  Window rollovers happen here: the first
+        tick whose due time crosses into a new window fixes that
+        window's quotas from *all* events due in it, in event-id order.
+
+        Every tick runs inside the service's **bulkhead**: an exception
+        escaping the cycle quarantines that event (grant and backlog
+        released to the pool, heap entries parked, breaker forced open)
+        and the step still returns normally — the other events' ticks
+        are untouched.  :class:`~repro.crowd.faults.InjectedCrash` is
+        deliberately *not* caught: crash drills must kill the process,
+        not park an event.
         """
         while self._heap:
             due, event_id, _seq = heapq.heappop(self._heap)
             deployment = self.registry.get(event_id)
             if deployment.done:
                 continue  # stale entry (e.g. rescheduled after a burst)
+            health = self._health(event_id)
             window = int(due // self.cycle_seconds)
             if window > self.pool.window:
                 self._begin_window(window)
+            if health.state == "quarantined":
+                # A parked event's only heap entry is its scheduled
+                # recovery probe; half-open the breaker before admitting.
+                if not health.begin_probe(window):
+                    continue  # stale entry; probe budget already spent
+                self._count(
+                    event_id, "breaker_half_open_total",
+                    "recovery probes started by the circuit breaker",
+                )
             decision = self.pool.admit(
                 event_id, deployment.demand(), deployment.max_servable()
             )
+            grant = health.cap_grant(decision.granted)
+            if grant < decision.granted:
+                # The ladder shaved the batch; the difference goes back
+                # to this window's water-fill and the event's backlog.
+                self.pool.release(
+                    event_id, decision.granted - grant, requeue=True
+                )
             telemetry = self.telemetries.get(event_id)
-            if telemetry is not None:
-                with use_telemetry(telemetry):
-                    deployment.run_next_cycle(decision.granted)
-            else:
-                deployment.run_next_cycle(decision.granted)
+            state_before = health.state
+            try:
+                if telemetry is not None:
+                    with use_telemetry(telemetry):
+                        outcome_cycle = deployment.run_next_cycle(grant)
+                else:
+                    outcome_cycle = deployment.run_next_cycle(grant)
+            except InjectedCrash:
+                raise
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - the bulkhead boundary
+                self._trip(deployment, window, grant, exc)
+                return event_id
             self.ticks += 1
+            failed = tick_failed(outcome_cycle)
+            state = health.observe(failed, window)
             self._append_journal(
                 {
                     "kind": "tick",
                     "event": event_id,
                     "cycle": deployment.next_cycle - 1,
                     "window": window,
-                    "granted": decision.granted,
+                    "granted": grant,
                     "deferred": decision.deferred,
                     "shed": decision.shed,
+                    "failed": failed,
                     "pool": self.pool.snapshot(),
+                    "health": self._health_map(),
                 }
             )
             if telemetry is not None:
@@ -440,26 +554,136 @@ class CrowdLearnService:
                     help="queries pushed to a later window by backpressure",
                 )
                 counter.inc(decision.deferred)
+                if failed:
+                    telemetry.counter(
+                        "health_failed_ticks_total",
+                        help="completed ticks carrying a failure signal",
+                    ).inc()
+                if state != state_before:
+                    telemetry.counter(
+                        "health_transitions_total",
+                        help="degradation-ladder state changes",
+                    ).inc()
             if deployment.done:
                 self._finish_event(deployment)
+            elif state == "quarantined":
+                self._count(
+                    event_id, "breaker_opened_total",
+                    "breakers opened (failure rate or bulkhead trip)",
+                )
+                self._park(deployment, window)
             else:
+                if state_before == "quarantined" and state != "quarantined":
+                    self._count(
+                        event_id, "breaker_closed_total",
+                        "breakers closed by a clean recovery probe",
+                    )
                 self._push(deployment)
             return event_id
         return None
 
+    def _trip(
+        self, deployment: Deployment, window: int, grant: int, exc: Exception
+    ) -> None:
+        """Bulkhead trip: the tick raised instead of completing.
+
+        The cycle never advanced, so the event's grant is unused and its
+        in-memory system state may be mid-cycle dirty — re-running the
+        same deterministic cycle would fail identically, so the breaker
+        is forced open with its probe budget spent (no re-admission)
+        and the event is parked for good.
+        """
+        event_id = deployment.event_id
+        health = self._health(event_id)
+        reason = f"tick raised {type(exc).__name__}: {exc}"
+        health.trip(window, reason)
+        self._count(
+            event_id, "breaker_opened_total",
+            "breakers opened (failure rate or bulkhead trip)",
+        )
+        if grant > 0:
+            self.pool.release(event_id, grant, requeue=False)
+        self._park(deployment, window)
+
+    def _park(self, deployment: Deployment, window: int) -> None:
+        """Move a quarantined event off the schedule.
+
+        Its waiting backlog joins the pool's ``quarantined`` bucket, the
+        remaining budget it can no longer spend is recorded for the
+        operator, and — when the breaker still has probe budget — one
+        recovery probe is scheduled on the virtual-time heap.
+        """
+        event_id = deployment.event_id
+        health = self._health(event_id)
+        parked_backlog = self.pool.park(event_id)
+        self._count(
+            event_id, "health_quarantined_total",
+            "events parked by the bulkhead or breaker",
+        )
+        self._schedule_probe(deployment)
+        record = {
+            "kind": "quarantine",
+            "event": event_id,
+            "window": window,
+            "reason": health.quarantine_reason,
+            "parked_backlog": parked_backlog,
+            "released_budget_cents": deployment.releasable_budget_cents(),
+            "probe_window": health.breaker.probe_window(),
+            "pool": self.pool.snapshot(),
+            "health": self._health_map(),
+        }
+        if deployment.journal is not None:
+            from repro.eval.journal import wal_tail_summary
+
+            # Post-mortem of the event's own WAL: how far the aborted
+            # cycle got and whether a crowd post is in doubt.
+            record["wal"] = wal_tail_summary(deployment.journal.path)
+        self._append_journal(record)
+
+    def _schedule_probe(self, deployment: Deployment) -> None:
+        """Queue the breaker's half-open probe, re-anchoring the event.
+
+        A parked event's virtual schedule stops; when the cooldown ends
+        its next cycle must run in the probe window, not at its long-past
+        original due time.  ``start_window`` is re-anchored so
+        ``start_window + next_cycle == probe_window`` (and the manifest
+        is rewritten so a resumed fleet re-anchors identically), then the
+        probe entry is pushed like any other tick.
+        """
+        health = self._health(deployment.event_id)
+        probe_window = health.breaker.probe_window()
+        if probe_window is None:
+            return  # probe budget spent: parked for good
+        deployment.start_window = probe_window - deployment.next_cycle
+        for entry in self._manifest["events"]:
+            if entry["event_id"] == deployment.event_id:
+                entry["start_window"] = int(deployment.start_window)
+        self._write_manifest()
+        self._push(deployment)
+
     def _begin_window(self, window: int) -> None:
         requests = []
         for deployment in self.registry.active():
+            health = self._health(deployment.event_id)
+            if (
+                health.state == "quarantined"
+                and health.breaker.probe_window() is None
+            ):
+                continue  # parked for good: no requests, no quota
             led = self.pool.ledger(deployment.event_id)
             due_window = (
                 deployment.start_window + deployment.next_cycle
             )
             if due_window > window:
-                continue  # not due until a later window
+                continue  # not due until a later window (or probe pending)
             want = min(
                 deployment.demand() + led.backlog,
                 deployment.max_servable(),
             )
+            # The ladder shapes the *request* too, so brownout events
+            # free their crowd share up front instead of grabbing quota
+            # they would immediately hand back.
+            want = health.demand_cap(want)
             requests.append(
                 AdmissionRequest(
                     event_id=deployment.event_id,
@@ -478,6 +702,7 @@ class CrowdLearnService:
                 ],
                 "quotas": quotas,
                 "pool": self.pool.snapshot(),
+                "health": self._health_map(),
             }
         )
 
@@ -495,11 +720,18 @@ class CrowdLearnService:
                 "event": event_id,
                 "shed_at_drain": shed,
                 "pool": self.pool.snapshot(),
+                "health": self._health_map(),
             }
         )
 
     def drain(self) -> int:
-        """Run every pending cycle to completion; returns ticks executed."""
+        """Run every pending cycle to completion; returns ticks executed.
+
+        "Completion" includes quarantine: a parked event with its probe
+        budget spent holds no heap entry, so the loop terminates even
+        when some events never drained — check
+        :meth:`quarantined_events` afterwards.
+        """
         executed = 0
         while self.step() is not None:
             executed += 1
@@ -516,6 +748,14 @@ class CrowdLearnService:
             self._journal_fh = None
 
     # -- introspection -----------------------------------------------------
+
+    def quarantined_events(self) -> list[str]:
+        """Event ids currently parked (breaker open), sorted."""
+        return sorted(
+            event_id
+            for event_id, health in self.health.items()
+            if health.state == "quarantined"
+        )
 
     def event_status(self, event_id: str) -> EventStatus:
         """One event's progress, books and latency percentiles."""
@@ -548,6 +788,11 @@ class CrowdLearnService:
                 "remaining_cents": float(ledger.remaining),
             },
             latency_seconds=latency,
+            health=(
+                self.health[event_id].snapshot()
+                if event_id in self.health
+                else None
+            ),
         )
 
     def digests(self) -> dict[str, str]:
@@ -605,14 +850,27 @@ class CrowdLearnService:
         )
         if records:
             pool = SharedCrowdPool.restore(records[-1]["pool"])
+        health_policy = (
+            HealthPolicy.from_dict(manifest["health_policy"])
+            if manifest.get("health_policy")
+            else None
+        )
         service = cls(
             setup,
             pool=pool,
             serve_dir=serve_dir,
             fsync=manifest["fsync"],
             instrument=instrument,
+            health_policy=health_policy,
         )
         service._manifest = manifest
+        for record in reversed(records):
+            if "health" in record:
+                for event_id, state in record["health"].items():
+                    service.health[event_id] = EventHealth.restore(
+                        state, policy=service.health_policy
+                    )
+                break
 
         ticks_by_event: dict[str, int] = {}
         for record in records:
@@ -639,7 +897,16 @@ class CrowdLearnService:
                     system.platform.telemetry = telemetry
             else:
                 # Crashed before the first checkpoint: rebuild from the
-                # manifest; the event journal replays cycle 0.
+                # manifest (re-arming any event-scoped fault plan from
+                # its recorded spec — the injector RNG starts fresh, and
+                # so does the replayed cycle); the event journal replays
+                # cycle 0.
+                rebuilt_injector = None
+                if entry.get("fault_plan"):
+                    rebuilt_injector = FaultInjector(
+                        plan=FaultPlan.from_dict(entry["fault_plan"]),
+                        rng=setup.seeds.get(f"faults-event-{event_id}"),
+                    )
                 system = build_crowdlearn(
                     setup,
                     platform_name=entry["platform_name"],
@@ -647,6 +914,7 @@ class CrowdLearnService:
                     seed=entry["seed"],
                     event_id=event_id,
                     cache=service.cache,
+                    faults=rebuilt_injector,
                 )
                 stream = SensingCycleStream(
                     setup.test_set,
@@ -703,13 +971,22 @@ class CrowdLearnService:
                     f"{next_cycle} but the serve journal recorded "
                     f"{ticks_by_event.get(event_id, 0)} ticks"
                 )
-            if not deployment.done:
-                service._push(deployment)
-            else:
+            if deployment.done:
                 service._drained[event_id] = True
                 if deployment.journal is not None:
                     deployment.journal.close()
                     deployment.journal = None
+            elif deployment is missing_tick:
+                pass  # _reconstruct_tick reschedules after replaying health
+            elif service._health(event_id).state == "quarantined":
+                # Parked when we died.  The kill may have landed between
+                # the tick append and the quarantine append, so park
+                # again (idempotent — backlog already moved parks zero)
+                # and re-schedule the probe, or nothing if terminal.
+                service.pool.park(event_id)
+                service._schedule_probe(deployment)
+            else:
+                service._push(deployment)
         for event_id in drained:
             service._drained[event_id] = True
         service.ticks = sum(ticks_by_event.values())
@@ -751,10 +1028,13 @@ class CrowdLearnService:
 
         The event's cycle ``next_cycle - 1`` completed (checkpoint and
         journal rotation are durable) but the service append never
-        landed.  The restored pool state is exactly the pre-admission
-        state, and admission is deterministic, so re-admitting with the
-        completed cycle's demand reproduces the lost mutation; the
-        reconstructed record is then appended like any other.
+        landed.  The restored pool and health state are exactly the
+        pre-admission state, and admission, health capping and the
+        breaker are all deterministic, so replaying them with the
+        completed cycle's demand and outcome reproduces the lost
+        mutations; the reconstructed record is then appended like any
+        other, and the event is rescheduled (or parked) exactly as
+        :meth:`step` would have.
         """
         event_id = deployment.event_id
         cycle_index = deployment.next_cycle - 1
@@ -769,8 +1049,24 @@ class CrowdLearnService:
                 f"{due_window} but the serve journal never opened it; "
                 "the journal is missing more than its final record"
             )
+        health = self._health(event_id)
+        if health.state == "quarantined":
+            # A quarantined event only ticks through its scheduled
+            # probe; the swallowed tick completed, so replay the
+            # half-open transition it must have taken.
+            if not health.begin_probe(due_window):
+                raise ServeJournalError(
+                    f"event {event_id!r} completed a cycle while "
+                    "quarantined with no probe due; the serve journal "
+                    "and checkpoints disagree"
+                )
         decision = self.pool.admit(event_id, demand, len(cycle))
-        deployment.grants.append(decision.granted)
+        grant = health.cap_grant(decision.granted)
+        if grant < decision.granted:
+            self.pool.release(
+                event_id, decision.granted - grant, requeue=True
+            )
+        deployment.grants.append(grant)
         # Re-meter the completed cycle's crowd utilization: the restored
         # pool snapshot predates it, and the cycle will not run again.
         posted = int(deployment.outcome.cycles[-1].query_indices.size)
@@ -778,18 +1074,26 @@ class CrowdLearnService:
         for _ in range(posted):
             self.pool.note_post(event_id, workers_per_query)
         self.ticks += 1
+        failed = tick_failed(deployment.outcome.cycles[-1])
+        state = health.observe(failed, due_window)
         self._append_journal(
             {
                 "kind": "tick",
                 "event": event_id,
                 "cycle": cycle_index,
                 "window": due_window,
-                "granted": decision.granted,
+                "granted": grant,
                 "deferred": decision.deferred,
                 "shed": decision.shed,
+                "failed": failed,
                 "reconstructed": True,
                 "pool": self.pool.snapshot(),
+                "health": self._health_map(),
             }
         )
         if deployment.done:
             self._finish_event(deployment)
+        elif state == "quarantined":
+            self._park(deployment, due_window)
+        else:
+            self._push(deployment)

@@ -243,4 +243,18 @@ def summary_report(telemetry: "Telemetry", title: str = "Telemetry") -> str:
                 title=f"{title}: Recovery",
             )
         )
+    health_rows = [
+        [instrument.name, float(instrument.value)]
+        for instrument in telemetry.registry
+        if instrument.name.startswith(("breaker_", "health_"))
+        and instrument.name not in dict(_COST_COUNTERS)
+    ]
+    if any(value for _, value in health_rows):
+        parts.append(
+            format_table(
+                ["counter", "value"],
+                health_rows,
+                title=f"{title}: Health",
+            )
+        )
     return "\n\n".join(parts)

@@ -21,6 +21,7 @@ from repro.eval.journal import (
     read_journal,
     recovery_sidecar_path,
     update_recovery_info,
+    wal_tail_summary,
 )
 from repro.utils.rng import SeedSequencer
 
@@ -255,6 +256,47 @@ class TestSidecarAndHeartbeat:
         os.utime(hb, (past, past))
         beat({"seq": 0})
         assert hb.stat().st_mtime > past + 50
+
+
+class TestWalTailSummary:
+    """The serving layer's quarantine post-mortem over a WAL tail."""
+
+    def test_missing_file(self, tmp_path):
+        assert wal_tail_summary(tmp_path / "nope") == {"exists": False}
+
+    def test_in_doubt_post_is_flagged(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = CycleJournal.create(path, next_cycle=3)
+        journal.append(3, "cycle_start", {"cycle": 3})
+        journal.append(3, "qss", {"indices": [0, 1]})
+        journal.append(3, "post_intent", {"index": 0, "arm": 1})
+        journal.close()
+        summary = wal_tail_summary(path)
+        assert summary["exists"] is True
+        assert summary["base_cycle"] == 3
+        assert summary["last_cycle"] == 3
+        assert summary["last_stage"] == "post_intent"
+        assert summary["in_doubt_posts"] == 1
+        assert summary["journaled_posts"] == 0
+        assert summary["torn_lines"] == 0
+
+    def test_clean_rotated_journal_has_nothing_in_doubt(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = CycleJournal.create(path, next_cycle=0)
+        journal.append(0, "post_intent", {"index": 0})
+        journal.append(0, "post", {"kind": "posted", "query_id": 11})
+        journal.append(0, "cycle_end", {"cost_cents": 2.0})
+        summary = wal_tail_summary(path)
+        assert summary["in_doubt_posts"] == 0
+        assert summary["journaled_posts"] == 1
+        journal.rotate(1)
+        journal.close()
+        rotated = wal_tail_summary(path)
+        assert rotated == {
+            "exists": True, "records": 1, "torn_lines": 0,
+            "base_cycle": 1, "last_cycle": None, "last_stage": None,
+            "in_doubt_posts": 0, "journaled_posts": 0,
+        }
 
 
 class TestResponseCodec:

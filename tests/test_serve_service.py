@@ -223,13 +223,15 @@ class TestAsyncFacade:
             service = AsyncCrowdLearnService(contended_service(setup))
             await service.submit_event("a")
             await service.submit_event("b")
-            ticks = await service.drain()
+            outcome = await service.drain()
             status = await service.event_status("a")
             assert status.done
-            return ticks, await service.combined_digest()
+            return outcome, await service.combined_digest()
 
-        ticks, digest = asyncio.run(drive())
-        assert ticks == sync.ticks
+        outcome, digest = asyncio.run(drive())
+        assert outcome.ticks == sync.ticks
+        assert outcome.clean
+        assert set(outcome.drained) == {"a", "b"}
         assert digest == sync.combined_digest()
 
     def test_status_interleaves_with_drain(self, setup):
