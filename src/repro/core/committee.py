@@ -80,6 +80,19 @@ class Committee:
         for expert in self.experts:
             expert.attach_cache(cache)
 
+    def set_fused(self, fused: bool) -> "Committee":
+        """Toggle fused conv kernels on every expert that supports them.
+
+        Third-party experts without the hook are skipped; built-in CNN
+        experts switch execution strategy bit-identically (no version bump
+        needed — predictions are unchanged).
+        """
+        for expert in self.experts:
+            set_fused = getattr(expert, "set_fused", None)
+            if callable(set_fused):
+                set_fused(fused)
+        return self
+
     def _after_update(self, expert: DDAModel, version_before: int) -> None:
         """Ensure a retrained expert's version moved and evict stale votes.
 
@@ -194,10 +207,20 @@ class Committee:
         dataset: DisasterDataset,
         labels: np.ndarray,
         rng: np.random.Generator,
+        epochs: int | None = None,
     ) -> "Committee":
-        """Incrementally retrain every expert on crowd-labeled data."""
+        """Incrementally retrain every expert on crowd-labeled data.
+
+        ``epochs`` overrides each expert's per-retrain epoch schedule
+        (warm-start fine-tuning passes 1-2 here).  It is only forwarded
+        when set, so third-party experts whose ``retrain`` lacks the
+        keyword keep working on the default path.
+        """
         for expert in self.experts:
             before = expert.model_version
-            expert.retrain(dataset, labels, rng)
+            if epochs is None:
+                expert.retrain(dataset, labels, rng)
+            else:
+                expert.retrain(dataset, labels, rng, epochs=epochs)
             self._after_update(expert, before)
         return self

@@ -46,6 +46,26 @@ class CrowdLearnConfig:
     mic_retrain: bool = True
     mic_reweight: bool = True
     mic_offload: bool = True
+    # Warm-start incremental retraining (see repro.core.mic): non-refit
+    # cycles fine-tune incumbent weights for mic_warm_epochs on the new
+    # crowd batch + a small crowd ReplayBuffer sample instead of the full
+    # golden-replay refit; every mic_full_refit_every-th retrain (and the
+    # first) still takes the cold path.  mic_full_refit_every=1 makes every
+    # retrain cold (bit-identical to mic_warm_start=False); 0 disables the
+    # periodic refit.
+    mic_warm_start: bool = False
+    mic_replay_buffer: int = 64
+    mic_warm_replay_sample: int = 4
+    # 20 keeps paper-scale macro-F1 at cold parity while clearing the
+    # >= 5x retrain-fit speedup budget (repro bench --full --check).
+    mic_full_refit_every: int = 20
+    mic_warm_epochs: int = 1
+
+    # Fused conv kernels (see repro.nn.layers.fuse_layers): run each CNN
+    # expert's conv+relu(+pool) chains as single-pass fused ops with
+    # preallocated im2col scratch.  Bit-identical to the layer-by-layer
+    # path — a pure execution-strategy switch.
+    fused_kernels: bool = False
 
     # CQC.
     cqc_use_questionnaire: bool = True
@@ -98,6 +118,24 @@ class CrowdLearnConfig:
             raise ValueError("incentive levels must be positive and non-empty")
         if self.budget_usd <= 0:
             raise ValueError(f"budget must be positive, got {self.budget_usd}")
+        if self.mic_replay_buffer <= 0:
+            raise ValueError(
+                f"mic_replay_buffer must be positive, got {self.mic_replay_buffer}"
+            )
+        if self.mic_warm_replay_sample < 0:
+            raise ValueError(
+                "mic_warm_replay_sample must be >= 0, "
+                f"got {self.mic_warm_replay_sample}"
+            )
+        if self.mic_full_refit_every < 0:
+            raise ValueError(
+                "mic_full_refit_every must be >= 0, "
+                f"got {self.mic_full_refit_every}"
+            )
+        if self.mic_warm_epochs <= 0:
+            raise ValueError(
+                f"mic_warm_epochs must be positive, got {self.mic_warm_epochs}"
+            )
         if self.guard_holdout_size <= 0:
             raise ValueError(
                 f"guard_holdout_size must be positive, got {self.guard_holdout_size}"

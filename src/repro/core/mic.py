@@ -19,7 +19,52 @@ from repro.core.committee import Committee
 from repro.data.dataset import DisasterDataset, DisasterImage
 from repro.metrics.information import bounded_divergence
 
-__all__ = ["MachineIntelligenceCalibrator"]
+__all__ = ["MachineIntelligenceCalibrator", "ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """FIFO buffer of recent crowd-labeled images for warm-start retraining.
+
+    Holds the last ``capacity`` (image, truthful label) pairs that MIC
+    retrained on; warm-start fine-tuning mixes a small sample of them into
+    each new crowd batch so incremental updates do not forget the recent
+    past.  Adding is deterministic bookkeeping (no RNG); only
+    :meth:`sample` draws.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._images: list[DisasterImage] = []
+        self._labels: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def add(self, images: list[DisasterImage], labels: np.ndarray) -> None:
+        """Append a crowd-labeled batch, evicting the oldest entries."""
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        if labels.shape[0] != len(images):
+            raise ValueError("one label per image is required")
+        self._images.extend(images)
+        self._labels.extend(int(label) for label in labels)
+        excess = len(self._images) - self.capacity
+        if excess > 0:
+            del self._images[:excess]
+            del self._labels[:excess]
+
+    def sample(
+        self, k: int, rng: np.random.Generator
+    ) -> tuple[list[DisasterImage], list[int]]:
+        """Up to ``k`` distinct entries, uniformly without replacement."""
+        take = min(k, len(self._images))
+        if take <= 0:
+            return [], []
+        chosen = rng.choice(len(self._images), size=take, replace=False)
+        images = [self._images[int(i)] for i in chosen]
+        labels = [self._labels[int(i)] for i in chosen]
+        return images, labels
 
 
 class MachineIntelligenceCalibrator:
@@ -38,6 +83,27 @@ class MachineIntelligenceCalibrator:
         Whether the expert-weight update is enabled (ablation switch).
     offload:
         Whether crowd offloading is enabled (ablation switch).
+    warm_start:
+        Enable warm-start incremental retraining: instead of the full
+        fine-tune over ``new crowd batch + golden replay`` every cycle,
+        experts reuse their incumbent weights and take a short
+        (``warm_epochs``) pass over ``new crowd batch + a small sample of
+        the crowd ReplayBuffer``.  Every ``full_refit_every``-th retrain
+        (and always the first) falls back to the full cold path as an
+        escape hatch against drift.  Both paths flow through the same
+        ``Committee.retrain`` — guard gating, version bumps and cache
+        invalidation are identical.
+    replay_buffer:
+        Capacity of the crowd :class:`ReplayBuffer` (warm-start only).
+    warm_replay_sample:
+        Replay entries mixed into each warm-start batch.
+    full_refit_every:
+        Cold full-refit period, counted in retrains; ``1`` means every
+        retrain is cold (bit-identical to ``warm_start=False``), ``0``
+        disables periodic refits entirely (first retrain is still cold).
+    warm_epochs:
+        Fine-tuning epochs per warm-start retrain (overrides each expert's
+        ``retrain_epochs`` on warm cycles).
     """
 
     def __init__(
@@ -47,16 +113,40 @@ class MachineIntelligenceCalibrator:
         retrain: bool = True,
         reweight: bool = True,
         offload: bool = True,
+        warm_start: bool = False,
+        replay_buffer: int = 64,
+        warm_replay_sample: int = 4,
+        full_refit_every: int = 20,
+        warm_epochs: int = 1,
     ) -> None:
         if eta < 0:
             raise ValueError(f"eta must be >= 0, got {eta}")
         if replay_size < 0:
             raise ValueError(f"replay_size must be >= 0, got {replay_size}")
+        if warm_replay_sample < 0:
+            raise ValueError(
+                f"warm_replay_sample must be >= 0, got {warm_replay_sample}"
+            )
+        if full_refit_every < 0:
+            raise ValueError(
+                f"full_refit_every must be >= 0, got {full_refit_every}"
+            )
+        if warm_epochs <= 0:
+            raise ValueError(f"warm_epochs must be positive, got {warm_epochs}")
         self.eta = eta
         self.replay_size = replay_size
         self.retrain = retrain
         self.reweight = reweight
         self.offload = offload
+        self.warm_start = warm_start
+        self.warm_replay_sample = warm_replay_sample
+        self.full_refit_every = full_refit_every
+        self.warm_epochs = warm_epochs
+        self.replay = ReplayBuffer(replay_buffer)
+        #: Completed retrain calls (warm or cold) — drives the refit period.
+        self.retrain_count = 0
+        self.warm_retrains = 0
+        self.full_refits = 0
 
     def expert_losses(
         self,
@@ -116,6 +206,14 @@ class MachineIntelligenceCalibrator:
         committee.set_weights(new_weights)
         return committee.weights
 
+    def _warm_cycle(self) -> bool:
+        """Whether the *next* retrain may take the warm-start path."""
+        if not self.warm_start or len(self.replay) == 0:
+            return False
+        if self.full_refit_every <= 0:
+            return True
+        return self.retrain_count % self.full_refit_every != 0
+
     def retrain_experts(
         self,
         committee: Committee,
@@ -126,26 +224,67 @@ class MachineIntelligenceCalibrator:
     ) -> None:
         """Fine-tune every expert on crowd-labeled queries + a replay sample.
 
-        The replay sample (drawn from the original golden training set) keeps
-        a handful of crowd labels from dragging the experts off distribution.
+        The cold (default) path fine-tunes for each expert's full
+        ``retrain_epochs`` on the crowd batch plus a ``replay_size`` sample
+        of the original golden training set, which keeps a handful of crowd
+        labels from dragging the experts off distribution.
+
+        With ``warm_start`` enabled, non-refit cycles instead take one
+        short pass (``warm_epochs``) over the crowd batch plus a small
+        sample of *recent crowd batches* from the :class:`ReplayBuffer` —
+        the experts' incumbent weights already encode the golden set, so
+        the expensive golden replay is reserved for the periodic
+        ``full_refit_every`` cold refits.
         """
         if not self.retrain or not query_images:
             return
+        from repro.telemetry.runtime import get_telemetry
+
+        tel = get_telemetry()
         truthful_labels = np.asarray(truthful_labels, dtype=np.int64).ravel()
         if truthful_labels.shape[0] != len(query_images):
             raise ValueError("one truthful label per query image is required")
-        images = list(query_images)
-        labels = list(truthful_labels)
-        if self.replay_size > 0 and len(replay_pool) > 0:
-            take = min(self.replay_size, len(replay_pool))
-            chosen = rng.choice(len(replay_pool), size=take, replace=False)
-            for index in chosen:
-                replay_image = replay_pool[int(index)]
-                images.append(replay_image)
-                labels.append(int(replay_image.true_label))
-        committee.retrain(
-            DisasterDataset(images), np.array(labels, dtype=np.int64), rng
-        )
+        if self._warm_cycle():
+            sampled_images, sampled_labels = self.replay.sample(
+                self.warm_replay_sample, rng
+            )
+            images = list(query_images) + sampled_images
+            labels = list(truthful_labels) + sampled_labels
+            with tel.span("cycle.mic.retrain.fit", warm=1):
+                committee.retrain(
+                    DisasterDataset(images),
+                    np.array(labels, dtype=np.int64),
+                    rng,
+                    epochs=self.warm_epochs,
+                )
+            self.warm_retrains += 1
+        else:
+            images = list(query_images)
+            labels = list(truthful_labels)
+            if self.replay_size > 0 and len(replay_pool) > 0:
+                take = min(self.replay_size, len(replay_pool))
+                chosen = rng.choice(len(replay_pool), size=take, replace=False)
+                for index in chosen:
+                    replay_image = replay_pool[int(index)]
+                    images.append(replay_image)
+                    labels.append(int(replay_image.true_label))
+            with tel.span("cycle.mic.retrain.fit", warm=0):
+                committee.retrain(
+                    DisasterDataset(images), np.array(labels, dtype=np.int64), rng
+                )
+            self.full_refits += 1
+        if self.warm_start:
+            self.replay.add(list(query_images), truthful_labels)
+        self.retrain_count += 1
+
+    def retrain_stats(self) -> dict[str, int]:
+        """Warm/cold retrain counters (reported by the benchmark)."""
+        return {
+            "retrains": self.retrain_count,
+            "warm_retrains": self.warm_retrains,
+            "full_refits": self.full_refits,
+            "replay_buffered": len(self.replay),
+        }
 
     def offload_labels(
         self,

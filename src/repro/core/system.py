@@ -342,7 +342,14 @@ class CrowdLearnSystem:
             retrain=config.mic_retrain,
             reweight=config.mic_reweight,
             offload=config.mic_offload,
+            warm_start=config.mic_warm_start,
+            replay_buffer=config.mic_replay_buffer,
+            warm_replay_sample=config.mic_warm_replay_sample,
+            full_refit_every=config.mic_full_refit_every,
+            warm_epochs=config.mic_warm_epochs,
         )
+        if config.fused_kernels:
+            committee.set_fused(True)
         if config.qss_adaptive:
             qss: QuerySetSelector = AdaptiveQuerySetSelector(
                 initial_epsilon=config.qss_epsilon

@@ -81,6 +81,16 @@ class DDAModel(ABC):
         """
         return None
 
+    def set_fused(self, fused: bool) -> "DDAModel":
+        """Select fused conv kernels for this expert (hook).
+
+        The base implementation does nothing: experts without a conv
+        stack (BoVW) have nothing to fuse.  CNN experts toggle
+        :meth:`repro.nn.model.Sequential.fuse` / ``unfuse`` — a pure
+        execution-strategy switch that is bit-identical either way.
+        """
+        return self
+
     @property
     def n_classes(self) -> int:
         """Number of output damage classes."""
@@ -110,6 +120,11 @@ class DDAModel(ABC):
         ``labels`` overrides the dataset's own ground truth (the crowd's
         truthful labels may be soft/incorrect; the expert must not peek at
         golden labels here).
+
+        Built-in experts additionally accept a keyword-only ``epochs``
+        override (used by warm-start retraining to shorten fine-tuning);
+        :class:`~repro.core.committee.Committee` only forwards it when
+        set, so third-party experts with the plain signature keep working.
         """
 
     def _check_fitted(self, fitted: bool) -> None:

@@ -170,13 +170,22 @@ class BoVWModel(DDAModel):
         dataset: DisasterDataset,
         labels: np.ndarray,
         rng: np.random.Generator,
+        *,
+        epochs: int | None = None,
     ) -> "BoVWModel":
-        """Fine-tune the MLP head on crowd-labeled images (codebook frozen)."""
+        """Fine-tune the MLP head on crowd-labeled images (codebook frozen).
+
+        Minibatch shuffling draws from the *passed* per-stage generator so
+        the update is deterministic given ``rng``; ``epochs`` overrides
+        ``retrain_epochs`` (warm-start fine-tuning).
+        """
         self._check_fitted(self._trainer is not None)
         assert self._trainer is not None
         labels = self._check_labels(dataset, labels)
-        del rng
+        self._trainer.rng = rng
         features = self._features(dataset)
-        self._trainer.fit(features, labels, epochs=self.retrain_epochs)
+        self._trainer.fit(
+            features, labels, epochs=self.retrain_epochs if epochs is None else epochs
+        )
         self.bump_version()
         return self

@@ -15,7 +15,7 @@ from repro.data.dataset import DisasterDataset
 from repro.data.metadata import DamageLabel
 from repro.models.base import DDAModel
 from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
-from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
 from repro.nn.model import Sequential
 from repro.nn.optim import Adam
 from repro.nn.trainer import Trainer
@@ -44,9 +44,15 @@ class DDMModel(DDAModel):
         batch_size: int = 32,
         image_size: int = 32,
         head_epochs: int = 40,
+        head_retrain_epochs: int | None = None,
+        fused: bool = False,
     ) -> None:
         if image_size % 4:
             raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+        if head_retrain_epochs is not None and head_retrain_epochs <= 0:
+            raise ValueError(
+                f"head_retrain_epochs must be positive, got {head_retrain_epochs}"
+            )
         self.epochs = epochs
         self.retrain_epochs = retrain_epochs
         self.width = width
@@ -54,6 +60,11 @@ class DDMModel(DDAModel):
         self.batch_size = batch_size
         self.image_size = image_size
         self.head_epochs = head_epochs
+        #: Calibration-head epochs per retrain; ``None`` scales with the
+        #: backbone schedule as ``max(2 * backbone_epochs, 2)`` (the
+        #: historical behavior).
+        self.head_retrain_epochs = head_retrain_epochs
+        self.fused = fused
         self.backbone: Sequential | None = None
         self.head: Sequential | None = None
         self._backbone_trainer: Trainer | None = None
@@ -97,16 +108,41 @@ class DDMModel(DDAModel):
             rng=rng,
             batch_size=self.batch_size,
         )
+        if self.fused:
+            self.set_fused(True)
+
+    def set_fused(self, fused: bool) -> "DDMModel":
+        """Toggle fused conv kernels on the backbone.
+
+        The last conv block stays unfused (``keep_last_conv``): Grad-CAM
+        needs that layer's pre-activation feature maps addressable by
+        index, so only the earlier blocks fuse.  Grad-CAM is rebuilt
+        because fusing shifts layer indices.
+        """
+        self.fused = bool(fused)
+        if self.backbone is not None:
+            if self.fused:
+                self.backbone.fuse(keep_last_conv=True)
+            else:
+                self.backbone.unfuse()
+            self._gradcam = GradCAM(self.backbone)
+        return self
 
     def _head_features(self, x: np.ndarray) -> np.ndarray:
-        """[cnn probs, moderate-heatmap mass, severe-heatmap mass] per image."""
+        """[cnn probs, moderate-heatmap mass, severe-heatmap mass] per image.
+
+        One shared forward pass feeds the probabilities and both heatmaps
+        (Dropout is inference-mode throughout, so the logits match a plain
+        ``predict_proba`` bit for bit; see ``GradCAM.heatmap_masses``).
+        """
         assert self.backbone is not None and self._gradcam is not None
-        probs = self.backbone.predict_proba(x)
         n = x.shape[0]
         moderate = np.full(n, int(DamageLabel.MODERATE))
         severe = np.full(n, int(DamageLabel.SEVERE))
-        mass_moderate = self._gradcam.heatmap_mass(x, moderate)
-        mass_severe = self._gradcam.heatmap_mass(x, severe)
+        (mass_moderate, mass_severe), logits = self._gradcam.heatmap_masses(
+            x, [moderate, severe]
+        )
+        probs = softmax(logits)
         return np.concatenate(
             [probs, mass_moderate[:, None], mass_severe[:, None]], axis=1
         )
@@ -143,16 +179,31 @@ class DDMModel(DDAModel):
         dataset: DisasterDataset,
         labels: np.ndarray,
         rng: np.random.Generator,
+        *,
+        epochs: int | None = None,
     ) -> "DDMModel":
-        """Fine-tune backbone and calibration head on crowd labels."""
+        """Fine-tune backbone and calibration head on crowd labels.
+
+        Both trainers (and the backbone's dropout) share the *passed*
+        per-stage generator, mirroring the single shared stream ``_build``
+        sets up.  ``epochs`` overrides the backbone schedule; the head
+        follows ``head_retrain_epochs`` when set, else scales with the
+        effective backbone epochs as ``max(2 * epochs, 2)``.
+        """
         self._check_fitted(self._backbone_trainer is not None)
         assert self._backbone_trainer is not None and self._head_trainer is not None
         labels = self._check_labels(dataset, labels)
-        del rng
-        x = dataset.pixels_nchw()
-        self._backbone_trainer.fit(x, labels, epochs=self.retrain_epochs)
-        self._head_trainer.fit(
-            self._head_features(x), labels, epochs=max(self.retrain_epochs * 2, 2)
+        self._backbone_trainer.rng = rng
+        self._backbone_trainer.model.reseed(rng)
+        self._head_trainer.rng = rng
+        backbone_epochs = self.retrain_epochs if epochs is None else epochs
+        head_epochs = (
+            self.head_retrain_epochs
+            if self.head_retrain_epochs is not None
+            else max(backbone_epochs * 2, 2)
         )
+        x = dataset.pixels_nchw()
+        self._backbone_trainer.fit(x, labels, epochs=backbone_epochs)
+        self._head_trainer.fit(self._head_features(x), labels, epochs=head_epochs)
         self.bump_version()
         return self

@@ -35,6 +35,9 @@ class VGGModel(DDAModel):
         Channel width of the first conv block (doubles in the second).
     image_size:
         Input spatial size (must be divisible by 4).
+    fused:
+        Run the conv stack through fused ``conv+relu(+pool)`` kernels
+        (bit-identical, faster; see :func:`repro.nn.layers.fuse_layers`).
     """
 
     name = "VGG16"
@@ -48,6 +51,7 @@ class VGGModel(DDAModel):
         batch_size: int = 32,
         image_size: int = 32,
         dropout: float = 0.2,
+        fused: bool = False,
     ) -> None:
         if image_size % 4:
             raise ValueError(f"image_size must be divisible by 4, got {image_size}")
@@ -58,6 +62,7 @@ class VGGModel(DDAModel):
         self.batch_size = batch_size
         self.image_size = image_size
         self.dropout = dropout
+        self.fused = fused
         self.model: Sequential | None = None
         self._trainer: Trainer | None = None
 
@@ -89,6 +94,14 @@ class VGGModel(DDAModel):
             rng=rng,
             batch_size=self.batch_size,
         )
+        if self.fused:
+            self.model.fuse()
+
+    def set_fused(self, fused: bool) -> "VGGModel":
+        self.fused = bool(fused)
+        if self.model is not None:
+            self.model.fuse() if self.fused else self.model.unfuse()
+        return self
 
     def fit(self, dataset: DisasterDataset, rng: np.random.Generator) -> "VGGModel":
         self._build(rng)
@@ -112,13 +125,24 @@ class VGGModel(DDAModel):
         dataset: DisasterDataset,
         labels: np.ndarray,
         rng: np.random.Generator,
+        *,
+        epochs: int | None = None,
     ) -> "VGGModel":
-        """Fine-tune on crowd-labeled images for a few epochs."""
+        """Fine-tune on crowd-labeled images for a few epochs.
+
+        Minibatch shuffling (and dropout) draw from the *passed* per-stage
+        generator, so retraining is deterministic given ``rng`` regardless
+        of how much the trainer's original stream was consumed before.
+        ``epochs`` overrides ``retrain_epochs`` (warm-start fine-tuning).
+        """
         self._check_fitted(self._trainer is not None)
         assert self._trainer is not None
         labels = self._check_labels(dataset, labels)
-        del rng  # shuffling reuses the trainer's generator for determinism
+        self._trainer.rng = rng
+        self._trainer.model.reseed(rng)
         x = dataset.pixels_nchw()
-        self._trainer.fit(x, labels, epochs=self.retrain_epochs)
+        self._trainer.fit(
+            x, labels, epochs=self.retrain_epochs if epochs is None else epochs
+        )
         self.bump_version()
         return self

@@ -125,7 +125,11 @@ class Trainer:
         """Train for up to ``epochs`` epochs with optional early stopping.
 
         Early stopping triggers when validation loss has not improved for
-        ``patience`` consecutive epochs (requires validation data).
+        ``patience`` consecutive epochs (requires validation data); the
+        model is then restored to its best-validation snapshot, so stopping
+        early can never return strictly worse weights than the best epoch
+        seen.  A fit that runs to its epoch budget keeps the final weights,
+        matching plain (non-early-stopped) training.
 
         When a divergence sentinel is active (explicit or installed as the
         process default), each epoch is additionally guarded: a divergent
@@ -148,6 +152,7 @@ class Trainer:
             sentinel = None
         history = TrainingHistory()
         best_val = np.inf
+        best_state: list[dict[str, np.ndarray]] | None = None
         stale = 0
         with tel.span("trainer.fit", epochs=epochs, samples=len(x)) as span:
             for _ in range(epochs):
@@ -169,9 +174,15 @@ class Trainer:
                         if val_loss < best_val - 1e-9:
                             best_val = val_loss
                             stale = 0
+                            best_state = [
+                                {k: v.copy() for k, v in layer_state.items()}
+                                for layer_state in self.model.state()
+                            ]
                         else:
                             stale += 1
                             if stale >= patience:
+                                if best_state is not None:
+                                    self.model.load_state(best_state)
                                 break
             if tel.enabled:
                 span.set(epochs_run=history.epochs)

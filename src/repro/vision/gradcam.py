@@ -47,28 +47,15 @@ class GradCAM:
         self.model = model
         self.target_layer = target_layer
 
-    def heatmaps(self, x: np.ndarray, class_idx: np.ndarray) -> np.ndarray:
-        """Grad-CAM heatmaps for a batch.
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One instrumented forward pass; returns (target activations, logits).
 
-        Parameters
-        ----------
-        x:
-            NCHW input batch.
-        class_idx:
-            Per-sample class whose evidence to localize, shape ``(n,)``.
-
-        Returns
-        -------
-        Heatmaps of shape ``(n, fh, fw)`` (the target layer's spatial size),
-        ReLU-ed and max-normalized to [0, 1] per sample.
+        Runs in training mode so every layer caches what backward needs —
+        except Dropout, which must stay in inference mode or the heatmaps
+        (and any prediction derived from them) become stochastic.  Dropout
+        is the only layer whose *values* depend on the training flag here,
+        so the logits are bit-identical to an inference-mode forward.
         """
-        class_idx = np.asarray(class_idx, dtype=np.int64).ravel()
-        if class_idx.shape[0] != x.shape[0]:
-            raise ValueError("class_idx must have one entry per input sample")
-
-        # Forward in training mode so every layer caches what backward needs —
-        # except Dropout, which must stay in inference mode or the heatmaps
-        # (and any prediction derived from them) become stochastic.
         activations = x
         cached: np.ndarray | None = None
         for i, layer in enumerate(self.model.layers):
@@ -76,12 +63,18 @@ class GradCAM:
             activations = layer.forward(activations, training=training)
             if i == self.target_layer:
                 cached = activations
-        logits = activations
         if cached is None:  # pragma: no cover - guarded by constructor
             raise RuntimeError("target layer did not produce activations")
-        if logits.ndim != 2 or np.any(class_idx >= logits.shape[1]):
-            raise ValueError("class_idx out of range for the model's outputs")
+        return cached, activations
 
+    def _cam(
+        self, cached: np.ndarray, logits: np.ndarray, class_idx: np.ndarray
+    ) -> np.ndarray:
+        """Heatmaps from an already-populated forward pass.
+
+        Backward only reads layer caches (it never consumes them), so this
+        can run repeatedly — once per class vector — off a single forward.
+        """
         # Backpropagate d(logit[class]) / d(feature maps) to the target layer.
         grad = np.zeros_like(logits)
         grad[np.arange(len(class_idx)), class_idx] = 1.0
@@ -97,6 +90,35 @@ class GradCAM:
         safe = np.where(maxes > 0, maxes, 1.0)
         return cam / safe
 
+    def _check_classes(
+        self, x: np.ndarray, class_idx: np.ndarray
+    ) -> np.ndarray:
+        class_idx = np.asarray(class_idx, dtype=np.int64).ravel()
+        if class_idx.shape[0] != x.shape[0]:
+            raise ValueError("class_idx must have one entry per input sample")
+        return class_idx
+
+    def heatmaps(self, x: np.ndarray, class_idx: np.ndarray) -> np.ndarray:
+        """Grad-CAM heatmaps for a batch.
+
+        Parameters
+        ----------
+        x:
+            NCHW input batch.
+        class_idx:
+            Per-sample class whose evidence to localize, shape ``(n,)``.
+
+        Returns
+        -------
+        Heatmaps of shape ``(n, fh, fw)`` (the target layer's spatial size),
+        ReLU-ed and max-normalized to [0, 1] per sample.
+        """
+        class_idx = self._check_classes(x, class_idx)
+        cached, logits = self._forward(x)
+        if logits.ndim != 2 or np.any(class_idx >= logits.shape[1]):
+            raise ValueError("class_idx out of range for the model's outputs")
+        return self._cam(cached, logits, class_idx)
+
     def heatmap_mass(self, x: np.ndarray, class_idx: np.ndarray) -> np.ndarray:
         """Fraction of image area the heatmap activates, shape ``(n,)``.
 
@@ -105,3 +127,25 @@ class GradCAM:
         """
         maps = self.heatmaps(x, class_idx)
         return maps.mean(axis=(1, 2))
+
+    def heatmap_masses(
+        self, x: np.ndarray, class_rows: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Heatmap masses for several class vectors off one shared forward.
+
+        Calling :meth:`heatmap_mass` per class vector repeats the full
+        forward pass each time; this runs it once and backpropagates once
+        per vector (the masses are bit-identical either way).  Also returns
+        the logits, so callers needing class probabilities can reuse the
+        same pass instead of running the model a third time.
+        """
+        rows = [self._check_classes(x, row) for row in class_rows]
+        cached, logits = self._forward(x)
+        if logits.ndim != 2 or any(
+            np.any(row >= logits.shape[1]) for row in rows
+        ):
+            raise ValueError("class_idx out of range for the model's outputs")
+        masses = [
+            self._cam(cached, logits, row).mean(axis=(1, 2)) for row in rows
+        ]
+        return masses, logits

@@ -1,0 +1,90 @@
+"""Digest parity for the retrain fast paths (warm start + fused kernels).
+
+Both optimizations promise *invisible speed*: fused kernels reorganize
+memory traffic without touching arithmetic, and warm-start retraining with
+``full_refit_every=1`` degenerates to the cold schedule.  Either claim is
+checked the strongest way available — the full closed loop must produce a
+bit-identical outcome digest.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.eval.persistence import run_outcome_digest
+from repro.eval.runner import build_crowdlearn, prepare
+from repro.models.vgg import VGGModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare(seed=11, fast=True)
+
+
+def _run(setup, name, **overrides):
+    config = (
+        dataclasses.replace(setup.config, **overrides)
+        if overrides
+        else setup.config
+    )
+    system = build_crowdlearn(setup, config=config, platform_name=name)
+    outcome = system.run(setup.make_stream(name))
+    return system, run_outcome_digest(outcome)
+
+
+@pytest.fixture(scope="module")
+def cold_digest(setup):
+    _, digest = _run(setup, "retrain-parity")
+    return digest
+
+
+class TestFusedDigestParity:
+    def test_fused_run_bit_identical_to_naive(self, setup, cold_digest):
+        system, digest = _run(setup, "retrain-parity", fused_kernels=True)
+        assert digest == cold_digest
+        # ...and the parity is not vacuous: the CNN experts really fused.
+        fused = [
+            expert.model.is_fused
+            for expert in system.committee.experts
+            if isinstance(expert, VGGModel)
+        ]
+        assert fused and all(fused)
+
+
+class TestWarmDigestParity:
+    def test_refit_every_cycle_matches_cold(self, setup, cold_digest):
+        """``full_refit_every=1`` must be bit-identical to cold retraining.
+
+        Every cycle takes the periodic-refit branch, so the only deltas
+        left are the warm-start bookkeeping (ReplayBuffer adds, counters)
+        — none of which may leak into training.
+        """
+        system, digest = _run(
+            setup,
+            "retrain-parity",
+            mic_warm_start=True,
+            mic_full_refit_every=1,
+        )
+        assert digest == cold_digest
+        stats = system.mic.retrain_stats()
+        assert stats["warm_retrains"] == 0
+        assert stats["full_refits"] > 0
+        assert stats["replay_buffered"] > 0  # the warm path was armed
+
+
+class TestWarmRunIntegrity:
+    def test_warm_cached_matches_warm_uncached(self, setup):
+        """No stale prediction may survive a warm retrain's version bump.
+
+        Warm retrains bump ``model_version`` exactly like cold ones; if the
+        PredictionCache ever served a pre-retrain array afterwards, the
+        cached and uncached deployments would diverge.
+        """
+        overrides = dict(mic_warm_start=True, fused_kernels=True)
+        cached_system, cached = _run(setup, "warm-fresh", **overrides)
+        _, uncached = _run(
+            setup, "warm-fresh", cache_enabled=False, **overrides
+        )
+        assert cached == uncached
+        assert cached_system.cache.stats()["prediction_hits"] > 0
+        assert cached_system.mic.retrain_stats()["warm_retrains"] > 0

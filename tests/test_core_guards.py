@@ -638,3 +638,74 @@ class TestModelGuardConstruction:
         np.testing.assert_array_equal(
             restored.holdout.labels(), guard.holdout.labels()
         )
+
+
+class _WarmStubExpert(_StubExpert):
+    """Versioned _StubExpert whose retrain can corrupt on a chosen call."""
+
+    def __init__(self, name: str, n_correct: int, corrupt_on_call: int | None = None):
+        super().__init__(name, n_correct)
+        from repro.models.base import next_model_version
+
+        self.model_version = next_model_version()
+        self.corrupt_on_call = corrupt_on_call
+        self.retrain_epochs_seen = []
+
+    def attach_cache(self, cache) -> None:
+        return None
+
+    def retrain(self, dataset, labels, rng, *, epochs=None):
+        from repro.models.base import next_model_version
+
+        self.retrain_epochs_seen.append(epochs)
+        if len(self.retrain_epochs_seen) == self.corrupt_on_call:
+            self.n_correct = 1
+            self.weights = self.weights * 100.0
+        self.model_version = next_model_version(self.model_version)
+        return self
+
+
+class TestWarmRetrainRollback:
+    def test_warm_regression_rolls_back_bit_identically(self):
+        """A regressing *warm* retrain restores the incumbent byte for byte.
+
+        The warm-start path shares ``ModelGuard.guarded_retrain`` with the
+        cold path, so the regression gate must catch a bad incremental
+        fine-tune exactly as it catches a bad full refit.
+        """
+        from repro.core.committee import Committee
+        from repro.core.mic import MachineIntelligenceCalibrator
+
+        holdout = make_holdout(10)
+        guard = ModelGuard(
+            retrain_policy(regression_tolerance=0.25), holdout, 2
+        )
+        bad = _WarmStubExpert("a", 8, corrupt_on_call=2)
+        good = _WarmStubExpert("b", 9)
+        committee = Committee([bad, good])
+        mic = MachineIntelligenceCalibrator(
+            warm_start=True,
+            replay_size=0,
+            warm_replay_sample=0,
+            full_refit_every=0,
+        )
+        queries = [holdout[i] for i in range(3)]
+        truthful = holdout.labels()[:3]
+        rng = np.random.default_rng(0)
+        # Retrain 1 is the cold bootstrap (benign); retrain 2 is warm and
+        # corrupts expert "a" far past the tolerance.
+        guard.guarded_retrain(
+            mic, committee, queries, truthful, holdout, rng, GuardCounters()
+        )
+        incumbent_payload = pickle.dumps(committee.experts[0].weights)
+        counters = GuardCounters()
+        guard.guarded_retrain(
+            mic, committee, queries, truthful, holdout, rng, counters
+        )
+        assert mic.retrain_stats()["warm_retrains"] == 1
+        assert counters.rollbacks == 1
+        restored = committee.experts[0]
+        assert restored.n_correct == 8
+        assert pickle.dumps(restored.weights) == incumbent_payload
+        # The kept expert really took the short warm schedule.
+        assert committee.experts[1].retrain_epochs_seen == [None, 1]

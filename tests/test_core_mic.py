@@ -144,3 +144,156 @@ class TestOffloading:
             MachineIntelligenceCalibrator(eta=-1.0)
         with pytest.raises(ValueError):
             MachineIntelligenceCalibrator(replay_size=-1)
+
+
+from repro.core.mic import ReplayBuffer  # noqa: E402  (test-section import)
+
+
+class EpochStubExpert(StubExpert):
+    """StubExpert that accepts the warm-start ``epochs`` override."""
+
+    def __init__(self, name, distribution):
+        super().__init__(name, distribution)
+        self.retrain_calls = []  # (n_samples, epochs) per retrain
+
+    def retrain(self, dataset, labels, rng, *, epochs=None):
+        self.retrained_with = np.asarray(labels)
+        self.retrain_calls.append((len(dataset), epochs))
+        return self
+
+
+@pytest.fixture
+def epoch_committee():
+    return Committee(
+        [EpochStubExpert("a", [0.8, 0.1, 0.1]), EpochStubExpert("b", [0.1, 0.8, 0.1])]
+    )
+
+
+class TestReplayBuffer:
+    def test_capacity_evicts_oldest(self, small_dataset):
+        buffer = ReplayBuffer(capacity=4)
+        images = [small_dataset[i] for i in range(6)]
+        buffer.add(images[:3], np.array([0, 1, 2]))
+        buffer.add(images[3:], np.array([0, 1, 2]))
+        assert len(buffer) == 4
+        # FIFO: the two oldest entries fell out.
+        assert buffer._images == images[2:]
+        assert buffer._labels == [2, 0, 1, 2]
+
+    def test_label_mismatch_raises(self, small_dataset):
+        buffer = ReplayBuffer(capacity=4)
+        with pytest.raises(ValueError):
+            buffer.add([small_dataset[0]], np.array([0, 1]))
+
+    def test_sample_without_replacement(self, small_dataset, rng):
+        buffer = ReplayBuffer(capacity=8)
+        buffer.add([small_dataset[i] for i in range(5)], np.arange(5) % 3)
+        images, labels = buffer.sample(5, rng)
+        assert len(images) == len(labels) == 5
+        assert {id(i) for i in images} == {id(i) for i in buffer._images}
+
+    def test_sample_more_than_held_returns_all(self, small_dataset, rng):
+        buffer = ReplayBuffer(capacity=8)
+        buffer.add([small_dataset[0]], np.array([1]))
+        images, labels = buffer.sample(10, rng)
+        assert len(images) == 1 and labels == [1]
+
+    def test_sample_zero_or_empty(self, small_dataset, rng):
+        buffer = ReplayBuffer(capacity=8)
+        assert buffer.sample(3, rng) == ([], [])
+        buffer.add([small_dataset[0]], np.array([1]))
+        assert buffer.sample(0, rng) == ([], [])
+
+    def test_sample_deterministic_given_rng(self, small_dataset):
+        buffer = ReplayBuffer(capacity=8)
+        buffer.add([small_dataset[i] for i in range(6)], np.arange(6) % 3)
+        a = buffer.sample(3, np.random.default_rng(0))
+        b = buffer.sample(3, np.random.default_rng(0))
+        assert a[1] == b[1] and [id(i) for i in a[0]] == [id(i) for i in b[0]]
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+
+class TestWarmStartScheduling:
+    def retrain(self, mic, committee, dataset, rng, n_queries=3):
+        queries = [dataset[i] for i in range(n_queries)]
+        mic.retrain_experts(
+            committee, queries, np.arange(n_queries) % 3, dataset, rng
+        )
+
+    def test_first_retrain_is_cold(self, epoch_committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator(
+            warm_start=True, replay_size=5, warm_replay_sample=2
+        )
+        self.retrain(mic, epoch_committee, small_dataset, rng)
+        expert = epoch_committee.experts[0]
+        # Full golden replay (3 queries + 5 pool), default epoch schedule.
+        assert expert.retrain_calls == [(8, None)]
+        assert mic.retrain_stats()["full_refits"] == 1
+
+    def test_warm_cycles_finetune_on_crowd_replay(
+        self, epoch_committee, small_dataset, rng
+    ):
+        mic = MachineIntelligenceCalibrator(
+            warm_start=True,
+            replay_size=5,
+            warm_replay_sample=2,
+            full_refit_every=0,
+            warm_epochs=2,
+        )
+        for _ in range(3):
+            self.retrain(mic, epoch_committee, small_dataset, rng)
+        calls = epoch_committee.experts[0].retrain_calls
+        # Cold first (golden replay, default epochs), then warm: 3 queries
+        # + 2 ReplayBuffer samples at the warm epoch budget.
+        assert calls == [(8, None), (5, 2), (5, 2)]
+        stats = mic.retrain_stats()
+        assert stats == {
+            "retrains": 3,
+            "warm_retrains": 2,
+            "full_refits": 1,
+            "replay_buffered": 9,
+        }
+
+    def test_periodic_full_refit(self, epoch_committee, small_dataset, rng):
+        mic = MachineIntelligenceCalibrator(
+            warm_start=True, warm_replay_sample=1, full_refit_every=3
+        )
+        for _ in range(7):
+            self.retrain(mic, epoch_committee, small_dataset, rng)
+        epochs = [e for _, e in epoch_committee.experts[0].retrain_calls]
+        # Cold at retrain 0, 3 and 6; warm (epochs=1) in between.
+        assert epochs == [None, 1, 1, None, 1, 1, None]
+        assert mic.retrain_stats()["full_refits"] == 3
+
+    def test_refit_every_cycle_never_warms(
+        self, epoch_committee, small_dataset, rng
+    ):
+        mic = MachineIntelligenceCalibrator(warm_start=True, full_refit_every=1)
+        for _ in range(4):
+            self.retrain(mic, epoch_committee, small_dataset, rng)
+        assert all(
+            e is None for _, e in epoch_committee.experts[0].retrain_calls
+        )
+        assert mic.retrain_stats()["warm_retrains"] == 0
+
+    def test_warm_disabled_keeps_buffer_empty(
+        self, epoch_committee, small_dataset, rng
+    ):
+        mic = MachineIntelligenceCalibrator(warm_start=False)
+        for _ in range(3):
+            self.retrain(mic, epoch_committee, small_dataset, rng)
+        stats = mic.retrain_stats()
+        assert stats["replay_buffered"] == 0
+        assert stats["warm_retrains"] == 0
+        assert stats["full_refits"] == 3
+
+    def test_invalid_warm_hyperparams_raise(self):
+        with pytest.raises(ValueError):
+            MachineIntelligenceCalibrator(warm_replay_sample=-1)
+        with pytest.raises(ValueError):
+            MachineIntelligenceCalibrator(full_refit_every=-1)
+        with pytest.raises(ValueError):
+            MachineIntelligenceCalibrator(warm_epochs=0)

@@ -201,3 +201,76 @@ class TestModelVersioning:
     def test_feature_cache_size_validated(self):
         with pytest.raises(ValueError):
             BoVWModel(**TINY["BoVW"], feature_cache_size=0)
+
+
+class TestRetrainDeterminism:
+    """retrain() must be a function of (weights, data, the passed rng).
+
+    Historically the experts discarded the passed generator and drew from
+    their trainers' internal streams, so two identically-fitted models
+    could diverge after retraining depending on how far each stream had
+    advanced.  Cloned models retrained with equal seeds must now match bit
+    for bit, and the passed rng must actually steer the fine-tuning.
+    """
+
+    def _clones(self, fitted_model, n=3):
+        import pickle
+
+        blob = pickle.dumps(fitted_model)
+        return [pickle.loads(blob) for _ in range(n)]
+
+    def test_equal_seeds_give_bitwise_equal_experts(self, fitted_model, split):
+        train, test = split
+        # More samples than one minibatch, so shuffle order has teeth.
+        subset = train.subset(range(40))
+        labels = train.labels()[:40]
+        a, b, c = self._clones(fitted_model)
+        a.retrain(subset, labels, np.random.default_rng(77))
+        b.retrain(subset, labels, np.random.default_rng(77))
+        c.retrain(subset, labels, np.random.default_rng(78))
+        pa, pb, pc = (m.predict_proba(test) for m in (a, b, c))
+        np.testing.assert_array_equal(pa, pb)
+        # ...and not vacuously: a different seed shuffles minibatches (and
+        # dropout) differently, so the fine-tuned experts genuinely move.
+        assert not np.array_equal(pa, pc)
+
+
+class TestDDMHeadSchedule:
+    def _spy_head_fit(self, model):
+        calls = []
+        original = model._head_trainer.fit
+
+        def spy(x, y, epochs, **kwargs):
+            calls.append(epochs)
+            return original(x, y, epochs=epochs, **kwargs)
+
+        model._head_trainer.fit = spy
+        return calls
+
+    def _fitted_ddm(self, split, **kwargs):
+        train, _ = split
+        model = DDMModel(**{**TINY["DDM"], **kwargs})
+        model.fit(train, np.random.default_rng(51))
+        return model, train
+
+    def test_explicit_head_retrain_epochs_used(self, split):
+        model, train = self._fitted_ddm(split, head_retrain_epochs=7)
+        calls = self._spy_head_fit(model)
+        model.retrain(
+            train.subset(range(6)), train.labels()[:6], np.random.default_rng(1)
+        )
+        assert calls == [7]
+
+    def test_default_head_schedule_tracks_backbone(self, split):
+        model, train = self._fitted_ddm(split)
+        calls = self._spy_head_fit(model)
+        subset, labels = train.subset(range(6)), train.labels()[:6]
+        model.retrain(subset, labels, np.random.default_rng(1))
+        assert calls == [max(model.retrain_epochs * 2, 2)]
+        # The warm-start epochs override flows into the head schedule too.
+        model.retrain(subset, labels, np.random.default_rng(2), epochs=3)
+        assert calls[-1] == 6
+
+    def test_invalid_head_retrain_epochs_raises(self):
+        with pytest.raises(ValueError):
+            DDMModel(head_retrain_epochs=0)

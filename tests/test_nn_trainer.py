@@ -99,3 +99,30 @@ class TestTrainer:
         h1 = t1.fit(x, y, epochs=3)
         h2 = t2.fit(x, y, epochs=3)
         np.testing.assert_allclose(h1.train_loss, h2.train_loss)
+
+
+class TestEarlyStopRestore:
+    def test_stop_restores_best_validation_weights(self, rng):
+        trainer = make_trainer(rng)
+        x, y = blobs(rng)
+        # Flipped validation labels: val loss only gets worse as the model
+        # fits the training blobs, so the best snapshot is an early epoch.
+        history = trainer.fit(
+            x, y, epochs=50, x_val=x, y_val=1 - y, patience=3
+        )
+        assert history.epochs < 50
+        restored_loss, _ = trainer.evaluate(x, 1 - y)
+        # The restore is an exact snapshot load, so re-evaluating must
+        # reproduce the best recorded validation loss bit for bit.
+        assert restored_loss == min(history.val_loss)
+        assert restored_loss < history.val_loss[-1]
+
+    def test_full_budget_keeps_final_weights(self):
+        """A fit that never triggers patience must not touch the weights."""
+        x, y = blobs(np.random.default_rng(6))
+        with_patience = make_trainer(np.random.default_rng(5))
+        without = make_trainer(np.random.default_rng(5))
+        with_patience.fit(x, y, epochs=5, x_val=x, y_val=y, patience=50)
+        without.fit(x, y, epochs=5, x_val=x, y_val=y)
+        for a, b in zip(with_patience.model.params(), without.model.params()):
+            np.testing.assert_array_equal(a, b)

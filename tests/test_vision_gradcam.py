@@ -76,3 +76,34 @@ class TestGradCAM:
         a = cam.heatmaps(x, np.array([0]))
         b = cam.heatmaps(x, np.array([1]))
         assert not np.allclose(a, b)
+
+
+class TestHeatmapMasses:
+    """The batched single-forward path must match per-call heatmap_mass."""
+
+    def test_matches_sequential_heatmap_mass(self, cnn, rng):
+        cam = GradCAM(cnn)
+        x = rng.random((3, 3, 16, 16))
+        rows = [np.array([0, 1, 2]), np.array([1, 1, 0])]
+        masses, logits = cam.heatmap_masses(x, rows)
+        assert len(masses) == 2
+        for row, mass in zip(rows, masses):
+            np.testing.assert_array_equal(mass, cam.heatmap_mass(x, row))
+
+    def test_logits_match_inference_forward(self, cnn, rng):
+        cam = GradCAM(cnn)
+        x = rng.random((2, 3, 16, 16))
+        _, logits = cam.heatmap_masses(x, [np.array([0, 1])])
+        np.testing.assert_array_equal(logits, cnn.forward(x, training=False))
+
+    def test_row_length_mismatch_raises(self, cnn, rng):
+        cam = GradCAM(cnn)
+        with pytest.raises(ValueError):
+            cam.heatmap_masses(rng.random((2, 3, 16, 16)), [np.array([0])])
+
+    def test_row_class_out_of_range_raises(self, cnn, rng):
+        cam = GradCAM(cnn)
+        with pytest.raises(ValueError):
+            cam.heatmap_masses(
+                rng.random((1, 3, 16, 16)), [np.array([0]), np.array([7])]
+            )
